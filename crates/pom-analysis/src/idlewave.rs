@@ -1,0 +1,318 @@
+//! Idle-wave front extraction and speed measurement.
+//!
+//! An injected one-off delay launches an *idle wave* (§5.1): a front of
+//! excess waiting/phase lag that travels outward from the injection rank
+//! through the communication dependencies. On the simulator side the wave
+//! lives in iteration-end timestamps; on the model side in the phases.
+//! Either way, the front is "the first time rank r deviates from its
+//! unperturbed twin by more than a threshold", and its speed is the slope
+//! of a least-squares fit of rank distance against arrival time.
+
+use pom_core::PomRun;
+use pom_mpisim::SimTrace;
+
+use crate::stats::{linear_fit, LinFit};
+
+/// Arrival of the wave front at one rank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaveArrival {
+    /// Rank index.
+    pub rank: usize,
+    /// Iteration whose *end* is first delayed (simulator only).
+    pub iteration: Option<usize>,
+    /// Absolute time of first deviation.
+    pub time: Option<f64>,
+}
+
+/// Fitted wave speed in both directions from the source.
+#[derive(Debug, Clone, Copy)]
+pub struct WaveSpeed {
+    /// Speed away from the source towards higher ranks, ranks/second
+    /// (`None` if the wave never reached that side or the fit degenerated).
+    pub up: Option<LinFit>,
+    /// Speed towards lower ranks, ranks/second.
+    pub down: Option<LinFit>,
+}
+
+impl WaveSpeed {
+    /// The mean absolute propagation speed over the available directions
+    /// (ranks per second).
+    pub fn mean_speed(&self) -> Option<f64> {
+        let mut speeds = Vec::new();
+        if let Some(f) = self.up {
+            if f.slope > 0.0 {
+                speeds.push(1.0 / f.slope);
+            }
+        }
+        if let Some(f) = self.down {
+            if f.slope > 0.0 {
+                speeds.push(1.0 / f.slope);
+            }
+        }
+        if speeds.is_empty() {
+            None
+        } else {
+            Some(speeds.iter().sum::<f64>() / speeds.len() as f64)
+        }
+    }
+}
+
+/// Wave arrivals from a perturbed/baseline simulator trace pair: for each
+/// rank, the first iteration whose end is delayed by more than
+/// `threshold` seconds, and its (perturbed) end time.
+pub fn sim_wave_arrivals(
+    perturbed: &SimTrace,
+    baseline: &SimTrace,
+    threshold: f64,
+) -> Vec<WaveArrival> {
+    assert_eq!(perturbed.n_ranks(), baseline.n_ranks());
+    let iters = perturbed.n_iterations().min(baseline.n_iterations());
+    (0..perturbed.n_ranks())
+        .map(|r| {
+            for k in 0..iters {
+                let delta = perturbed.rank(r).iter_end(k) - baseline.rank(r).iter_end(k);
+                if delta > threshold {
+                    return WaveArrival {
+                        rank: r,
+                        iteration: Some(k),
+                        time: Some(perturbed.rank(r).iter_end(k)),
+                    };
+                }
+            }
+            WaveArrival { rank: r, iteration: None, time: None }
+        })
+        .collect()
+}
+
+/// Wave arrivals from a perturbed/baseline model run pair: for each
+/// oscillator, the first sampled time where the phases differ by more
+/// than `threshold` radians.
+///
+/// Both runs must share the sampling grid (they do when produced with the
+/// same [`pom_core::SimOptions`]).
+pub fn model_wave_arrivals(
+    perturbed: &PomRun,
+    baseline: &PomRun,
+    threshold: f64,
+) -> Vec<WaveArrival> {
+    let tp = perturbed.trajectory();
+    let tb = baseline.trajectory();
+    assert_eq!(tp.dim(), tb.dim());
+    let n_samples = tp.len().min(tb.len());
+    (0..tp.dim())
+        .map(|i| {
+            for k in 0..n_samples {
+                let delta = (tp.state(k)[i] - tb.state(k)[i]).abs();
+                if delta > threshold {
+                    return WaveArrival { rank: i, iteration: None, time: Some(tp.time(k)) };
+                }
+            }
+            WaveArrival { rank: i, iteration: None, time: None }
+        })
+        .collect()
+}
+
+/// Fit the front speed from arrivals: regress arrival time against rank
+/// distance from `source`, separately for ranks above and below the
+/// source (up to `max_distance` away, avoiding ring wraparound mixing).
+///
+/// The returned fits have *slope = seconds per rank*; speed in
+/// ranks/second is `1/slope` ([`WaveSpeed::mean_speed`]).
+pub fn wave_speed_fit(arrivals: &[WaveArrival], source: usize, max_distance: usize) -> WaveSpeed {
+    let n = arrivals.len();
+    let mut up = Vec::new();
+    let mut down = Vec::new();
+    for a in arrivals {
+        let Some(t) = a.time else { continue };
+        if a.rank == source {
+            continue;
+        }
+        if a.rank > source && a.rank - source <= max_distance {
+            up.push(((a.rank - source) as f64, t));
+        } else if a.rank < source && source - a.rank <= max_distance {
+            down.push(((source - a.rank) as f64, t));
+        }
+    }
+    let _ = n;
+    WaveSpeed { up: linear_fit(&up), down: linear_fit(&down) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pom_core::{InitialCondition, PomBuilder, Potential};
+    use pom_kernels::Kernel;
+    use pom_mpisim::{idle_wave_run, IdleWaveConfig};
+    use pom_noise::{DelayEvent, OneOffDelays};
+    use pom_topology::Topology;
+
+    #[test]
+    fn sim_wave_travels_one_rank_per_iteration() {
+        let cfg = IdleWaveConfig {
+            n_ranks: 24,
+            iterations: 24,
+            ..IdleWaveConfig::default()
+        };
+        let (pert, base) = idle_wave_run(&cfg).unwrap();
+        let arrivals = sim_wave_arrivals(&pert, &base, 0.5 * cfg.delay_factor * cfg.t_comp);
+        // Source rank is disturbed in the injection iteration itself.
+        assert_eq!(arrivals[cfg.delay_rank].iteration, Some(cfg.delay_iteration));
+        // One rank per iteration upward: rank 5+r's iteration end is
+        // first delayed in iteration delay_iteration + r − 1 (rank 6
+        // already stalls in the injection iteration itself).
+        for r in 1..6 {
+            assert_eq!(
+                arrivals[cfg.delay_rank + r].iteration,
+                Some(cfg.delay_iteration + r - 1),
+                "rank {}",
+                cfg.delay_rank + r
+            );
+        }
+        // Speed fit: one iteration (~t_comp) per rank.
+        let speed = wave_speed_fit(&arrivals, cfg.delay_rank, 8);
+        let up = speed.up.unwrap();
+        assert!(up.r2 > 0.99, "r² = {}", up.r2);
+        // Seconds per rank ≈ the iteration period (t_comp + small comm).
+        assert!(
+            (up.slope - cfg.t_comp).abs() < 0.1 * cfg.t_comp,
+            "slope {} vs t_comp {}",
+            up.slope,
+            cfg.t_comp
+        );
+        assert!(speed.mean_speed().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn wider_stencil_doubles_sim_speed() {
+        let mk = |distances: Vec<i32>| {
+            let cfg = IdleWaveConfig {
+                n_ranks: 30,
+                iterations: 24,
+                distances,
+                ..IdleWaveConfig::default()
+            };
+            let (pert, base) = idle_wave_run(&cfg).unwrap();
+            let arrivals = sim_wave_arrivals(&pert, &base, 2e-3);
+            wave_speed_fit(&arrivals, 5, 10)
+        };
+        let narrow = mk(vec![-1, 1]);
+        let wide = mk(vec![-2, -1, 1]);
+        // The −2 leg doubles upward speed: seconds/rank halves.
+        let s_narrow = narrow.up.unwrap().slope;
+        let s_wide = wide.up.unwrap().slope;
+        assert!(
+            (s_narrow / s_wide - 2.0).abs() < 0.3,
+            "expected ≈2× faster, got {}",
+            s_narrow / s_wide
+        );
+    }
+
+    #[test]
+    fn unaffected_ranks_report_none() {
+        let cfg = IdleWaveConfig {
+            n_ranks: 30,
+            iterations: 6, // too short for the wave to cross everything
+            delay_iteration: 3,
+            ..IdleWaveConfig::default()
+        };
+        let (pert, base) = idle_wave_run(&cfg).unwrap();
+        let arrivals = sim_wave_arrivals(&pert, &base, 2e-3);
+        // Ranks ~10+ away cannot have been reached in 3 iterations.
+        assert_eq!(arrivals[20].iteration, None);
+        assert_eq!(arrivals[20].time, None);
+    }
+
+    #[test]
+    fn model_wave_arrivals_move_outward() {
+        // Oscillator model analog: inject a one-off slowdown on rank 5 and
+        // watch the phase deviation front move.
+        let n = 24;
+        let mk = |inject: bool| {
+            let mut b = PomBuilder::new(n)
+                .topology(Topology::ring(n, &[-1, 1]))
+                .potential(Potential::Tanh)
+                .compute_time(1.0)
+                .comm_time(0.0)
+                .coupling(2.0);
+            if inject {
+                b = b.local_noise(OneOffDelays::new(vec![DelayEvent {
+                    rank: 5,
+                    t_start: 2.0,
+                    duration: 2.0,
+                    extra: 1.0,
+                }]));
+            }
+            b.build()
+                .unwrap()
+                .simulate(InitialCondition::Synchronized, 40.0)
+                .unwrap()
+        };
+        let pert = mk(true);
+        let base = mk(false);
+        let arrivals = model_wave_arrivals(&pert, &base, 0.05);
+        let t5 = arrivals[5].time.expect("source disturbed");
+        let t7 = arrivals[7].time.expect("rank 7 reached");
+        let t9 = arrivals[9].time.expect("rank 9 reached");
+        assert!(t5 < t7 && t7 < t9, "front must move outward: {t5} {t7} {t9}");
+        // Speed fit is usable.
+        let speed = wave_speed_fit(&arrivals, 5, 6);
+        assert!(speed.up.unwrap().slope > 0.0);
+    }
+
+    #[test]
+    fn stronger_coupling_speeds_up_model_wave() {
+        // §5.1.1: "The larger βκ the faster the wave".
+        let n = 24;
+        let run = |vp: f64, inject: bool| {
+            let mut b = PomBuilder::new(n)
+                .topology(Topology::ring(n, &[-1, 1]))
+                .potential(Potential::Tanh)
+                .compute_time(1.0)
+                .comm_time(0.0)
+                .coupling(vp);
+            if inject {
+                b = b.local_noise(OneOffDelays::new(vec![DelayEvent {
+                    rank: 5,
+                    t_start: 2.0,
+                    duration: 2.0,
+                    extra: 1.0,
+                }]));
+            }
+            b.build()
+                .unwrap()
+                .simulate(InitialCondition::Synchronized, 60.0)
+                .unwrap()
+        };
+        let speed_for = |vp: f64| {
+            let arrivals = model_wave_arrivals(&run(vp, true), &run(vp, false), 0.05);
+            wave_speed_fit(&arrivals, 5, 6).mean_speed().expect("wave detected")
+        };
+        let slow = speed_for(1.0);
+        let fast = speed_for(4.0);
+        assert!(fast > 1.5 * slow, "vp=4 speed {fast} vs vp=1 speed {slow}");
+    }
+
+    #[test]
+    fn speed_fit_handles_missing_sides() {
+        // All arrivals on one side only.
+        let arrivals = vec![
+            WaveArrival { rank: 5, iteration: None, time: Some(0.0) },
+            WaveArrival { rank: 6, iteration: None, time: Some(1.0) },
+            WaveArrival { rank: 7, iteration: None, time: Some(2.0) },
+            WaveArrival { rank: 3, iteration: None, time: None },
+        ];
+        let speed = wave_speed_fit(&arrivals, 5, 4);
+        assert!(speed.up.is_some());
+        assert!(speed.down.is_none());
+        assert!((speed.mean_speed().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lockstep_sim_has_no_arrivals() {
+        let tr = pom_mpisim::lockstep_run(8, 10, Kernel::pisolver(), 1e-3).unwrap();
+        let arrivals = sim_wave_arrivals(&tr, &tr, 1e-9);
+        assert!(arrivals.iter().all(|a| a.iteration.is_none()));
+        let speed = wave_speed_fit(&arrivals, 4, 4);
+        assert!(speed.mean_speed().is_none());
+    }
+}

@@ -1,0 +1,48 @@
+//! Criterion bench: discrete-event simulator throughput — scalable vs
+//! memory-bound (the fluid contention machinery), eager vs rendezvous.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pom_kernels::Kernel;
+use pom_mpisim::{MpiProtocol, ProgramSpec, Simulator, WorkSpec};
+use pom_topology::{ClusterSpec, Placement};
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    let iterations = 30usize;
+    for n in [20usize, 40, 80] {
+        group.throughput(Throughput::Elements((n * iterations) as u64));
+        for (label, kernel) in
+            [("pisolver", Kernel::pisolver()), ("stream", Kernel::stream_triad())]
+        {
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &n,
+                |b, &n| {
+                    let prog = ProgramSpec::new(n, iterations)
+                        .kernel(kernel)
+                        .work(WorkSpec::TargetSeconds(1e-3));
+                    let placement = Placement::packed(ClusterSpec::meggie(), n);
+                    b.iter(|| {
+                        let sim = Simulator::new(prog.clone(), placement.clone()).unwrap();
+                        black_box(sim.run().unwrap().makespan())
+                    })
+                },
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("rendezvous", n), &n, |b, &n| {
+            let prog = ProgramSpec::new(n, iterations)
+                .work(WorkSpec::TargetSeconds(1e-3))
+                .protocol(MpiProtocol::Rendezvous);
+            let placement = Placement::packed(ClusterSpec::meggie(), n);
+            b.iter(|| {
+                let sim = Simulator::new(prog.clone(), placement.clone()).unwrap();
+                black_box(sim.run().unwrap().makespan())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

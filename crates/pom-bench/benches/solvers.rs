@@ -1,0 +1,67 @@
+//! Criterion bench: integrator cost on the oscillator model — adaptive
+//! Dopri5 vs fixed-step RK4 at matched spans, across system sizes
+//! (DESIGN.md §8 ablation "adaptive vs fixed-step at matched accuracy").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pom_core::{InitialCondition, Normalization, PomBuilder, Potential, SimOptions, SolverChoice};
+use pom_topology::Topology;
+use std::hint::black_box;
+
+fn build_model(n: usize) -> pom_core::Pom {
+    PomBuilder::new(n)
+        .topology(Topology::ring(n, &[-1, 1]))
+        .potential(Potential::desync(3.0))
+        .compute_time(0.9)
+        .comm_time(0.1)
+        .coupling(4.0)
+        .normalization(Normalization::ByDegree)
+        .build()
+        .unwrap()
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solvers");
+    for n in [64usize, 256, 1024] {
+        let model = build_model(n);
+        let init = InitialCondition::RandomSpread { amplitude: 0.3, seed: 1 };
+        group.bench_with_input(BenchmarkId::new("dopri5", n), &n, |b, _| {
+            b.iter(|| {
+                let run = model
+                    .simulate_with(
+                        init.clone(),
+                        &SimOptions::new(10.0)
+                            .samples(50)
+                            .solver(SolverChoice::Dopri5 { rtol: 1e-6, atol: 1e-8 }),
+                    )
+                    .unwrap();
+                black_box(run.final_order_parameter())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bs23", n), &n, |b, _| {
+            let y0 = init.phases(n);
+            b.iter(|| {
+                let (traj, _) = pom_ode::Bs23::new()
+                    .rtol(1e-6)
+                    .atol(1e-8)
+                    .integrate(&model, 0.0, &y0, 10.0)
+                    .unwrap();
+                black_box(traj.last().unwrap()[0])
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rk4_h0.02", n), &n, |b, _| {
+            b.iter(|| {
+                let run = model
+                    .simulate_with(
+                        init.clone(),
+                        &SimOptions::new(10.0).samples(50).solver(SolverChoice::FixedRk4 { h: 0.02 }),
+                    )
+                    .unwrap();
+                black_box(run.final_order_parameter())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

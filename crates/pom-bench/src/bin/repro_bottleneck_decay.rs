@@ -1,0 +1,103 @@
+//! Reproduce §5.1.2 (experiment C2): on bottlenecked programs idle waves
+//! have an *additional decay mechanism even under noise-free conditions*,
+//! and after the wave has run out a residual computational wavefront
+//! remains.
+//!
+//! Protocol: inject the same one-off delay into a scalable and a
+//! memory-bound run on a silent (noise-free) simulated cluster; track the
+//! wave amplitude (max per-rank delay vs. the unperturbed twin) iteration
+//! by iteration, plus what remains at the end.
+
+use pom_bench::{header, save, verdict};
+use pom_kernels::Kernel;
+use pom_mpisim::{ProgramSpec, SimDelay, SimTrace, Simulator, WorkSpec};
+use pom_topology::{ClusterSpec, Placement};
+use pom_viz::write_table;
+
+fn run(kernel: Kernel, msg: usize, inject: bool) -> SimTrace {
+    let n = 40;
+    let mut p = ProgramSpec::new(n, 50)
+        .kernel(kernel)
+        .work(WorkSpec::TargetSeconds(1e-3))
+        .message_bytes(msg);
+    if inject {
+        p = p.inject(SimDelay { rank: 5, iteration: 5, extra_seconds: 5e-3 });
+    }
+    Simulator::new(p, Placement::packed(ClusterSpec::meggie(), n))
+        .unwrap()
+        .run()
+        .unwrap()
+}
+
+/// Per-iteration wave amplitude: max over ranks of (perturbed − baseline)
+/// iteration-end delta, and its spread (max − min) — the residual
+/// wavefront is "delta spread without delta amplitude decay".
+fn amplitude_series(pert: &SimTrace, base: &SimTrace) -> Vec<(f64, f64)> {
+    (0..pert.n_iterations())
+        .map(|k| {
+            let deltas: Vec<f64> = (0..pert.n_ranks())
+                .map(|r| pert.rank(r).iter_end(k) - base.rank(r).iter_end(k))
+                .collect();
+            let hi = deltas.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let lo = deltas.iter().cloned().fold(f64::INFINITY, f64::min);
+            (hi, hi - lo)
+        })
+        .collect()
+}
+
+fn main() {
+    header(
+        "C2",
+        "memory-bound code damps idle waves even without noise; a residual \
+         computational wavefront remains (scalable code keeps the full delay)",
+    );
+
+    let scal_p = run(Kernel::pisolver(), 4_000_000, true);
+    let scal_b = run(Kernel::pisolver(), 4_000_000, false);
+    let mem_p = run(Kernel::stream_triad(), 4_000_000, true);
+    let mem_b = run(Kernel::stream_triad(), 4_000_000, false);
+
+    let scal = amplitude_series(&scal_p, &scal_b);
+    let mem = amplitude_series(&mem_p, &mem_b);
+
+    println!(
+        "{:>6}  {:>14} {:>14}  {:>14} {:>14}",
+        "iter", "scal amp [s]", "scal skew [s]", "mem amp [s]", "mem skew [s]"
+    );
+    let mut rows = Vec::new();
+    for k in (0..50).step_by(5) {
+        println!(
+            "{k:>6}  {:>14.3e} {:>14.3e}  {:>14.3e} {:>14.3e}",
+            scal[k].0, scal[k].1, mem[k].0, mem[k].1
+        );
+        rows.push(vec![k as f64, scal[k].0, scal[k].1, mem[k].0, mem[k].1]);
+    }
+    save(
+        "bottleneck_decay.csv",
+        &write_table(&["iter", "scal_amp", "scal_skew", "mem_amp", "mem_skew"], &rows),
+    );
+
+    // Scalable: the delay is never absorbed — the whole program ends ~5 ms
+    // late, and the *skew* (wavefront) vanishes once the wave passed.
+    let scal_final_amp = scal.last().unwrap().0;
+    let scal_final_skew = scal.last().unwrap().1;
+    // Memory-bound: the delay amplitude decays by an order of magnitude
+    // (absorbed into bandwidth slack) while a skew (wavefront) persists.
+    let mem_peak_amp = mem.iter().map(|a| a.0).fold(0.0f64, f64::max);
+    let mem_final_amp = mem.last().unwrap().0;
+    let mem_final_skew = mem.last().unwrap().1;
+
+    println!("\nscalable:     final amplitude {scal_final_amp:.3e} s, final skew {scal_final_skew:.3e} s");
+    println!("memory-bound: peak amplitude {mem_peak_amp:.3e} s, final amplitude {mem_final_amp:.3e} s, final skew {mem_final_skew:.3e} s");
+
+    let ok = scal_final_amp > 4.5e-3            // scalable keeps the delay
+        && scal_final_skew < 5e-4               // …but resynchronizes
+        && mem_final_amp < 0.4 * mem_peak_amp   // bottlenecked damps the wave
+        && mem_final_skew > 1e-3; // …and keeps a wavefront
+    verdict(
+        ok,
+        &format!(
+            "noise-free decay on the bottlenecked run: amplitude {mem_peak_amp:.1e} → {mem_final_amp:.1e} s with persistent {mem_final_skew:.1e} s wavefront; scalable run keeps the full {scal_final_amp:.1e} s delay but realigns"
+        ),
+    );
+}

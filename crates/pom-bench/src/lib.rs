@@ -1,0 +1,84 @@
+//! Shared harness for the per-figure reproduction binaries.
+//!
+//! Every `repro_*` binary regenerates one table/figure of the paper (see
+//! DESIGN.md §3 for the experiment index) and:
+//!
+//! 1. prints the series as an aligned text table to stdout,
+//! 2. writes CSV (and, where it makes sense, SVG) into `target/repro/`,
+//! 3. prints a `VERDICT:` line summarizing how the measured shape relates
+//!    to the paper's claim — EXPERIMENTS.md collects these.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Output directory for reproduction artifacts (`target/repro`), created
+/// on demand.
+pub fn repro_dir() -> PathBuf {
+    // CARGO_TARGET_DIR may relocate the target; fall back to ./target.
+    let target = std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target"));
+    let dir = target.join("repro");
+    fs::create_dir_all(&dir).expect("create target/repro");
+    dir
+}
+
+/// Write an artifact file and echo its path.
+pub fn save(name: &str, content: &str) -> PathBuf {
+    let path = repro_dir().join(name);
+    fs::write(&path, content).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+    path
+}
+
+/// Format one aligned table row from string cells.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Print a standard experiment header.
+pub fn header(id: &str, claim: &str) {
+    println!("================================================================");
+    println!("experiment {id}");
+    println!("paper claim: {claim}");
+    println!("================================================================");
+}
+
+/// Print the final verdict line (grepped by EXPERIMENTS.md tooling).
+pub fn verdict(ok: bool, detail: &str) {
+    println!("VERDICT: {} — {detail}", if ok { "REPRODUCED" } else { "DEVIATES" });
+}
+
+/// Check a file landed where expected (used by the smoke test).
+pub fn exists(path: &Path) -> bool {
+    path.is_file()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repro_dir_is_created() {
+        let d = repro_dir();
+        assert!(d.is_dir());
+    }
+
+    #[test]
+    fn save_roundtrip() {
+        let p = save("selftest.txt", "hello");
+        assert!(exists(&p));
+        assert_eq!(fs::read_to_string(&p).unwrap(), "hello");
+    }
+
+    #[test]
+    fn row_alignment() {
+        let r = row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(r, "  a    bb");
+    }
+}

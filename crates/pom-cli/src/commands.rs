@@ -1,0 +1,581 @@
+//! Subcommand implementations.
+
+// Index-as-rank loops are intentional here (the index is the rank id).
+#![allow(clippy::needless_range_loop)]
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use pom_analysis::{fig2_verdict, model_wave_arrivals, wave_speed_fit};
+use pom_core::{
+    fig2_params, Fig2Panel, InitialCondition, Normalization, PomBuilder, Potential, SimOptions,
+};
+use pom_kernels::{scaling_curve, Kernel, SocketSpec};
+use pom_noise::{DelayEvent, OneOffDelays, WhiteJitter};
+use pom_topology::Topology;
+use pom_viz::{ascii_chart, circle_ascii, gantt_ascii, phase_heatmap_ascii};
+
+use crate::config::{Config, ConfigError};
+
+/// CLI errors: configuration problems or failures in the underlying runs.
+#[derive(Debug)]
+pub enum CliError {
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// Bad `key=value` arguments.
+    Config(ConfigError),
+    /// A model/simulator run failed.
+    Run(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::UnknownCommand(c) => {
+                write!(f, "unknown command `{c}`; try `pom help`")
+            }
+            CliError::Config(e) => write!(f, "configuration error: {e}"),
+            CliError::Run(msg) => write!(f, "run failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ConfigError> for CliError {
+    fn from(e: ConfigError) -> Self {
+        CliError::Config(e)
+    }
+}
+
+/// Top-level dispatch: `run_cli(["fig2", "panel=a"]) → report`.
+pub fn run_cli<I, S>(args: I) -> Result<String, CliError>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut it = args.into_iter();
+    let Some(cmd) = it.next() else {
+        return Ok(help());
+    };
+    let rest: Vec<String> = it.map(|s| s.as_ref().to_string()).collect();
+    let cfg = Config::parse(&rest)?;
+    match cmd.as_ref() {
+        "help" | "--help" | "-h" => Ok(help()),
+        "potentials" => cmd_potentials(&cfg),
+        "scaling" => cmd_scaling(&cfg),
+        "fig2" => cmd_fig2(&cfg),
+        "simulate" => cmd_simulate(&cfg),
+        "wave-sweep" => cmd_wave_sweep(&cfg),
+        "sigma-sweep" => cmd_sigma_sweep(&cfg),
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+/// Usage text.
+pub fn help() -> String {
+    "pom — Physical Oscillator Model toolkit (arXiv:2310.05701 reproduction)\n\
+     \n\
+     USAGE: pom <command> [key=value ...]\n\
+     \n\
+     COMMANDS\n\
+     \x20 potentials   [sigma=3 xmax=10 n=41]         Fig. 1(a) potential curves\n\
+     \x20 scaling      [cores=10]                     Fig. 1(b) per-socket bandwidth scaling\n\
+     \x20 fig2         panel=a|b|c|d                  one Fig. 2 corner case, model + simulator\n\
+     \x20 simulate     [n=40 potential=tanh|desync|sin sigma=3 tcomp=0.9 tcomm=0.1\n\
+     \x20               distances=-1,1 coupling=… t_end=120 init=sync|spread|wavefront\n\
+     \x20               seed=7 noise=0 delay_rank=… delay_at=… delay_len=…]\n\
+     \x20                                             parameterized model run with result views\n\
+     \x20 wave-sweep   [n=40 t_end=80]                idle-wave speed vs. coupling βκ (§5.1.1)\n\
+     \x20 sigma-sweep  [n=24 t_end=300]               phase gap vs. interaction horizon σ (§5.2.2)\n\
+     \x20 help                                        this text\n"
+        .to_string()
+}
+
+/// Fig. 1(a): sample both potentials (plus plain Kuramoto for contrast).
+pub fn cmd_potentials(cfg: &Config) -> Result<String, CliError> {
+    let sigma = cfg.f64_or("sigma", 3.0)?;
+    let xmax = cfg.f64_or("xmax", 10.0)?;
+    let n = cfg.usize_or("n", 41)?.max(5);
+    let tanh = Potential::tanh();
+    let desync = Potential::desync(sigma);
+    let sin = Potential::KuramotoSin;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "# Fig. 1(a): interaction potentials, sigma = {sigma}");
+    let _ = writeln!(out, "{:>8}  {:>10}  {:>10}  {:>10}", "x", "tanh", "desync", "kuramoto");
+    for k in 0..n {
+        let x = -xmax + 2.0 * xmax * k as f64 / (n - 1) as f64;
+        let _ = writeln!(
+            out,
+            "{x:>8.3}  {:>10.5}  {:>10.5}  {:>10.5}",
+            tanh.value(x),
+            desync.value(x),
+            sin.value(x)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nfirst zero of desync potential: {:.4} (= 2σ/3 = {:.4})",
+        desync.stable_pair_separation(),
+        2.0 * sigma / 3.0
+    );
+    let _ = writeln!(out, "lockstep stable under tanh: {}", tanh.lockstep_stable());
+    let _ = writeln!(out, "lockstep stable under desync: {}", desync.lockstep_stable());
+    Ok(out)
+}
+
+/// Fig. 1(b): per-socket scaling of the three paper kernels.
+pub fn cmd_scaling(cfg: &Config) -> Result<String, CliError> {
+    let socket = SocketSpec::meggie();
+    let cores = cfg.usize_or("cores", socket.cores)?.max(1);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# Fig. 1(b): memory bandwidth [MB/s] vs processes per Meggie socket"
+    );
+    let _ = writeln!(
+        out,
+        "{:>6}  {:>14}  {:>18}  {:>12}",
+        "procs", "STREAM", "slow Schönauer", "PISOLVER"
+    );
+    let curves: Vec<Vec<f64>> = Kernel::paper_kernels()
+        .iter()
+        .map(|k| {
+            scaling_curve(k, &socket, cores)
+                .into_iter()
+                .map(|p| p.aggregate_bw / 1e6)
+                .collect()
+        })
+        .collect();
+    for p in 0..cores {
+        let _ = writeln!(
+            out,
+            "{:>6}  {:>14.0}  {:>18.0}  {:>12.0}",
+            p + 1,
+            curves[0][p],
+            curves[1][p],
+            curves[2][p]
+        );
+    }
+    let sat = |k: &Kernel| {
+        pom_kernels::saturation_point(k, &socket, 0.95)
+            .map_or("never".to_string(), |c| format!("{c} cores"))
+    };
+    let _ = writeln!(out, "\nsaturation (95% of {:.0} GB/s):", socket.mem_bw / 1e9);
+    let _ = writeln!(out, "  STREAM triad:    {}", sat(&Kernel::stream_triad()));
+    let _ = writeln!(out, "  slow Schönauer:  {}", sat(&Kernel::schoenauer_slow()));
+    let _ = writeln!(out, "  PISOLVER:        {}", sat(&Kernel::pisolver()));
+    Ok(out)
+}
+
+/// One Fig. 2 corner case: joint model + simulator run with verdict.
+pub fn cmd_fig2(cfg: &Config) -> Result<String, CliError> {
+    let panel = match cfg.str_or("panel", "a").as_str() {
+        "a" => Fig2Panel::A,
+        "b" => Fig2Panel::B,
+        "c" => Fig2Panel::C,
+        "d" => Fig2Panel::D,
+        other => {
+            return Err(CliError::Config(ConfigError::BadValue {
+                key: "panel".into(),
+                value: other.into(),
+                expected: "one of a, b, c, d",
+            }))
+        }
+    };
+    let v = fig2_verdict(panel);
+    let mut out = String::new();
+    let _ = writeln!(out, "# Fig. 2 {}", fig2_params(panel));
+    let _ = writeln!(out, "model verdict:            {:?}", v.model);
+    let _ = writeln!(out, "simulator verdict:        {:?}", v.sim);
+    let _ = writeln!(
+        out,
+        "model wave speed:         {}",
+        v.model_wave_speed.map_or("n/a".into(), |s| format!("{s:.3} ranks/unit"))
+    );
+    let _ = writeln!(
+        out,
+        "simulator wave speed:     {}",
+        v.sim_wave_speed.map_or("n/a".into(), |s| format!("{s:.1} ranks/s"))
+    );
+    let _ = writeln!(out, "model residual spread:    {:.4} rad", v.model_residual_spread);
+    let _ = writeln!(out, "model adjacent gap:       {:.4} rad", v.model_adjacent_gap);
+    let _ = writeln!(out, "sim residual spread:      {:.3e} s", v.sim_residual_spread);
+    let _ = writeln!(
+        out,
+        "paper expectation met:    {}",
+        if v.agrees() { "YES" } else { "NO" }
+    );
+    Ok(out)
+}
+
+/// Fully parameterized model run — the MATLAB-app analog.
+pub fn cmd_simulate(cfg: &Config) -> Result<String, CliError> {
+    let n = cfg.usize_or("n", 40)?.max(2);
+    let sigma = cfg.f64_or("sigma", 3.0)?;
+    let potential = match cfg.str_or("potential", "tanh").as_str() {
+        "tanh" => Potential::tanh(),
+        "desync" => Potential::desync(sigma),
+        "sin" | "kuramoto" => Potential::KuramotoSin,
+        other => {
+            return Err(CliError::Config(ConfigError::BadValue {
+                key: "potential".into(),
+                value: other.into(),
+                expected: "tanh, desync or sin",
+            }))
+        }
+    };
+    let tcomp = cfg.f64_or("tcomp", 0.9)?;
+    let tcomm = cfg.f64_or("tcomm", 0.1)?;
+    let distances = cfg.i32_list_or("distances", &[-1, 1])?;
+    let t_end = cfg.f64_or("t_end", 120.0)?;
+    let seed = cfg.u64_or("seed", 7)?;
+    let noise = cfg.f64_or("noise", 0.0)?;
+    let topology = match cfg.str_or("topology", "ring").as_str() {
+        "ring" => Topology::ring(n, &distances),
+        "chain" => Topology::chain(n, &distances),
+        "all" | "all-to-all" => Topology::all_to_all(n),
+        other => {
+            return Err(CliError::Config(ConfigError::BadValue {
+                key: "topology".into(),
+                value: other.into(),
+                expected: "ring, chain or all-to-all",
+            }))
+        }
+    };
+
+    let mut b = PomBuilder::new(n)
+        .topology(topology)
+        .potential(potential)
+        .compute_time(tcomp)
+        .comm_time(tcomm)
+        .normalization(match cfg.str_or("norm", "degree").as_str() {
+            "n" => Normalization::ByN,
+            _ => Normalization::ByDegree,
+        });
+    if let Some(vp) = cfg.get("coupling") {
+        let vp: f64 = vp.parse().map_err(|_| ConfigError::BadValue {
+            key: "coupling".into(),
+            value: vp.into(),
+            expected: "a number",
+        })?;
+        b = b.coupling(vp);
+    }
+    if let Some(k) = cfg.get("kappa") {
+        let k: f64 = k.parse().map_err(|_| ConfigError::BadValue {
+            key: "kappa".into(),
+            value: k.into(),
+            expected: "a number",
+        })?;
+        b = b.kappa(k);
+    }
+    // Noise and one-off delays.
+    if let Some(rank) = cfg.get("delay_rank") {
+        let rank: usize = rank.parse().map_err(|_| ConfigError::BadValue {
+            key: "delay_rank".into(),
+            value: rank.into(),
+            expected: "a rank index",
+        })?;
+        let t_start = cfg.f64_or("delay_at", 5.0)?;
+        let duration = cfg.f64_or("delay_len", 3.0)?;
+        b = b.local_noise(OneOffDelays::new(vec![DelayEvent {
+            rank,
+            t_start,
+            duration,
+            extra: tcomp + tcomm,
+        }]));
+    } else if noise > 0.0 {
+        b = b.local_noise(WhiteJitter::new(seed, noise, (tcomp + tcomm) / 2.0));
+    }
+
+    let model = b.build().map_err(|e| CliError::Run(e.to_string()))?;
+    let init = match cfg.str_or("init", "spread").as_str() {
+        "sync" => InitialCondition::Synchronized,
+        "spread" => InitialCondition::RandomSpread { amplitude: cfg.f64_or("amplitude", 1.0)?, seed },
+        "wavefront" => InitialCondition::Wavefront { slope: cfg.f64_or("slope", 0.5)? },
+        other => {
+            return Err(CliError::Config(ConfigError::BadValue {
+                key: "init".into(),
+                value: other.into(),
+                expected: "sync, spread or wavefront",
+            }))
+        }
+    };
+    let run = model
+        .simulate_with(init, &SimOptions::new(t_end).samples(cfg.usize_or("samples", 400)?))
+        .map_err(|e| CliError::Run(e.to_string()))?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# POM run: N = {n}, potential = {}, κ = {:.2}, v_p = {:.3}, t_end = {t_end}",
+        model.potential().name(),
+        model.params().kappa,
+        model.params().coupling()
+    );
+    let _ = writeln!(out, "final order parameter r: {:.5}", run.final_order_parameter());
+    let _ = writeln!(out, "final phase spread:      {:.5} rad", run.final_phase_spread());
+    let gaps = run.final_adjacent_differences();
+    let mean_gap = if gaps.is_empty() {
+        0.0
+    } else {
+        gaps.iter().map(|g| g.abs()).sum::<f64>() / gaps.len() as f64
+    };
+    let _ = writeln!(out, "mean |adjacent gap|:     {mean_gap:.5} rad");
+
+    match cfg.str_or("view", "order").as_str() {
+        "circle" => {
+            let _ = writeln!(out, "\ncircle diagram (final state, θ mod 2π):");
+            out.push_str(&circle_ascii(run.trajectory().last().unwrap_or(&[]), 21));
+        }
+        "spread" => {
+            out.push('\n');
+            out.push_str(&ascii_chart("phase spread over time", &run.phase_spread_series(), 64, 12));
+        }
+        "heatmap" => {
+            let _ = writeln!(out, "\nrank × time heatmap (darker = ahead of the lagger):");
+            out.push_str(&phase_heatmap_ascii(&run, 72));
+        }
+        _ => {
+            out.push('\n');
+            out.push_str(&ascii_chart(
+                "order parameter r(t)",
+                &run.order_parameter_series(),
+                64,
+                12,
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// §5.1.1: idle-wave speed vs. coupling βκ in the model.
+pub fn cmd_wave_sweep(cfg: &Config) -> Result<String, CliError> {
+    let n = cfg.usize_or("n", 40)?.max(8);
+    let t_end = cfg.f64_or("t_end", 80.0)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "# Idle-wave speed vs βκ (model, tanh potential, ring ±1)");
+    let _ = writeln!(out, "{:>8}  {:>14}  {:>8}", "βκ", "speed [rk/u]", "R²");
+    for bk in [0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0] {
+        let run = |inject: bool| {
+            let mut b = PomBuilder::new(n)
+                .topology(Topology::ring(n, &[-1, 1]))
+                .potential(Potential::Tanh)
+                .compute_time(0.9)
+                .comm_time(0.1)
+                .coupling(bk)
+                .normalization(Normalization::ByDegree);
+            if inject {
+                b = b.local_noise(OneOffDelays::new(vec![DelayEvent {
+                    rank: 5,
+                    t_start: 2.0,
+                    duration: 3.0,
+                    extra: 1.0,
+                }]));
+            }
+            b.build()
+                .map_err(|e| CliError::Run(e.to_string()))?
+                .simulate_with(
+                    InitialCondition::Synchronized,
+                    &SimOptions::new(t_end).samples(400),
+                )
+                .map_err(|e| CliError::Run(e.to_string()))
+        };
+        let pert = run(true)?;
+        let base = run(false)?;
+        let arrivals = model_wave_arrivals(&pert, &base, 0.05);
+        let fit = wave_speed_fit(&arrivals, 5, n / 2 - 2);
+        match (fit.mean_speed(), fit.up) {
+            (Some(s), Some(up)) => {
+                let _ = writeln!(out, "{bk:>8.1}  {s:>14.4}  {:>8.3}", up.r2);
+            }
+            _ => {
+                let _ = writeln!(out, "{bk:>8.1}  {:>14}  {:>8}", "no wave", "-");
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// §5.2.2: asymptotic adjacent phase gap vs interaction horizon σ.
+pub fn cmd_sigma_sweep(cfg: &Config) -> Result<String, CliError> {
+    let n = cfg.usize_or("n", 24)?.max(4);
+    let t_end = cfg.f64_or("t_end", 300.0)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "# Asymptotic |adjacent gap| vs σ (model, chain ±1)");
+    let _ = writeln!(
+        out,
+        "{:>8}  {:>12}  {:>12}  {:>10}",
+        "σ", "gap [rad]", "2σ/3", "rel.err"
+    );
+    for sigma in [0.5, 1.0, 2.0, 3.0, 4.0, 6.0] {
+        let run = PomBuilder::new(n)
+            .topology(Topology::chain(n, &[-1, 1]))
+            .potential(Potential::desync(sigma))
+            .compute_time(0.9)
+            .comm_time(0.1)
+            .coupling(4.0)
+            .normalization(Normalization::ByDegree)
+            .build()
+            .map_err(|e| CliError::Run(e.to_string()))?
+            .simulate_with(
+                InitialCondition::RandomSpread { amplitude: 0.2, seed: 3 },
+                &SimOptions::new(t_end).samples(300),
+            )
+            .map_err(|e| CliError::Run(e.to_string()))?;
+        let gaps = run.final_adjacent_differences();
+        let mean_gap = gaps.iter().map(|g| g.abs()).sum::<f64>() / gaps.len() as f64;
+        let expect = 2.0 * sigma / 3.0;
+        let _ = writeln!(
+            out,
+            "{sigma:>8.1}  {mean_gap:>12.4}  {expect:>12.4}  {:>10.4}",
+            (mean_gap - expect).abs() / expect
+        );
+    }
+    Ok(out)
+}
+
+/// Render a small trace preview (used by `fig2` when trace=1).
+#[allow(dead_code)]
+fn trace_preview(trace: &pom_mpisim::SimTrace) -> String {
+    gantt_ascii(trace, 72)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_lists_all_commands() {
+        let h = help();
+        for cmd in ["potentials", "scaling", "fig2", "simulate", "wave-sweep", "sigma-sweep"] {
+            assert!(h.contains(cmd), "missing {cmd}");
+        }
+    }
+
+    #[test]
+    fn unknown_command_is_reported() {
+        let e = run_cli(["frobnicate"]).unwrap_err();
+        assert!(e.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn empty_args_show_help() {
+        let out = run_cli(Vec::<String>::new()).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn potentials_reports_first_zero() {
+        let out = run_cli(["potentials", "sigma=3"]).unwrap();
+        assert!(out.contains("2.0000"), "{out}");
+        assert!(out.contains("lockstep stable under tanh: true"));
+        assert!(out.contains("lockstep stable under desync: false"));
+    }
+
+    #[test]
+    fn scaling_shows_saturation_ordering() {
+        let out = run_cli(["scaling"]).unwrap();
+        assert!(out.contains("STREAM"));
+        assert!(out.contains("PISOLVER:        never"));
+    }
+
+    #[test]
+    fn simulate_tanh_synchronizes() {
+        let out = run_cli([
+            "simulate",
+            "n=12",
+            "potential=tanh",
+            "coupling=6",
+            "t_end=80",
+            "init=spread",
+            "view=order",
+        ])
+        .unwrap();
+        // r printed with 5 decimals; after resync it is ≈ 1.
+        assert!(out.contains("final order parameter r: 1.0000") || out.contains("r: 0.9999"), "{out}");
+    }
+
+    #[test]
+    fn simulate_desync_settles_at_two_thirds_sigma() {
+        let out = run_cli([
+            "simulate",
+            "n=12",
+            "potential=desync",
+            "sigma=1.5",
+            "topology=chain",
+            "coupling=6",
+            "t_end=300",
+            "init=spread",
+            "amplitude=0.1",
+            "view=circle",
+        ])
+        .unwrap();
+        let gap: f64 = out
+            .lines()
+            .find(|l| l.starts_with("mean |adjacent gap|"))
+            .and_then(|l| l.split_whitespace().rev().nth(1).map(str::to_string))
+            .and_then(|v| v.parse().ok())
+            .expect("gap line present");
+        assert!((gap - 1.0).abs() < 0.02, "gap {gap} should be ≈ 2σ/3 = 1.0\n{out}");
+        assert!(out.contains("circle diagram"));
+    }
+
+    #[test]
+    fn simulate_heatmap_view() {
+        let out = run_cli([
+            "simulate",
+            "n=8",
+            "potential=tanh",
+            "coupling=4",
+            "t_end=20",
+            "delay_rank=3",
+            "delay_at=2",
+            "delay_len=2",
+            "init=sync",
+            "view=heatmap",
+        ])
+        .unwrap();
+        assert!(out.contains("heatmap"), "{out}");
+        // 8 oscillator rows rendered.
+        assert!(out.lines().filter(|l| l.contains('|')).count() >= 8);
+    }
+
+    #[test]
+    fn simulate_rejects_bad_potential() {
+        let e = run_cli(["simulate", "potential=quux"]).unwrap_err();
+        assert!(e.to_string().contains("tanh"));
+    }
+
+    #[test]
+    fn sigma_sweep_tracks_two_thirds_law() {
+        let out = run_cli(["sigma-sweep", "n=12", "t_end=200"]).unwrap();
+        // Every row's relative error column should be small; spot-check
+        // that at least the σ=3 row is within 5%.
+        let row = out.lines().find(|l| l.trim_start().starts_with("3.0")).unwrap();
+        let rel: f64 = row.split_whitespace().last().unwrap().parse().unwrap();
+        assert!(rel < 0.05, "σ=3 relative error {rel}: {out}");
+    }
+
+    #[test]
+    fn wave_sweep_speed_increases_with_coupling() {
+        let out = run_cli(["wave-sweep", "n=24", "t_end=60"]).unwrap();
+        let speeds: Vec<f64> = out
+            .lines()
+            .filter_map(|l| {
+                let cols: Vec<&str> = l.split_whitespace().collect();
+                if cols.len() == 3 && cols[0].parse::<f64>().is_ok() {
+                    cols[1].parse().ok()
+                } else {
+                    None
+                }
+            })
+            .collect();
+        assert!(speeds.len() >= 4, "{out}");
+        assert!(
+            speeds.last().unwrap() > speeds.first().unwrap(),
+            "speed should grow with βκ: {speeds:?}"
+        );
+    }
+}

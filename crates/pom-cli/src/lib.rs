@@ -1,0 +1,22 @@
+//! Command-line interface to the POM toolkit — the scriptable equivalent
+//! of the paper's MATLAB application (§3.2).
+//!
+//! Subcommands (each takes `key=value` arguments, see [`config::Config`]):
+//!
+//! | command | reproduces |
+//! |---------|------------|
+//! | `potentials` | Fig. 1(a): the two interaction potentials |
+//! | `scaling` | Fig. 1(b): per-socket bandwidth scaling of the three kernels |
+//! | `fig2` | one corner case of Fig. 2 on both substrates |
+//! | `simulate` | a fully parameterized oscillator-model run with the three result views |
+//! | `wave-sweep` | §5.1.1: idle-wave speed vs. coupling βκ |
+//! | `sigma-sweep` | §5.2.2: asymptotic phase gap vs. interaction horizon σ |
+//!
+//! All command functions return the report as a `String` so they are
+//! directly testable; the binary just prints.
+
+pub mod commands;
+pub mod config;
+
+pub use commands::{run_cli, CliError};
+pub use config::{Config, ConfigError};

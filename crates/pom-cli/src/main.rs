@@ -1,0 +1,17 @@
+//! `pom` — the command-line front end (see `pom help`).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match pom_cli::run_cli(args) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("pom: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! The Physical Oscillator Model (POM) — the paper's core contribution.
+//!
+//! An MPI-parallel bulk-synchronous program of `N` processes is modeled as
+//! `N` coupled oscillators (paper Eq. 2):
+//!
+//! ```text
+//! θ̇_i(t) = 2π / (t_comp + t_comm + ζ_i(t))
+//!         + (v_p / N) · Σ_j T_ij · V( θ_j(t − τ_ij(t)) − θ_i(t) )
+//! ```
+//!
+//! One phase revolution corresponds to one compute–communicate cycle. The
+//! ingredients:
+//!
+//! * [`potential::Potential`] — the interaction potential `V`. The paper
+//!   introduces two: `tanh` for *resource-scalable* programs (Eq. 3,
+//!   attractive everywhere ⇒ resynchronization) and a piecewise
+//!   `−sin`/`sgn` potential with interaction horizon `σ` for
+//!   *resource-bottlenecked* programs (Eq. 4, short-range repulsive ⇒
+//!   desynchronization with stable pair separation `2σ/3`).
+//! * `pom_topology::Topology` — the sparse dependency matrix `T_ij`.
+//! * [`params::PomParams`] — durations, protocol factor `β` (eager = 1,
+//!   rendezvous = 2) and distance weight `κ`, giving the coupling
+//!   `v_p = β·κ/(t_comp + t_comm)`.
+//! * `pom_noise` — the frozen noise terms `ζ_i(t)` and `τ_ij(t)`.
+//!
+//! The model implements both `pom_ode::OdeSystem` (no interaction delays)
+//! and `pom_ode::dde::DdeSystem` (with delays); [`model::Pom`]`::simulate`
+//! picks the right integrator automatically and returns a [`simulate::PomRun`]
+//! with the paper's observables: Kuramoto order parameter, phase spread,
+//! lagger-normalized phases (§3.2's "standard view").
+
+pub mod builder;
+pub mod continuum;
+pub mod initial;
+pub mod model;
+pub mod observables;
+pub mod params;
+pub mod potential;
+pub mod presets;
+pub mod simulate;
+pub mod stability;
+
+pub use builder::{PomBuilder, PomError};
+pub use continuum::{front_speed_estimate, transport_coefficients, TransportCoefficients};
+pub use initial::InitialCondition;
+pub use model::{Normalization, Pom};
+pub use observables::{
+    adjacent_differences, lagger_normalized, order_parameter, phase_spread, winding_number,
+};
+pub use params::{PomParams, Protocol};
+pub use potential::Potential;
+pub use presets::{fig2_model, fig2_params, Fig2Panel};
+pub use simulate::{PomRun, SimOptions, SolverChoice};

@@ -1,0 +1,155 @@
+//! Memory-bandwidth contention: fair sharing of a socket's bandwidth.
+//!
+//! When `k` processes stream concurrently on one socket they share the
+//! saturated bandwidth `B`. We model the memory controller as a
+//! *processor-sharing* server with per-process demand caps: process `p`
+//! wants rate `d_p` (its un-contended demand); the controller grants
+//! rates `g_p ≤ d_p` with `Σ g_p ≤ B`, filling fairly ("water-filling"):
+//! no process gets less than another process that wants more.
+//!
+//! This is the mechanism that makes memory-bound programs
+//! *resource-bottlenecked* in the simulator: in lockstep all ranks stream
+//! simultaneously and everyone is slowed; staggered (desynchronized)
+//! execution lets each rank stream closer to full speed — the
+//! bottleneck-evasion effect the paper describes (§5.2.2, [Afzal et al.
+//! TPDS 2022]).
+
+/// Result of a bandwidth-sharing computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandwidthShare {
+    /// Granted rate per process (same order as the demand input).
+    pub granted: Vec<f64>,
+    /// Total granted rate (≤ capacity).
+    pub total: f64,
+    /// `true` if the socket is saturated (total == capacity, within fp).
+    pub saturated: bool,
+}
+
+/// Fair (max-min / water-filling) allocation of `capacity` among processes
+/// with the given `demands`.
+///
+/// Properties (pinned by tests):
+/// * `granted[p] ≤ demands[p]`,
+/// * `Σ granted ≤ capacity`,
+/// * if `Σ demands ≤ capacity`, everyone gets its full demand,
+/// * otherwise the grant is max-min fair: there is a water level `w` with
+///   `granted[p] = min(demands[p], w)` and `Σ granted = capacity`.
+pub fn share_bandwidth(demands: &[f64], capacity: f64) -> BandwidthShare {
+    assert!(capacity >= 0.0 && capacity.is_finite());
+    assert!(
+        demands.iter().all(|&d| d >= 0.0 && d.is_finite()),
+        "demands must be non-negative and finite"
+    );
+    let total_demand: f64 = demands.iter().sum();
+    if total_demand <= capacity {
+        return BandwidthShare {
+            granted: demands.to_vec(),
+            total: total_demand,
+            saturated: false,
+        };
+    }
+
+    // Water-filling: process demands in ascending order; each either fits
+    // under the current fair share or caps out.
+    let mut order: Vec<usize> = (0..demands.len()).collect();
+    order.sort_by(|&a, &b| demands[a].partial_cmp(&demands[b]).expect("finite demands"));
+
+    let mut granted = vec![0.0; demands.len()];
+    let mut remaining = capacity;
+    let mut left = demands.len();
+    for &p in &order {
+        let fair = remaining / left as f64;
+        let g = demands[p].min(fair);
+        granted[p] = g;
+        remaining -= g;
+        left -= 1;
+    }
+    BandwidthShare { granted, total: capacity - remaining, saturated: true }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn under_capacity_everyone_full() {
+        let s = share_bandwidth(&[10.0, 20.0, 5.0], 100.0);
+        assert_eq!(s.granted, vec![10.0, 20.0, 5.0]);
+        assert!(!s.saturated);
+        assert_eq!(s.total, 35.0);
+    }
+
+    #[test]
+    fn equal_demands_split_evenly() {
+        let s = share_bandwidth(&[30.0; 4], 60.0);
+        assert!(s.saturated);
+        for g in &s.granted {
+            assert!((g - 15.0).abs() < 1e-12);
+        }
+        assert!((s.total - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_demand_fully_served_before_big_ones() {
+        // Max-min fairness: the 5-unit flow fits below the water level.
+        let s = share_bandwidth(&[5.0, 50.0, 50.0], 45.0);
+        assert!((s.granted[0] - 5.0).abs() < 1e-12);
+        assert!((s.granted[1] - 20.0).abs() < 1e-12);
+        assert!((s.granted[2] - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_exceeds_demand_or_capacity() {
+        let demands = [3.0, 9.0, 27.0, 81.0, 1.0];
+        for cap in [1.0, 10.0, 50.0, 120.0, 1000.0] {
+            let s = share_bandwidth(&demands, cap);
+            for (g, d) in s.granted.iter().zip(&demands) {
+                assert!(*g <= d + 1e-12);
+            }
+            assert!(s.total <= cap + 1e-9);
+        }
+    }
+
+    #[test]
+    fn water_level_structure_when_saturated() {
+        let demands = [10.0, 40.0, 25.0, 70.0];
+        let s = share_bandwidth(&demands, 100.0);
+        assert!(s.saturated);
+        // Water level: grants are min(demand, w) for a single w.
+        // Here w should be 32.5: grants 10, 32.5, 25, 32.5 = 100.
+        assert!((s.granted[0] - 10.0).abs() < 1e-9);
+        assert!((s.granted[1] - 32.5).abs() < 1e-9);
+        assert!((s.granted[2] - 25.0).abs() < 1e-9);
+        assert!((s.granted[3] - 32.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_demand_processes_ignored() {
+        let s = share_bandwidth(&[0.0, 50.0, 0.0, 50.0], 60.0);
+        assert_eq!(s.granted[0], 0.0);
+        assert_eq!(s.granted[2], 0.0);
+        assert!((s.granted[1] - 30.0).abs() < 1e-12);
+        assert!((s.granted[3] - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        let s = share_bandwidth(&[], 10.0);
+        assert!(s.granted.is_empty());
+        assert_eq!(s.total, 0.0);
+        let s = share_bandwidth(&[5.0], 0.0);
+        assert_eq!(s.granted, vec![0.0]);
+        assert!(s.saturated);
+    }
+
+    #[test]
+    fn staggering_beats_lockstep_throughput_per_process() {
+        // The desync dividend: 10 STREAM-like processes each demanding
+        // 20 GB/s on a 68 GB/s socket get 6.8 each in lockstep; any one
+        // of them running alone gets its full 20.
+        let lockstep = share_bandwidth(&[20e9; 10], 68e9);
+        assert!((lockstep.granted[0] - 6.8e9).abs() < 1e3);
+        let alone = share_bandwidth(&[20e9], 68e9);
+        assert_eq!(alone.granted[0], 20e9);
+    }
+}

@@ -1,0 +1,137 @@
+//! Per-socket scaling curves — the reproduction of paper Fig. 1(b).
+//!
+//! For each kernel, run `k = 1..cores` identical processes on one socket
+//! and report the aggregate memory bandwidth. STREAM saturates after a few
+//! cores; the slow Schönauer triad climbs almost linearly to high core
+//! counts; PISOLVER draws no bandwidth at all.
+
+use crate::contention::share_bandwidth;
+use crate::kernel::{Kernel, SocketSpec};
+
+/// One point of a scaling curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingPoint {
+    /// Number of processes on the socket.
+    pub processes: usize,
+    /// Aggregate memory bandwidth drawn, bytes/s.
+    pub aggregate_bw: f64,
+    /// Per-process slowdown vs. running alone (≥ 1).
+    pub slowdown: f64,
+}
+
+/// Aggregate-bandwidth scaling of `kernel` on `socket` for
+/// `1..=max_processes` processes (paper Fig. 1(b)).
+pub fn scaling_curve(kernel: &Kernel, socket: &SocketSpec, max_processes: usize) -> Vec<ScalingPoint> {
+    let demand = kernel.bandwidth_demand(socket);
+    (1..=max_processes)
+        .map(|k| {
+            let demands = vec![demand; k];
+            let share = share_bandwidth(&demands, socket.mem_bw);
+            let slowdown = if demand == 0.0 || share.granted[0] == 0.0 {
+                1.0
+            } else {
+                // Memory-bound portion stretches by demand/granted; the
+                // in-core portion is unaffected. For the paper's kernels
+                // the memory-bound ones are bandwidth-dominated, so the
+                // ratio is a good proxy (exact for pure streaming).
+                let t_alone = kernel.single_core_time(1.0, socket);
+                let t_cont = kernel.exec_time(1.0, socket, share.granted[0]);
+                t_cont / t_alone
+            };
+            ScalingPoint { processes: k, aggregate_bw: share.total, slowdown }
+        })
+        .collect()
+}
+
+/// Smallest process count at which the kernel saturates the socket
+/// (aggregate ≥ `threshold` × capacity); `None` if it never does.
+pub fn saturation_point(
+    kernel: &Kernel,
+    socket: &SocketSpec,
+    threshold: f64,
+) -> Option<usize> {
+    scaling_curve(kernel, socket, socket.cores)
+        .into_iter()
+        .find(|p| p.aggregate_bw >= threshold * socket.mem_bw)
+        .map(|p| p.processes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meggie() -> SocketSpec {
+        SocketSpec::meggie()
+    }
+
+    #[test]
+    fn stream_saturates_early_slow_triad_late() {
+        // The paper's Fig. 1(b) shape: STREAM hits the bandwidth ceiling
+        // after a few cores, the slow triad much later.
+        let s = meggie();
+        let stream = saturation_point(&Kernel::stream_triad(), &s, 0.95).unwrap();
+        let slow = saturation_point(&Kernel::schoenauer_slow(), &s, 0.95).unwrap();
+        assert!(stream <= 4, "STREAM saturates at {stream} cores");
+        assert!(slow >= 7, "slow triad saturates at {slow} cores");
+        assert!(slow > stream);
+    }
+
+    #[test]
+    fn pisolver_never_saturates() {
+        assert_eq!(saturation_point(&Kernel::pisolver(), &meggie(), 0.1), None);
+        let curve = scaling_curve(&Kernel::pisolver(), &meggie(), 10);
+        assert!(curve.iter().all(|p| p.aggregate_bw == 0.0));
+        assert!(curve.iter().all(|p| p.slowdown == 1.0));
+    }
+
+    #[test]
+    fn aggregate_bandwidth_monotone_and_capped() {
+        let s = meggie();
+        for k in [Kernel::stream_triad(), Kernel::schoenauer_slow()] {
+            let curve = scaling_curve(&k, &s, s.cores);
+            for w in curve.windows(2) {
+                assert!(w[1].aggregate_bw >= w[0].aggregate_bw - 1e-6);
+            }
+            assert!(curve.iter().all(|p| p.aggregate_bw <= s.mem_bw + 1e-6));
+        }
+    }
+
+    #[test]
+    fn stream_linear_before_saturation() {
+        let s = meggie();
+        let curve = scaling_curve(&Kernel::stream_triad(), &s, s.cores);
+        let demand = Kernel::stream_triad().bandwidth_demand(&s);
+        // First point: exactly one un-contended process.
+        assert!((curve[0].aggregate_bw - demand).abs() < 1.0);
+        assert!((curve[0].slowdown - 1.0).abs() < 1e-12);
+        // Second point: either still linear or capped.
+        assert!(curve[1].aggregate_bw <= 2.0 * demand + 1.0);
+    }
+
+    #[test]
+    fn slowdown_grows_past_saturation() {
+        let s = meggie();
+        let curve = scaling_curve(&Kernel::stream_triad(), &s, s.cores);
+        let last = curve.last().unwrap();
+        // 10 STREAM processes on 68 GB/s: each gets 6.8 of its 20 GB/s
+        // demand ⇒ slowdown ≈ 20/6.8 ≈ 2.9.
+        assert!(last.slowdown > 2.5, "slowdown {}", last.slowdown);
+        // Monotone non-decreasing slowdown.
+        for w in curve.windows(2) {
+            assert!(w[1].slowdown >= w[0].slowdown - 1e-9);
+        }
+    }
+
+    #[test]
+    fn fig1b_series_has_expected_ordering_at_full_socket() {
+        // At 10 processes: STREAM ≈ slow triad ≈ 68 GB/s, PISOLVER = 0.
+        let s = meggie();
+        let at_full = |k: &Kernel| scaling_curve(k, &s, 10).last().unwrap().aggregate_bw;
+        let stream = at_full(&Kernel::stream_triad());
+        let slow = at_full(&Kernel::schoenauer_slow());
+        let pi = at_full(&Kernel::pisolver());
+        assert!((stream - s.mem_bw).abs() < 1e-3 * s.mem_bw);
+        assert!(slow >= 0.9 * s.mem_bw);
+        assert_eq!(pi, 0.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Canned experiment runs shared by the analysis layer, examples and the
+//! reproduction benches.
+
+use pom_kernels::Kernel;
+use pom_topology::{ClusterSpec, Placement};
+
+use crate::engine::{SimError, Simulator};
+use crate::program::{ProgramSpec, SimDelay, WorkSpec};
+use crate::protocol::MpiProtocol;
+use crate::trace::SimTrace;
+
+/// Configuration of a §5.1-style idle-wave experiment: a one-off delay
+/// injected into an otherwise silent run, compared against an unperturbed
+/// baseline.
+#[derive(Debug, Clone)]
+pub struct IdleWaveConfig {
+    /// Number of MPI ranks.
+    pub n_ranks: usize,
+    /// Iterations to run.
+    pub iterations: usize,
+    /// Compute kernel.
+    pub kernel: Kernel,
+    /// Dependency distance set.
+    pub distances: Vec<i32>,
+    /// Point-to-point protocol.
+    pub protocol: MpiProtocol,
+    /// Un-contended compute-phase duration target, seconds.
+    pub t_comp: f64,
+    /// Rank receiving the delay (paper: rank 5).
+    pub delay_rank: usize,
+    /// Iteration of the injection.
+    pub delay_iteration: usize,
+    /// Delay magnitude in multiples of `t_comp`.
+    pub delay_factor: f64,
+}
+
+impl Default for IdleWaveConfig {
+    fn default() -> Self {
+        IdleWaveConfig {
+            n_ranks: 40,
+            iterations: 30,
+            kernel: Kernel::pisolver(),
+            distances: vec![-1, 1],
+            protocol: MpiProtocol::Eager,
+            t_comp: 1e-3,
+            delay_rank: 5,
+            delay_iteration: 5,
+            delay_factor: 5.0,
+        }
+    }
+}
+
+impl IdleWaveConfig {
+    fn program(&self, with_injection: bool) -> ProgramSpec {
+        let mut p = ProgramSpec::new(self.n_ranks, self.iterations)
+            .kernel(self.kernel)
+            .work(WorkSpec::TargetSeconds(self.t_comp))
+            .distances(self.distances.clone())
+            .protocol(self.protocol);
+        if with_injection {
+            p = p.inject(SimDelay {
+                rank: self.delay_rank,
+                iteration: self.delay_iteration,
+                extra_seconds: self.delay_factor * self.t_comp,
+            });
+        }
+        p
+    }
+}
+
+/// Run the idle-wave experiment on a packed Meggie placement; returns
+/// `(perturbed, baseline)` traces.
+pub fn idle_wave_run(cfg: &IdleWaveConfig) -> Result<(SimTrace, SimTrace), SimError> {
+    let placement = Placement::packed(ClusterSpec::meggie(), cfg.n_ranks);
+    let perturbed = Simulator::new(cfg.program(true), placement.clone())?.run()?;
+    let baseline = Simulator::new(cfg.program(false), placement)?.run()?;
+    Ok((perturbed, baseline))
+}
+
+/// A plain lockstep run (silent system, no injection) of `kernel` on a
+/// packed Meggie placement.
+pub fn lockstep_run(
+    n_ranks: usize,
+    iterations: usize,
+    kernel: Kernel,
+    t_comp: f64,
+) -> Result<SimTrace, SimError> {
+    let placement = Placement::packed(ClusterSpec::meggie(), n_ranks);
+    let program = ProgramSpec::new(n_ranks, iterations)
+        .kernel(kernel)
+        .work(WorkSpec::TargetSeconds(t_comp));
+    Simulator::new(program, placement)?.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_paper_setup() {
+        let cfg = IdleWaveConfig::default();
+        assert_eq!(cfg.n_ranks, 40); // 4 Meggie sockets (§4)
+        assert_eq!(cfg.delay_rank, 5); // "the 5th MPI process" (§5.1)
+        assert_eq!(cfg.distances, vec![-1, 1]);
+    }
+
+    #[test]
+    fn idle_wave_run_produces_differing_traces() {
+        let cfg = IdleWaveConfig {
+            n_ranks: 12,
+            iterations: 12,
+            ..IdleWaveConfig::default()
+        };
+        let (perturbed, baseline) = idle_wave_run(&cfg).unwrap();
+        assert!(perturbed.makespan() > baseline.makespan());
+        perturbed.check_invariants().unwrap();
+        baseline.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn lockstep_run_is_tight() {
+        let tr = lockstep_run(8, 10, Kernel::pisolver(), 1e-3).unwrap();
+        assert!(tr.iteration_start_spread(9) < 1e-5);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based invariants of the MPI simulator: for arbitrary programs
+//! the run must terminate without deadlock, produce a structurally valid
+//! trace, and respect basic conservation laws.
+
+use pom_kernels::Kernel;
+use pom_mpisim::{MpiProtocol, ProgramSpec, SimDelay, Simulator, WorkSpec};
+use pom_topology::{ClusterSpec, Placement};
+use proptest::prelude::*;
+
+fn kernel_strategy() -> impl Strategy<Value = Kernel> {
+    prop_oneof![
+        Just(Kernel::pisolver()),
+        Just(Kernel::stream_triad()),
+        Just(Kernel::schoenauer_slow()),
+    ]
+}
+
+fn distances_strategy() -> impl Strategy<Value = Vec<i32>> {
+    prop::collection::vec((-3i32..=3).prop_filter("nonzero", |d| *d != 0), 1..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any valid program terminates with a structurally sound trace.
+    #[test]
+    fn simulation_always_terminates_cleanly(
+        n in 2usize..24,
+        iters in 1usize..12,
+        kernel in kernel_strategy(),
+        distances in distances_strategy(),
+        rendezvous in any::<bool>(),
+        noise in 0.0f64..2e-4,
+    ) {
+        let protocol = if rendezvous { MpiProtocol::Rendezvous } else { MpiProtocol::Eager };
+        let prog = ProgramSpec::new(n, iters)
+            .kernel(kernel)
+            .work(WorkSpec::TargetSeconds(5e-4))
+            .distances(distances)
+            .protocol(protocol)
+            .noise(noise, 99);
+        let placement = Placement::packed(ClusterSpec::meggie(), n);
+        let trace = Simulator::new(prog, placement).unwrap().run().unwrap();
+        prop_assert_eq!(trace.n_ranks(), n);
+        prop_assert_eq!(trace.n_iterations(), iters);
+        prop_assert!(trace.check_invariants().is_ok(),
+            "{:?}", trace.check_invariants());
+        prop_assert!(trace.makespan() > 0.0);
+    }
+
+    /// Injected delays never make the run *shorter*, and every rank's
+    /// compute time accounts for at least its nominal work.
+    #[test]
+    fn delays_are_monotone(
+        n in 4usize..16,
+        delay_rank in 0usize..4,
+        delay_iter in 0usize..4,
+        extra in 1e-4f64..5e-3,
+    ) {
+        let base_prog = ProgramSpec::new(n, 8).work(WorkSpec::TargetSeconds(5e-4));
+        let placement = Placement::packed(ClusterSpec::meggie(), n);
+        let base = Simulator::new(base_prog.clone(), placement.clone())
+            .unwrap().run().unwrap();
+        let injected = Simulator::new(
+            base_prog.inject(SimDelay { rank: delay_rank, iteration: delay_iter, extra_seconds: extra }),
+            placement,
+        ).unwrap().run().unwrap();
+        prop_assert!(injected.makespan() >= base.makespan() - 1e-12);
+        // The delayed rank computes at least `extra` longer in total.
+        let dc = injected.rank(delay_rank).total_compute()
+            - base.rank(delay_rank).total_compute();
+        prop_assert!((dc - extra).abs() < 1e-9, "extra compute {dc} vs {extra}");
+    }
+
+    /// Determinism: the same program produces bit-identical traces.
+    #[test]
+    fn runs_are_deterministic(
+        n in 2usize..12,
+        kernel in kernel_strategy(),
+        noise in 0.0f64..1e-4,
+    ) {
+        let mk = || {
+            let prog = ProgramSpec::new(n, 6)
+                .kernel(kernel)
+                .work(WorkSpec::TargetSeconds(5e-4))
+                .noise(noise, 7);
+            Simulator::new(prog, Placement::packed(ClusterSpec::meggie(), n))
+                .unwrap().run().unwrap()
+        };
+        let a = mk();
+        let b = mk();
+        prop_assert_eq!(a.makespan(), b.makespan());
+        for r in 0..n {
+            prop_assert_eq!(a.rank(r).iter_end(5), b.rank(r).iter_end(5));
+        }
+    }
+
+    /// Iteration ends are non-decreasing in the iteration index for every
+    /// rank (time moves forward).
+    #[test]
+    fn iteration_ends_monotone(
+        n in 2usize..16,
+        kernel in kernel_strategy(),
+        distances in distances_strategy(),
+    ) {
+        let prog = ProgramSpec::new(n, 10)
+            .kernel(kernel)
+            .work(WorkSpec::TargetSeconds(3e-4))
+            .distances(distances);
+        let trace = Simulator::new(prog, Placement::packed(ClusterSpec::meggie(), n))
+            .unwrap().run().unwrap();
+        for r in 0..n {
+            for k in 1..10 {
+                prop_assert!(trace.rank(r).iter_end(k) >= trace.rank(r).iter_end(k - 1));
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Interaction noise `τ_ij(t)`: random communication delays.
+//!
+//! Paper §3.1: interaction noise models "random delays caused by varying
+//! communication time" and "impacts the phase difference
+//! `θ(t, τ_ij(t)) = θ_j(t − τ_ij(t)) − θ_i(t)`" — oscillator `i` sees a
+//! *stale* phase of its partner `j`. With any nonzero `τ` the model
+//! becomes a delay differential equation (solved by `pom_ode::dde`).
+
+use crate::rng::FrozenField;
+
+/// Pairwise communication delay: a deterministic function of the rank pair
+/// and time, always ≥ 0.
+pub trait InteractionNoise: Send + Sync {
+    /// Delay `τ_ij(t)` in seconds.
+    fn tau(&self, i: usize, j: usize, t: f64) -> f64;
+
+    /// A bound on the largest delay the model can produce (sizing the DDE
+    /// history buffer).
+    fn max_delay(&self) -> f64;
+
+    /// `true` if the delay is identically zero (the model then solves a
+    /// plain ODE instead of a DDE).
+    fn is_null(&self) -> bool {
+        self.max_delay() == 0.0
+    }
+}
+
+/// No communication delay: the coupling sees current phases.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoDelay;
+
+impl InteractionNoise for NoDelay {
+    fn tau(&self, _i: usize, _j: usize, _t: f64) -> f64 {
+        0.0
+    }
+    fn max_delay(&self) -> f64 {
+        0.0
+    }
+}
+
+/// Constant delay for every pair (e.g. a fixed network latency expressed
+/// in units of the oscillator time).
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantDelay {
+    delay: f64,
+}
+
+impl ConstantDelay {
+    /// A constant delay (must be ≥ 0 and finite).
+    pub fn new(delay: f64) -> Self {
+        assert!(delay >= 0.0 && delay.is_finite(), "delay must be non-negative");
+        Self { delay }
+    }
+}
+
+impl InteractionNoise for ConstantDelay {
+    fn tau(&self, _i: usize, _j: usize, _t: f64) -> f64 {
+        self.delay
+    }
+    fn max_delay(&self) -> f64 {
+        self.delay
+    }
+}
+
+/// Random pairwise delay: `mean + spread·w(pair, t)` clamped to
+/// `[0, mean + 3·spread]`, with `w` a frozen standard-normal field over a
+/// lattice of correlation time `corr_time`.
+///
+/// The pair `(i, j)` is hashed order-sensitively: the delay `i ← j` need
+/// not equal `j ← i` (MPI traffic is not symmetric in time).
+#[derive(Debug, Clone, Copy)]
+pub struct RandomCommDelay {
+    field: FrozenField,
+    mean: f64,
+    spread: f64,
+    /// Ranks are folded into a single lattice "rank" index; this is the
+    /// stride used for the fold.
+    stride: usize,
+}
+
+impl RandomCommDelay {
+    /// Random delays with the given `mean` and `spread` (both seconds),
+    /// decorrelating over `corr_time`. `n_ranks` bounds the pair-index
+    /// folding.
+    pub fn new(seed: u64, n_ranks: usize, mean: f64, spread: f64, corr_time: f64) -> Self {
+        assert!(mean >= 0.0 && spread >= 0.0, "delay parameters must be non-negative");
+        Self {
+            field: FrozenField::new(seed, corr_time),
+            mean,
+            spread,
+            stride: n_ranks.max(1),
+        }
+    }
+}
+
+impl InteractionNoise for RandomCommDelay {
+    fn tau(&self, i: usize, j: usize, t: f64) -> f64 {
+        let pair = i * self.stride + j;
+        let w = self.field.sample(pair, t);
+        (self.mean + self.spread * w).clamp(0.0, self.max_delay())
+    }
+
+    fn max_delay(&self) -> f64 {
+        self.mean + 3.0 * self.spread
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_delay_is_null() {
+        assert!(NoDelay.is_null());
+        assert_eq!(NoDelay.tau(0, 1, 5.0), 0.0);
+        assert_eq!(NoDelay.max_delay(), 0.0);
+    }
+
+    #[test]
+    fn constant_delay() {
+        let d = ConstantDelay::new(0.3);
+        assert_eq!(d.tau(0, 1, 0.0), 0.3);
+        assert_eq!(d.tau(7, 2, 99.0), 0.3);
+        assert_eq!(d.max_delay(), 0.3);
+        assert!(!d.is_null());
+        assert!(ConstantDelay::new(0.0).is_null());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn constant_delay_rejects_negative() {
+        ConstantDelay::new(-0.1);
+    }
+
+    #[test]
+    fn random_delay_bounds_and_determinism() {
+        let d = RandomCommDelay::new(4, 16, 0.1, 0.05, 1.0);
+        for (i, j, t) in [(0, 1, 0.0), (3, 2, 1.5), (15, 0, 7.25)] {
+            let tau = d.tau(i, j, t);
+            assert!(tau >= 0.0 && tau <= d.max_delay(), "tau = {tau}");
+            assert_eq!(tau, d.tau(i, j, t), "determinism");
+        }
+    }
+
+    #[test]
+    fn random_delay_is_direction_sensitive() {
+        let d = RandomCommDelay::new(4, 16, 0.1, 0.05, 1.0);
+        // Almost surely different for swapped pairs.
+        assert_ne!(d.tau(2, 3, 0.7), d.tau(3, 2, 0.7));
+    }
+
+    #[test]
+    fn random_delay_mean_close_to_parameter() {
+        let d = RandomCommDelay::new(8, 4, 0.2, 0.02, 0.5);
+        let mut acc = 0.0;
+        let n = 10_000;
+        for k in 0..n {
+            acc += d.tau(1, 2, k as f64 * 0.37);
+        }
+        let mean = acc / n as f64;
+        assert!((mean - 0.2).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn zero_spread_is_constant() {
+        let d = RandomCommDelay::new(8, 4, 0.15, 0.0, 0.5);
+        assert_eq!(d.tau(0, 1, 0.0), 0.15);
+        assert_eq!(d.tau(2, 3, 9.0), 0.15);
+        assert_eq!(d.max_delay(), 0.15);
+    }
+}

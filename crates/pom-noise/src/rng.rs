@@ -1,0 +1,351 @@
+//! Deterministic pseudo-random number generation, implemented from scratch.
+//!
+//! Two generators:
+//!
+//! * [`SplitMix64`] — Steele/Lea/Vigna's 64-bit mixer. Counter-based: every
+//!   output is a pure function of the state, which makes it ideal both for
+//!   seeding and for *frozen noise fields* (hash a `(seed, rank, lattice
+//!   index)` triple to a reproducible value, no stored path needed).
+//! * [`Xoshiro256pp`] — Blackman/Vigna's xoshiro256++ 1.0, the
+//!   general-purpose stream generator used by the simulator.
+//!
+//! Hand-rolling the PRNG (rather than pulling in `rand`) keeps the noise
+//! bit-reproducible across library versions — reproducibility of runs is a
+//! core requirement for a performance-model artifact.
+
+/// SplitMix64: a fast, well-mixed 64-bit generator and hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        Self::mix(self.state)
+    }
+
+    /// The SplitMix64 output mix as a pure function (finalizer). Used to
+    /// hash lattice coordinates into reproducible random values.
+    #[inline]
+    pub fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Hash a triple (e.g. seed, rank, lattice index) to one 64-bit value.
+    #[inline]
+    pub fn hash3(a: u64, b: u64, c: u64) -> u64 {
+        // Sequential absorb-and-mix; each round is the SplitMix64 step.
+        let mut h = a ^ 0x51_7C_C1_B7_27_22_0A_95;
+        h = Self::mix(h.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_add(b));
+        h = Self::mix(h.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_add(c));
+        Self::mix(h)
+    }
+}
+
+/// xoshiro256++ 1.0 (Blackman & Vigna, 2019).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Seed via SplitMix64 expansion (the recommended procedure).
+    pub fn seeded(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = sm.next_u64();
+        }
+        // All-zero state is invalid (fixed point); the SplitMix expansion
+        // of any seed never produces it, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Self { s }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)` with 53-bit resolution.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    #[inline]
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Standard normal via Box–Muller (polar-free, two uniforms).
+    pub fn normal(&mut self) -> f64 {
+        // Reject u1 == 0 to keep ln finite.
+        let mut u1 = self.next_f64();
+        while u1 <= f64::MIN_POSITIVE {
+            u1 = self.next_f64();
+        }
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Exponential with rate `lambda` (mean `1/lambda`).
+    pub fn exponential(&mut self, lambda: f64) -> f64 {
+        debug_assert!(lambda > 0.0);
+        let mut u = self.next_f64();
+        while u <= f64::MIN_POSITIVE {
+            u = self.next_f64();
+        }
+        -u.ln() / lambda
+    }
+
+    /// Log-normal with underlying normal parameters `(mu, sigma)`.
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.normal()).exp()
+    }
+
+    /// Uniform integer in `[0, n)` (Lemire-style rejection-free for our
+    /// needs: modulo bias is negligible for n ≪ 2⁶⁴ but we debias anyway).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Rejection sampling over the largest multiple of n.
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below((i + 1) as u64) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+/// A *frozen* scalar noise field `w(rank, t)`: standard-normal values on a
+/// regular time lattice (spacing `dt`), linearly interpolated in `t`, fully
+/// determined by `(seed, rank, lattice index)` hashing — no storage, same
+/// value for the same arguments forever.
+///
+/// The lattice spacing acts as the correlation time of the jitter.
+#[derive(Debug, Clone, Copy)]
+pub struct FrozenField {
+    seed: u64,
+    dt: f64,
+}
+
+impl FrozenField {
+    /// Create a field with correlation time `dt` (must be positive).
+    pub fn new(seed: u64, dt: f64) -> Self {
+        assert!(dt > 0.0 && dt.is_finite(), "lattice spacing must be positive");
+        Self { seed, dt }
+    }
+
+    /// Standard-normal value at lattice node `k` for `rank`.
+    fn node(&self, rank: usize, k: i64) -> f64 {
+        let h = SplitMix64::hash3(self.seed, rank as u64, k as u64);
+        // Two 32-bit halves → two uniforms → Box–Muller cosine branch.
+        let u1 = ((h >> 32) as f64 + 0.5) / 4294967296.0;
+        let u2 = ((h & 0xFFFF_FFFF) as f64 + 0.5) / 4294967296.0;
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Sample the field at time `t` for `rank` (standard-normal marginals,
+    /// triangular autocorrelation of width `dt`).
+    pub fn sample(&self, rank: usize, t: f64) -> f64 {
+        let x = t / self.dt;
+        let k = x.floor();
+        let frac = x - k;
+        let a = self.node(rank, k as i64);
+        let b = self.node(rank, k as i64 + 1);
+        a + frac * (b - a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vectors() {
+        // Reference outputs for seed 0 (Vigna's splitmix64.c).
+        let mut g = SplitMix64::new(0);
+        assert_eq!(g.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(g.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(g.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn splitmix_seed_sensitivity() {
+        let a = SplitMix64::new(1).next_u64();
+        let b = SplitMix64::new(2).next_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn hash3_deterministic_and_sensitive() {
+        let h1 = SplitMix64::hash3(1, 2, 3);
+        assert_eq!(h1, SplitMix64::hash3(1, 2, 3));
+        assert_ne!(h1, SplitMix64::hash3(1, 2, 4));
+        assert_ne!(h1, SplitMix64::hash3(1, 3, 2));
+        assert_ne!(h1, SplitMix64::hash3(2, 2, 3));
+    }
+
+    #[test]
+    fn xoshiro_deterministic_stream() {
+        let mut a = Xoshiro256pp::seeded(42);
+        let mut b = Xoshiro256pp::seeded(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Xoshiro256pp::seeded(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn uniform_moments() {
+        let mut g = Xoshiro256pp::seeded(7);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            let x = g.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+            sum2 += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+        assert!((var - 1.0 / 12.0).abs() < 0.005, "var {var}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut g = Xoshiro256pp::seeded(11);
+        let n = 200_000;
+        let (mut s, mut s2, mut s3) = (0.0, 0.0, 0.0);
+        for _ in 0..n {
+            let x = g.normal();
+            s += x;
+            s2 += x * x;
+            s3 += x * x * x;
+        }
+        let mean = s / n as f64;
+        let var = s2 / n as f64 - mean * mean;
+        let skew = s3 / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+        assert!(skew.abs() < 0.05, "skew {skew}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut g = Xoshiro256pp::seeded(3);
+        let lambda = 2.5;
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| g.exponential(lambda)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0 / lambda).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_positive() {
+        let mut g = Xoshiro256pp::seeded(5);
+        for _ in 0..1000 {
+            assert!(g.lognormal(0.0, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn below_is_in_range_and_roughly_uniform() {
+        let mut g = Xoshiro256pp::seeded(9);
+        let mut counts = [0usize; 7];
+        for _ in 0..70_000 {
+            counts[g.below(7) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((c as f64 - 10_000.0).abs() < 500.0, "bucket {i}: {c}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut g = Xoshiro256pp::seeded(13);
+        let mut v: Vec<u32> = (0..50).collect();
+        g.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        // Shuffling 50 elements virtually never yields identity.
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn frozen_field_deterministic() {
+        let f = FrozenField::new(99, 0.5);
+        assert_eq!(f.sample(3, 1.234), f.sample(3, 1.234));
+        assert_ne!(f.sample(3, 1.234), f.sample(4, 1.234));
+    }
+
+    #[test]
+    fn frozen_field_continuous() {
+        let f = FrozenField::new(1, 0.5);
+        // Piecewise-linear: tiny t change ⇒ tiny value change.
+        let a = f.sample(0, 1.0);
+        let b = f.sample(0, 1.0 + 1e-9);
+        assert!((a - b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn frozen_field_marginals_are_standard_normal_on_lattice() {
+        let f = FrozenField::new(2, 1.0);
+        let n = 100_000;
+        let (mut s, mut s2) = (0.0, 0.0);
+        for k in 0..n {
+            // Exactly on lattice nodes (no interpolation variance loss).
+            let x = f.sample(0, k as f64);
+            s += x;
+            s2 += x * x;
+        }
+        let mean = s / n as f64;
+        let var = s2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn frozen_field_rejects_bad_dt() {
+        FrozenField::new(0, 0.0);
+    }
+}

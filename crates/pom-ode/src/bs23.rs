@@ -1,0 +1,283 @@
+//! Bogacki–Shampine 3(2) adaptive integrator (MATLAB's `ode23`).
+//!
+//! The cheaper sibling of [`crate::dopri5::Dopri5`]: three fresh RHS
+//! evaluations per step (FSAL) instead of six, an embedded 2nd-order
+//! error estimate and an elementary I-controller. The higher-order
+//! Dopri5 usually wins on *total* evaluations for smooth problems (its
+//! steps are much larger), so this solver earns its keep on short spans,
+//! very loose tolerances, and as an independent cross-check; the solver
+//! bench quantifies the trade-off.
+
+use crate::error::OdeError;
+use crate::trajectory::Trajectory;
+use crate::OdeSystem;
+
+// Butcher tableau (Bogacki & Shampine 1989).
+const C2: f64 = 0.5;
+const C3: f64 = 0.75;
+const A21: f64 = 0.5;
+const A32: f64 = 0.75;
+// 3rd-order weights.
+const B1: f64 = 2.0 / 9.0;
+const B2: f64 = 1.0 / 3.0;
+const B3: f64 = 4.0 / 9.0;
+// Error coefficients e_i = b_i − b̂_i (3rd minus embedded 2nd order).
+const E1: f64 = B1 - 7.0 / 24.0;
+const E2: f64 = B2 - 1.0 / 4.0;
+const E3: f64 = B3 - 1.0 / 3.0;
+const E4: f64 = -1.0 / 8.0;
+
+const SAFETY: f64 = 0.9;
+const FAC_MIN: f64 = 0.2;
+const FAC_MAX: f64 = 5.0;
+
+/// Adaptive Bogacki–Shampine 3(2) integrator.
+///
+/// ```
+/// use pom_ode::{FnSystem, bs23::Bs23};
+/// let sys = FnSystem::new(1, |_t, y, d| d[0] = -y[0]);
+/// let (traj, _) = Bs23::new().rtol(1e-8).atol(1e-10)
+///     .integrate(&sys, 0.0, &[1.0], 3.0).unwrap();
+/// assert!((traj.last().unwrap()[0] - (-3.0f64).exp()).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bs23 {
+    rtol: f64,
+    atol: f64,
+    h_max: Option<f64>,
+    max_steps: usize,
+}
+
+impl Default for Bs23 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Work counters for a [`Bs23`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Bs23Stats {
+    /// RHS evaluations.
+    pub n_eval: usize,
+    /// Accepted steps.
+    pub n_accepted: usize,
+    /// Rejected steps.
+    pub n_rejected: usize,
+}
+
+impl Bs23 {
+    /// Integrator with default tolerances `rtol = atol = 1e-6`.
+    pub fn new() -> Self {
+        Self { rtol: 1e-6, atol: 1e-6, h_max: None, max_steps: 1_000_000 }
+    }
+
+    /// Relative tolerance.
+    pub fn rtol(mut self, rtol: f64) -> Self {
+        self.rtol = rtol;
+        self
+    }
+
+    /// Absolute tolerance.
+    pub fn atol(mut self, atol: f64) -> Self {
+        self.atol = atol;
+        self
+    }
+
+    /// Upper bound on the step size.
+    pub fn h_max(mut self, h_max: f64) -> Self {
+        self.h_max = Some(h_max);
+        self
+    }
+
+    /// Integrate and record every accepted step into a [`Trajectory`].
+    pub fn integrate(
+        &self,
+        sys: &dyn OdeSystem,
+        t0: f64,
+        y0: &[f64],
+        t_end: f64,
+    ) -> Result<(Trajectory, Bs23Stats), OdeError> {
+        for (name, v) in [("rtol", self.rtol), ("atol", self.atol)] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(OdeError::InvalidParameter { name, value: v });
+            }
+        }
+        let n = sys.dim();
+        if y0.len() != n {
+            return Err(OdeError::DimensionMismatch { expected: n, got: y0.len() });
+        }
+        // Deliberate negation: also rejects NaN endpoints.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(t_end > t0) {
+            return Err(OdeError::EmptySpan { t0, t_end });
+        }
+
+        let span = t_end - t0;
+        let h_max = self.h_max.unwrap_or(span).min(span);
+        let mut stats = Bs23Stats::default();
+        let mut traj = Trajectory::new(n);
+        traj.push(t0, y0)?;
+
+        let mut t = t0;
+        let mut y = y0.to_vec();
+        let mut k1 = vec![0.0; n];
+        let mut k2 = vec![0.0; n];
+        let mut k3 = vec![0.0; n];
+        let mut k4 = vec![0.0; n];
+        let mut y_stage = vec![0.0; n];
+        let mut y_new = vec![0.0; n];
+
+        sys.eval(t, &y, &mut k1);
+        stats.n_eval += 1;
+        check_finite(t, &k1)?;
+
+        // Crude but effective initial step from the first derivative.
+        let y_scale = y.iter().map(|v| v.abs()).fold(1.0f64, f64::max);
+        let f_scale = k1.iter().map(|v| v.abs()).fold(1e-8f64, f64::max);
+        let mut h = (0.01 * y_scale / f_scale).min(h_max);
+
+        loop {
+            if t >= t_end {
+                break;
+            }
+            if stats.n_accepted + stats.n_rejected >= self.max_steps {
+                return Err(OdeError::TooManySteps { t_reached: t, max_steps: self.max_steps });
+            }
+            if t + 1.01 * h >= t_end {
+                h = t_end - t;
+            }
+            if h <= f64::EPSILON * t.abs().max(1.0) {
+                return Err(OdeError::StepSizeUnderflow { t, h });
+            }
+
+            for i in 0..n {
+                y_stage[i] = y[i] + h * A21 * k1[i];
+            }
+            sys.eval(t + C2 * h, &y_stage, &mut k2);
+            for i in 0..n {
+                y_stage[i] = y[i] + h * A32 * k2[i];
+            }
+            sys.eval(t + C3 * h, &y_stage, &mut k3);
+            for i in 0..n {
+                y_new[i] = y[i] + h * (B1 * k1[i] + B2 * k2[i] + B3 * k3[i]);
+            }
+            sys.eval(t + h, &y_new, &mut k4);
+            stats.n_eval += 3;
+            check_finite(t, &k4)?;
+
+            let mut err_sq = 0.0;
+            for i in 0..n {
+                let e = h * (E1 * k1[i] + E2 * k2[i] + E3 * k3[i] + E4 * k4[i]);
+                let sc = self.atol + self.rtol * y[i].abs().max(y_new[i].abs());
+                err_sq += (e / sc) * (e / sc);
+            }
+            let err = (err_sq / n as f64).sqrt();
+
+            if err <= 1.0 {
+                t += h;
+                std::mem::swap(&mut y, &mut y_new);
+                std::mem::swap(&mut k1, &mut k4); // FSAL
+                traj.push(t, &y)?;
+                stats.n_accepted += 1;
+            } else {
+                stats.n_rejected += 1;
+            }
+            // I-controller on the 3rd-order error (exponent 1/3).
+            let fac = (SAFETY * err.powf(-1.0 / 3.0)).clamp(FAC_MIN, FAC_MAX);
+            h = (h * fac).min(h_max);
+        }
+        Ok((traj, stats))
+    }
+}
+
+fn check_finite(t: f64, v: &[f64]) -> Result<(), OdeError> {
+    if let Some(bad) = v.iter().position(|x| !x.is_finite()) {
+        return Err(OdeError::NonFiniteDerivative { t, component: bad });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FnSystem;
+    use std::f64::consts::TAU;
+
+    fn decay() -> FnSystem<impl Fn(f64, &[f64], &mut [f64])> {
+        FnSystem::new(1, |_t, y, d| d[0] = -y[0])
+    }
+
+    #[test]
+    fn decay_accuracy() {
+        let (traj, stats) =
+            Bs23::new().rtol(1e-9).atol(1e-11).integrate(&decay(), 0.0, &[1.0], 5.0).unwrap();
+        assert!((traj.last().unwrap()[0] - (-5.0f64).exp()).abs() < 1e-7);
+        assert!(stats.n_accepted > 0);
+        // FSAL accounting: 3 per attempt + initial eval.
+        assert!(stats.n_eval <= 3 * (stats.n_accepted + stats.n_rejected) + 1);
+    }
+
+    #[test]
+    fn harmonic_period() {
+        let sys = FnSystem::new(2, |_t, y, d| {
+            d[0] = y[1];
+            d[1] = -y[0];
+        });
+        let (traj, _) =
+            Bs23::new().rtol(1e-8).atol(1e-8).integrate(&sys, 0.0, &[1.0, 0.0], TAU).unwrap();
+        let last = traj.last().unwrap();
+        assert!((last[0] - 1.0).abs() < 1e-5, "{}", last[0]);
+        assert!(last[1].abs() < 1e-5);
+    }
+
+    #[test]
+    fn third_order_convergence() {
+        // Fixed-tolerance runs aren't order tests; instead drive the
+        // tolerance down and verify the error follows ~rtol.
+        let err_at = |tol: f64| {
+            let (traj, _) =
+                Bs23::new().rtol(tol).atol(tol * 1e-2).integrate(&decay(), 0.0, &[1.0], 2.0).unwrap();
+            (traj.last().unwrap()[0] - (-2.0f64).exp()).abs()
+        };
+        let e4 = err_at(1e-4);
+        let e8 = err_at(1e-8);
+        assert!(e8 < e4 / 100.0, "e4 {e4:e} vs e8 {e8:e}");
+    }
+
+    #[test]
+    fn per_step_cost_is_half_of_dopri5() {
+        // The trade-off this solver offers: 3 fresh evaluations per step
+        // vs Dopri5's 6 — the higher-order method takes (much) larger
+        // steps, so totals usually favor Dopri5 on smooth problems, but
+        // the per-step cost ratio is the fixed quantity worth pinning.
+        let sys = FnSystem::new(2, |_t, y, d| {
+            d[0] = y[1];
+            d[1] = -y[0];
+        });
+        let (_, bs) = Bs23::new().rtol(1e-3).atol(1e-5).integrate(&sys, 0.0, &[1.0, 0.0], 50.0).unwrap();
+        let (_, dp) = crate::Dopri5::new()
+            .rtol(1e-3)
+            .atol(1e-5)
+            .integrate_with_stats(&sys, 0.0, &[1.0, 0.0], 50.0)
+            .unwrap();
+        let bs_per_step = bs.n_eval as f64 / (bs.n_accepted + bs.n_rejected) as f64;
+        let dp_per_step = dp.n_eval as f64 / (dp.n_accepted + dp.n_rejected) as f64;
+        assert!(bs_per_step < 3.5, "bs23 {bs_per_step} evals/step");
+        assert!(dp_per_step > 5.5, "dopri5 {dp_per_step} evals/step");
+        // And the low-order method needs more steps at the same tolerance.
+        assert!(bs.n_accepted > dp.n_accepted);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(Bs23::new().rtol(0.0).integrate(&decay(), 0.0, &[1.0], 1.0).is_err());
+        assert!(Bs23::new().integrate(&decay(), 0.0, &[1.0, 2.0], 1.0).is_err());
+        assert!(Bs23::new().integrate(&decay(), 1.0, &[1.0], 1.0).is_err());
+    }
+
+    #[test]
+    fn blowup_detected() {
+        let sys = FnSystem::new(1, |_t, y, d| d[0] = y[0] * y[0]);
+        assert!(Bs23::new().integrate(&sys, 0.0, &[1.0], 2.0).is_err());
+    }
+}

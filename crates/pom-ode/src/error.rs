@@ -1,0 +1,117 @@
+//! Error type shared by all solvers in this crate.
+
+use std::fmt;
+
+/// Errors produced by the ODE/DDE solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OdeError {
+    /// Initial state length does not match the system dimension.
+    DimensionMismatch {
+        /// Dimension reported by the system.
+        expected: usize,
+        /// Length of the state vector supplied by the caller.
+        got: usize,
+    },
+    /// Integration span is empty or reversed (`t_end <= t0`).
+    EmptySpan {
+        /// Requested start time.
+        t0: f64,
+        /// Requested end time.
+        t_end: f64,
+    },
+    /// A step size, tolerance or other numeric parameter is not positive
+    /// and finite.
+    InvalidParameter {
+        /// Human-readable name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The adaptive controller shrank the step below the smallest
+    /// representable increment of `t` — the problem is too stiff (or the
+    /// RHS is discontinuous) for an explicit method at this tolerance.
+    StepSizeUnderflow {
+        /// Time at which the underflow occurred.
+        t: f64,
+        /// The step size that was rejected.
+        h: f64,
+    },
+    /// The solver exceeded its step budget before reaching `t_end`.
+    TooManySteps {
+        /// Time reached when the budget ran out.
+        t_reached: f64,
+        /// The configured maximum number of steps.
+        max_steps: usize,
+    },
+    /// The RHS produced a non-finite derivative (NaN or ±∞).
+    NonFiniteDerivative {
+        /// Time of the offending evaluation.
+        t: f64,
+        /// Index of the first non-finite component.
+        component: usize,
+    },
+}
+
+impl fmt::Display for OdeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OdeError::DimensionMismatch { expected, got } => write!(
+                f,
+                "state vector has length {got} but the system dimension is {expected}"
+            ),
+            OdeError::EmptySpan { t0, t_end } => {
+                write!(f, "integration span [{t0}, {t_end}] is empty or reversed")
+            }
+            OdeError::InvalidParameter { name, value } => {
+                write!(f, "parameter `{name}` = {value} must be positive and finite")
+            }
+            OdeError::StepSizeUnderflow { t, h } => write!(
+                f,
+                "step size underflow at t = {t} (h = {h:e}); problem too stiff for an explicit method at this tolerance"
+            ),
+            OdeError::TooManySteps { t_reached, max_steps } => write!(
+                f,
+                "exceeded {max_steps} steps (reached t = {t_reached}); increase max_steps or loosen tolerances"
+            ),
+            OdeError::NonFiniteDerivative { t, component } => write!(
+                f,
+                "right-hand side returned a non-finite value at t = {t}, component {component}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OdeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_key_values() {
+        let e = OdeError::DimensionMismatch { expected: 3, got: 2 };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('2'));
+
+        let e = OdeError::StepSizeUnderflow { t: 1.5, h: 1e-18 };
+        assert!(e.to_string().contains("1.5"));
+
+        let e = OdeError::TooManySteps { t_reached: 0.25, max_steps: 10 };
+        assert!(e.to_string().contains("10"));
+
+        let e = OdeError::NonFiniteDerivative { t: 2.0, component: 4 };
+        assert!(e.to_string().contains("component 4"));
+
+        let e = OdeError::InvalidParameter { name: "rtol", value: -1.0 };
+        assert!(e.to_string().contains("rtol"));
+
+        let e = OdeError::EmptySpan { t0: 1.0, t_end: 1.0 };
+        assert!(e.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&OdeError::EmptySpan { t0: 0.0, t_end: 0.0 });
+    }
+}

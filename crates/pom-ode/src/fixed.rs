@@ -1,0 +1,335 @@
+//! Fixed-step explicit Runge–Kutta steppers and their driver.
+//!
+//! These methods complement the adaptive [`crate::dopri5::Dopri5`]
+//! integrator: they are what the ablation benches compare against, they
+//! drive the delay-equation solver (where classical adaptive dense output
+//! does not directly apply), and their textbook convergence orders give the
+//! test suite hard numerical ground truth.
+
+use crate::error::OdeError;
+use crate::trajectory::Trajectory;
+use crate::OdeSystem;
+
+/// A single-step method advancing `y(t) → y(t + h)`.
+pub trait Stepper {
+    /// Advance the state by one step of size `h`.
+    ///
+    /// Writes the new state into `y_out` (which must not alias `y`) and
+    /// returns the number of RHS evaluations performed.
+    fn step(&self, sys: &dyn OdeSystem, t: f64, y: &[f64], h: f64, y_out: &mut [f64]) -> usize;
+
+    /// Classical convergence order of the method.
+    fn order(&self) -> usize;
+
+    /// Short human-readable name.
+    fn name(&self) -> &'static str;
+}
+
+/// First-order explicit Euler method.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Euler;
+
+impl Stepper for Euler {
+    fn step(&self, sys: &dyn OdeSystem, t: f64, y: &[f64], h: f64, y_out: &mut [f64]) -> usize {
+        let n = y.len();
+        let mut k = vec![0.0; n];
+        sys.eval(t, y, &mut k);
+        for i in 0..n {
+            y_out[i] = y[i] + h * k[i];
+        }
+        1
+    }
+
+    fn order(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> &'static str {
+        "euler"
+    }
+}
+
+/// Second-order Heun (explicit trapezoidal) method.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Heun;
+
+impl Stepper for Heun {
+    fn step(&self, sys: &dyn OdeSystem, t: f64, y: &[f64], h: f64, y_out: &mut [f64]) -> usize {
+        let n = y.len();
+        let mut k1 = vec![0.0; n];
+        let mut k2 = vec![0.0; n];
+        let mut ytmp = vec![0.0; n];
+        sys.eval(t, y, &mut k1);
+        for i in 0..n {
+            ytmp[i] = y[i] + h * k1[i];
+        }
+        sys.eval(t + h, &ytmp, &mut k2);
+        for i in 0..n {
+            y_out[i] = y[i] + 0.5 * h * (k1[i] + k2[i]);
+        }
+        2
+    }
+
+    fn order(&self) -> usize {
+        2
+    }
+
+    fn name(&self) -> &'static str {
+        "heun"
+    }
+}
+
+/// Classical fourth-order Runge–Kutta method.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Rk4;
+
+impl Stepper for Rk4 {
+    fn step(&self, sys: &dyn OdeSystem, t: f64, y: &[f64], h: f64, y_out: &mut [f64]) -> usize {
+        let n = y.len();
+        let mut k1 = vec![0.0; n];
+        let mut k2 = vec![0.0; n];
+        let mut k3 = vec![0.0; n];
+        let mut k4 = vec![0.0; n];
+        let mut ytmp = vec![0.0; n];
+
+        sys.eval(t, y, &mut k1);
+        for i in 0..n {
+            ytmp[i] = y[i] + 0.5 * h * k1[i];
+        }
+        sys.eval(t + 0.5 * h, &ytmp, &mut k2);
+        for i in 0..n {
+            ytmp[i] = y[i] + 0.5 * h * k2[i];
+        }
+        sys.eval(t + 0.5 * h, &ytmp, &mut k3);
+        for i in 0..n {
+            ytmp[i] = y[i] + h * k3[i];
+        }
+        sys.eval(t + h, &ytmp, &mut k4);
+        for i in 0..n {
+            y_out[i] = y[i] + (h / 6.0) * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        }
+        4
+    }
+
+    fn order(&self) -> usize {
+        4
+    }
+
+    fn name(&self) -> &'static str {
+        "rk4"
+    }
+}
+
+/// Drives a [`Stepper`] across a time span with a constant step size,
+/// recording every `record_every`-th sample into a [`Trajectory`].
+#[derive(Debug, Clone)]
+pub struct FixedStepSolver<S> {
+    stepper: S,
+    h: f64,
+    record_every: usize,
+}
+
+impl<S: Stepper> FixedStepSolver<S> {
+    /// Create a solver with step size `h` (must be positive and finite).
+    pub fn new(stepper: S, h: f64) -> Result<Self, OdeError> {
+        if !(h.is_finite() && h > 0.0) {
+            return Err(OdeError::InvalidParameter { name: "h", value: h });
+        }
+        Ok(Self { stepper, h, record_every: 1 })
+    }
+
+    /// Record only every `k`-th step into the trajectory (the final state is
+    /// always recorded). `k = 0` is treated as 1.
+    pub fn record_every(mut self, k: usize) -> Self {
+        self.record_every = k.max(1);
+        self
+    }
+
+    /// Step size.
+    pub fn h(&self) -> f64 {
+        self.h
+    }
+
+    /// Integrate from `t0` to `t_end` (the last step is shortened to land
+    /// exactly on `t_end`). Returns the recorded trajectory, whose first
+    /// sample is `(t0, y0)` and last sample is `(t_end, y(t_end))`.
+    pub fn integrate(
+        &self,
+        sys: &dyn OdeSystem,
+        t0: f64,
+        y0: &[f64],
+        t_end: f64,
+    ) -> Result<Trajectory, OdeError> {
+        if y0.len() != sys.dim() {
+            return Err(OdeError::DimensionMismatch { expected: sys.dim(), got: y0.len() });
+        }
+        // Deliberate negation: also rejects NaN endpoints.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(t_end > t0) {
+            return Err(OdeError::EmptySpan { t0, t_end });
+        }
+
+        let n = sys.dim();
+        let span = t_end - t0;
+        let n_steps = (span / self.h).ceil().max(1.0) as usize;
+
+        let mut traj = Trajectory::with_capacity(n, n_steps / self.record_every + 2);
+        traj.push(t0, y0)?;
+
+        let mut y = y0.to_vec();
+        let mut y_next = vec![0.0; n];
+        let mut t = t0;
+
+        for step_idx in 1..=n_steps {
+            // Recompute the target time from the index so that rounding
+            // error does not accumulate across millions of steps.
+            let t_target = if step_idx == n_steps {
+                t_end
+            } else {
+                t0 + span * (step_idx as f64 / n_steps as f64)
+            };
+            let h = t_target - t;
+            self.stepper.step(sys, t, &y, h, &mut y_next);
+            if let Some(bad) = y_next.iter().position(|v| !v.is_finite()) {
+                return Err(OdeError::NonFiniteDerivative { t, component: bad });
+            }
+            std::mem::swap(&mut y, &mut y_next);
+            t = t_target;
+            if step_idx % self.record_every == 0 || step_idx == n_steps {
+                traj.push(t, &y)?;
+            }
+        }
+        Ok(traj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FnSystem;
+
+    /// ẏ = −y ⇒ y(t) = y₀ e^{−t}.
+    fn decay() -> FnSystem<impl Fn(f64, &[f64], &mut [f64])> {
+        FnSystem::new(1, |_t, y, d| d[0] = -y[0])
+    }
+
+    /// Harmonic oscillator ÿ = −y as a 2-D first-order system.
+    fn harmonic() -> FnSystem<impl Fn(f64, &[f64], &mut [f64])> {
+        FnSystem::new(2, |_t, y, d| {
+            d[0] = y[1];
+            d[1] = -y[0];
+        })
+    }
+
+    fn global_error<S: Stepper>(stepper: S, h: f64) -> f64 {
+        let solver = FixedStepSolver::new(stepper, h).unwrap();
+        let traj = solver.integrate(&decay(), 0.0, &[1.0], 2.0).unwrap();
+        (traj.last().unwrap()[0] - (-2.0f64).exp()).abs()
+    }
+
+    /// Measured convergence slope log2(err(h)/err(h/2)) must be close to the
+    /// theoretical order.
+    fn check_order<S: Stepper + Copy>(stepper: S, expect: f64, tol: f64) {
+        let e1 = global_error(stepper, 0.02);
+        let e2 = global_error(stepper, 0.01);
+        let slope = (e1 / e2).log2();
+        assert!(
+            (slope - expect).abs() < tol,
+            "{}: slope {slope:.3}, expected ≈ {expect}",
+            stepper.name()
+        );
+    }
+
+    #[test]
+    fn euler_is_first_order() {
+        check_order(Euler, 1.0, 0.15);
+    }
+
+    #[test]
+    fn heun_is_second_order() {
+        check_order(Heun, 2.0, 0.15);
+    }
+
+    #[test]
+    fn rk4_is_fourth_order() {
+        check_order(Rk4, 4.0, 0.2);
+    }
+
+    #[test]
+    fn rk4_decay_accuracy() {
+        let solver = FixedStepSolver::new(Rk4, 0.01).unwrap();
+        let traj = solver.integrate(&decay(), 0.0, &[1.0], 5.0).unwrap();
+        let exact = (-5.0f64).exp();
+        assert!((traj.last().unwrap()[0] - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rk4_harmonic_phase_and_energy() {
+        let solver = FixedStepSolver::new(Rk4, 0.005).unwrap();
+        let t_end = 4.0 * std::f64::consts::PI; // two full periods
+        let traj = solver.integrate(&harmonic(), 0.0, &[1.0, 0.0], t_end).unwrap();
+        let last = traj.last().unwrap();
+        assert!((last[0] - 1.0).abs() < 1e-8, "cos returned to 1, got {}", last[0]);
+        assert!(last[1].abs() < 1e-8);
+        // Energy conservation along the whole run.
+        for (_, s) in traj.iter() {
+            let energy = s[0] * s[0] + s[1] * s[1];
+            assert!((energy - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rk4_exact_for_cubic_quadrature() {
+        // For ẏ = f(t) (no state dependence) RK4 reduces to Simpson's rule,
+        // which integrates cubics exactly.
+        let sys = FnSystem::new(1, |t, _y, d| d[0] = 3.0 * t * t - 4.0 * t + 2.0);
+        let solver = FixedStepSolver::new(Rk4, 0.25).unwrap();
+        let traj = solver.integrate(&sys, 0.0, &[0.0], 2.0).unwrap();
+        let exact = 8.0 - 8.0 + 4.0; // t³ − 2t² + 2t at t = 2
+        assert!((traj.last().unwrap()[0] - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn last_sample_lands_exactly_on_t_end() {
+        // Span not divisible by h: final step is shortened.
+        let solver = FixedStepSolver::new(Rk4, 0.3).unwrap();
+        let traj = solver.integrate(&decay(), 0.0, &[1.0], 1.0).unwrap();
+        assert_eq!(*traj.times().last().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn record_every_thins_output_but_keeps_final() {
+        let solver = FixedStepSolver::new(Euler, 0.1).unwrap().record_every(4);
+        let traj = solver.integrate(&decay(), 0.0, &[1.0], 1.0).unwrap();
+        // 10 steps: records t0, steps 4, 8 and the final step 10.
+        assert_eq!(traj.len(), 4);
+        assert_eq!(*traj.times().last().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(FixedStepSolver::new(Rk4, 0.0).is_err());
+        assert!(FixedStepSolver::new(Rk4, f64::NAN).is_err());
+        let solver = FixedStepSolver::new(Rk4, 0.1).unwrap();
+        assert!(solver.integrate(&decay(), 0.0, &[1.0, 2.0], 1.0).is_err());
+        assert!(solver.integrate(&decay(), 1.0, &[1.0], 1.0).is_err());
+        assert!(solver.integrate(&decay(), 2.0, &[1.0], 1.0).is_err());
+    }
+
+    #[test]
+    fn non_finite_state_is_reported() {
+        // ẏ = y² blows up in finite time (y₀ = 1 ⇒ pole at t = 1).
+        let sys = FnSystem::new(1, |_t, y, d| d[0] = y[0] * y[0]);
+        let solver = FixedStepSolver::new(Euler, 0.01).unwrap();
+        let res = solver.integrate(&sys, 0.0, &[1.0], 5.0);
+        assert!(matches!(res, Err(OdeError::NonFiniteDerivative { .. })));
+    }
+
+    #[test]
+    fn stepper_metadata() {
+        assert_eq!(Euler.order(), 1);
+        assert_eq!(Heun.order(), 2);
+        assert_eq!(Rk4.order(), 4);
+        assert_eq!(Rk4.name(), "rk4");
+    }
+}

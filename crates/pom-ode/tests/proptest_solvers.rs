@@ -1,0 +1,132 @@
+//! Property-based tests for the solver suite.
+
+use pom_ode::dde::{DdeRk4, DdeSystem, InitialHistory, PhaseHistory};
+use pom_ode::{Dopri5, Euler, FixedStepSolver, FnSystem, Heun, Rk4, Trajectory};
+use proptest::prelude::*;
+
+/// Linear scalar ODE ẏ = a·y has solution y₀·e^{a t}.
+fn linear_sys(a: f64) -> FnSystem<impl Fn(f64, &[f64], &mut [f64])> {
+    FnSystem::new(1, move |_t, y, d| d[0] = a * y[0])
+}
+
+proptest! {
+    /// Dopri5 solves every (non-stiff) linear scalar ODE to tolerance.
+    #[test]
+    fn dopri5_linear_exact(a in -2.0f64..2.0, y0 in 0.1f64..10.0, t_end in 0.5f64..5.0) {
+        let sys = linear_sys(a);
+        let sol = Dopri5::new().rtol(1e-9).atol(1e-11)
+            .integrate(&sys, 0.0, &[y0], t_end).unwrap();
+        let exact = y0 * (a * t_end).exp();
+        let err = (sol.y_end()[0] - exact).abs();
+        prop_assert!(err < 1e-6 * exact.abs().max(1.0), "err = {err}");
+    }
+
+    /// Dense output agrees with the analytic solution at arbitrary interior
+    /// times, not only step endpoints.
+    #[test]
+    fn dopri5_dense_output_interior(a in -1.5f64..1.5, frac in 0.0f64..1.0) {
+        let sys = linear_sys(a);
+        let sol = Dopri5::new().rtol(1e-9).atol(1e-11)
+            .integrate(&sys, 0.0, &[1.0], 3.0).unwrap();
+        let t = 3.0 * frac;
+        let err = (sol.sample_component(t, 0) - (a * t).exp()).abs();
+        prop_assert!(err < 1e-6, "t = {t}, err = {err}");
+    }
+
+    /// Halving the RK4 step shrinks the global error by roughly 2⁴ for a
+    /// smooth problem (allowing generous slack for round-off at tiny errors).
+    #[test]
+    fn rk4_refinement_improves(a in -1.0f64..-0.1, h in 0.02f64..0.1) {
+        let sys = linear_sys(a);
+        let run = |h: f64| {
+            let solver = FixedStepSolver::new(Rk4, h).unwrap();
+            let traj = solver.integrate(&sys, 0.0, &[1.0], 2.0).unwrap();
+            (traj.last().unwrap()[0] - (2.0 * a).exp()).abs()
+        };
+        let e_coarse = run(h);
+        let e_fine = run(h / 2.0);
+        // At least 8× improvement expected from a 4th-order method (theory: 16×).
+        prop_assert!(e_fine <= e_coarse / 8.0 + 1e-14,
+            "coarse {e_coarse:e}, fine {e_fine:e}");
+    }
+
+    /// Euler, Heun and RK4 agree on the direction of motion and converge to
+    /// the same limit for smooth scalar problems.
+    #[test]
+    fn steppers_consistent(a in -1.0f64..1.0, y0 in 0.5f64..2.0) {
+        let sys = linear_sys(a);
+        let exact = y0 * (a * 1.0f64).exp();
+        for (err_bound, traj) in [
+            (0.1, FixedStepSolver::new(Euler, 1e-3).unwrap().integrate(&sys, 0.0, &[y0], 1.0).unwrap()),
+            (1e-4, FixedStepSolver::new(Heun, 1e-3).unwrap().integrate(&sys, 0.0, &[y0], 1.0).unwrap()),
+            (1e-8, FixedStepSolver::new(Rk4, 1e-3).unwrap().integrate(&sys, 0.0, &[y0], 1.0).unwrap()),
+        ] {
+            let e = (traj.last().unwrap()[0] - exact).abs();
+            prop_assert!(e < err_bound * exact.abs().max(1.0), "err {e} vs bound {err_bound}");
+        }
+    }
+
+    /// Trajectory linear interpolation always lies within the convex hull of
+    /// the neighbouring samples.
+    #[test]
+    fn trajectory_interp_within_hull(samples in prop::collection::vec((0.01f64..1.0, -5.0f64..5.0), 2..20), q in 0.0f64..1.0) {
+        let mut tr = Trajectory::new(1);
+        let mut t = 0.0;
+        for (dt, v) in &samples {
+            t += dt;
+            tr.push(t, &[*v]).unwrap();
+        }
+        let t_probe = tr.times()[0] + q * tr.span();
+        let val = tr.sample_linear(t_probe).unwrap()[0];
+        let lo = samples.iter().map(|s| s.1).fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().map(|s| s.1).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(val >= lo - 1e-12 && val <= hi + 1e-12);
+    }
+}
+
+/// Scalar DDE ẏ = a·y(t−τ) with constant history.
+struct PropLag {
+    a: f64,
+    tau: f64,
+}
+
+impl DdeSystem for PropLag {
+    fn dim(&self) -> usize {
+        1
+    }
+    fn eval(&self, t: f64, _y: &[f64], hist: &dyn PhaseHistory, dydt: &mut [f64]) {
+        dydt[0] = self.a * hist.sample(t - self.tau, 0);
+    }
+}
+
+proptest! {
+    /// During the first delay interval the DDE has the exact solution
+    /// y(t) = y₀·(1 + a·t) (the history is constant there).
+    #[test]
+    fn dde_first_interval_analytic(a in -1.0f64..1.0, tau in 0.3f64..1.0, y0 in 0.5f64..2.0) {
+        let sys = PropLag { a, tau };
+        let solver = DdeRk4::new(0.01).unwrap();
+        let (traj, _) = solver
+            .integrate(&sys, 0.0, InitialHistory::Constant(vec![y0]), tau)
+            .unwrap();
+        for (t, s) in traj.iter() {
+            let exact = y0 * (1.0 + a * t);
+            prop_assert!((s[0] - exact).abs() < 1e-9,
+                "t = {t}: {} vs {exact}", s[0]);
+        }
+    }
+
+    /// The history buffer returned by the DDE solver reproduces the
+    /// recorded trajectory at every knot.
+    #[test]
+    fn dde_buffer_consistent_with_trajectory(a in -0.5f64..0.5, tau in 0.2f64..0.8) {
+        let sys = PropLag { a, tau };
+        let solver = DdeRk4::new(0.05).unwrap();
+        let (traj, buf) = solver
+            .integrate(&sys, 0.0, InitialHistory::Constant(vec![1.0]), 2.0)
+            .unwrap();
+        for (t, s) in traj.iter() {
+            prop_assert!((buf.sample(t, 0) - s[0]).abs() < 1e-12);
+        }
+    }
+}

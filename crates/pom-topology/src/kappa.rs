@@ -1,0 +1,132 @@
+//! The paper's `κ` parameter: communication-distance weight of the coupling.
+//!
+//! From §3.1: the coupling strength is `v_p = β·κ / (t_comp + t_comm)` where
+//! `κ` is "the sum over all communication distances. However, if the
+//! outstanding non-blocking MPI requests of all communication partners are
+//! grouped in the same `MPI_Waitall`, the parameter `κ` becomes equal to
+//! \[the\] longest distance only" [Afzal et al. 2021].
+//!
+//! `β` itself reflects the point-to-point protocol: 1 for eager, 2 for
+//! rendezvous (the sender stalls until the receiver posts the matching
+//! receive, doubling the dependency range per cycle).
+
+use crate::matrix::{Topology, TopologyKind};
+
+/// How a rank waits for its outstanding communication requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WaitMode {
+    /// Each request is completed individually (`MPI_Wait` per request):
+    /// every communication distance contributes — `κ = Σ |d|`.
+    #[default]
+    Individual,
+    /// All requests complete in a single `MPI_Waitall`: only the longest
+    /// dependency matters — `κ = max |d|`.
+    Waitall,
+}
+
+/// `κ` for an explicit signed distance set.
+///
+/// Returns 0 for an empty set (free-running, uncoupled processes).
+pub fn kappa_for(distances: &[i32], mode: WaitMode) -> f64 {
+    match mode {
+        WaitMode::Individual => distances.iter().map(|d| d.unsigned_abs() as f64).sum(),
+        WaitMode::Waitall => distances
+            .iter()
+            .map(|d| d.unsigned_abs())
+            .max()
+            .unwrap_or(0) as f64,
+    }
+}
+
+/// `κ` for a topology.
+///
+/// For [`TopologyKind::Ring`]/[`TopologyKind::Chain`] the exact distance
+/// set is used. For other kinds `κ` falls back to the average over ranks of
+/// the per-rank rank-space distance aggregate (sum or max, by `mode`) —
+/// the natural generalization consistent with the explicit formula on
+/// rings.
+pub fn kappa_of_topology(topo: &Topology, mode: WaitMode) -> f64 {
+    match topo.kind() {
+        TopologyKind::Ring { distances } | TopologyKind::Chain { distances } => {
+            kappa_for(distances, mode)
+        }
+        _ => {
+            let n = topo.n();
+            if n == 0 {
+                return 0.0;
+            }
+            let mut acc = 0.0;
+            for i in 0..n {
+                let dists = topo.neighbors(i).iter().map(|&j| topo.rank_distance(i, j as usize));
+                let v = match mode {
+                    WaitMode::Individual => dists.sum::<usize>() as f64,
+                    WaitMode::Waitall => dists.max().unwrap_or(0) as f64,
+                };
+                acc += v;
+            }
+            acc / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kappa_next_neighbor() {
+        // d = ±1: sum = 2, waitall max = 1.
+        assert_eq!(kappa_for(&[-1, 1], WaitMode::Individual), 2.0);
+        assert_eq!(kappa_for(&[-1, 1], WaitMode::Waitall), 1.0);
+    }
+
+    #[test]
+    fn kappa_fig2_bottom_row() {
+        // d = ±1, −2: sum = 4, waitall max = 2.
+        assert_eq!(kappa_for(&[-2, -1, 1], WaitMode::Individual), 4.0);
+        assert_eq!(kappa_for(&[-2, -1, 1], WaitMode::Waitall), 2.0);
+    }
+
+    #[test]
+    fn kappa_empty_set_is_zero() {
+        assert_eq!(kappa_for(&[], WaitMode::Individual), 0.0);
+        assert_eq!(kappa_for(&[], WaitMode::Waitall), 0.0);
+    }
+
+    #[test]
+    fn kappa_of_ring_uses_distance_set() {
+        let t = Topology::ring(40, &[-2, -1, 1]);
+        assert_eq!(kappa_of_topology(&t, WaitMode::Individual), 4.0);
+        assert_eq!(kappa_of_topology(&t, WaitMode::Waitall), 2.0);
+    }
+
+    #[test]
+    fn kappa_of_custom_falls_back_to_rank_distances() {
+        // Directed pipeline 0→1→2→3: each rank (except the last) has one
+        // neighbor at distance 1; rank 3 has none.
+        let t = Topology::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let k = kappa_of_topology(&t, WaitMode::Individual);
+        assert!((k - 0.75).abs() < 1e-12);
+        assert_eq!(kappa_of_topology(&t, WaitMode::Waitall), 0.75);
+    }
+
+    #[test]
+    fn kappa_all_to_all_grows_with_n() {
+        let k8 = kappa_of_topology(&Topology::all_to_all(8), WaitMode::Waitall);
+        let k16 = kappa_of_topology(&Topology::all_to_all(16), WaitMode::Waitall);
+        assert!(k16 > k8, "longest distance grows with N: {k8} vs {k16}");
+        // For even N the farthest rank is N/2 away (ring metric).
+        assert_eq!(k8, 4.0);
+        assert_eq!(k16, 8.0);
+    }
+
+    #[test]
+    fn waitall_never_exceeds_individual() {
+        for dists in [vec![-1, 1], vec![-2, -1, 1], vec![-5, 3], vec![7]] {
+            let t = Topology::ring(32, &dists);
+            let ind = kappa_of_topology(&t, WaitMode::Individual);
+            let wa = kappa_of_topology(&t, WaitMode::Waitall);
+            assert!(wa <= ind, "{dists:?}: waitall {wa} > individual {ind}");
+        }
+    }
+}

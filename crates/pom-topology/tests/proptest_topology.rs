@@ -1,0 +1,95 @@
+//! Property-based invariants for topology construction.
+
+// Index-as-rank loops are intentional here (the index is the rank id).
+#![allow(clippy::needless_range_loop)]
+
+use pom_topology::{kappa_for, Topology, WaitMode};
+use proptest::prelude::*;
+
+fn distance_set() -> impl Strategy<Value = Vec<i32>> {
+    prop::collection::vec((-5i32..=5).prop_filter("nonzero", |d| *d != 0), 1..5)
+}
+
+proptest! {
+    /// Rings with symmetric distance sets are symmetric matrices.
+    #[test]
+    fn ring_symmetric_distance_set_is_symmetric(n in 3usize..50, ds in distance_set()) {
+        let mut sym: Vec<i32> = ds.iter().flat_map(|&d| [d, -d]).collect();
+        sym.sort_unstable();
+        let t = Topology::ring(n, &sym);
+        prop_assert!(t.is_symmetric());
+    }
+
+    /// No self-loops, no out-of-range columns, sorted unique neighbors.
+    #[test]
+    fn ring_structural_invariants(n in 1usize..60, ds in distance_set()) {
+        let t = Topology::ring(n, &ds);
+        for i in 0..n {
+            let nb = t.neighbors(i);
+            prop_assert!(nb.windows(2).all(|w| w[0] < w[1]), "unsorted/dup row {i}");
+            prop_assert!(nb.iter().all(|&j| (j as usize) < n && j as usize != i));
+        }
+    }
+
+    /// Every rank of a ring has the same degree (translational symmetry).
+    #[test]
+    fn ring_degree_uniform(n in 2usize..60, ds in distance_set()) {
+        let t = Topology::ring(n, &ds);
+        let d0 = t.degree(0);
+        for i in 1..n {
+            prop_assert_eq!(t.degree(i), d0);
+        }
+    }
+
+    /// A chain is always a sub-topology of the ring with the same distances.
+    #[test]
+    fn chain_subset_of_ring(n in 2usize..40, ds in distance_set()) {
+        let ring = Topology::ring(n, &ds);
+        let chain = Topology::chain(n, &ds);
+        for (i, j) in chain.edges() {
+            prop_assert!(ring.connected(i, j), "chain edge ({i},{j}) missing in ring");
+        }
+        prop_assert!(chain.nnz() <= ring.nnz());
+    }
+
+    /// κ(waitall) = max ≤ κ(individual) = sum, with equality only for
+    /// singleton distance magnitude sets.
+    #[test]
+    fn kappa_order(ds in distance_set()) {
+        let sum = kappa_for(&ds, WaitMode::Individual);
+        let max = kappa_for(&ds, WaitMode::Waitall);
+        prop_assert!(max <= sum);
+        let mags: std::collections::BTreeSet<u32> =
+            ds.iter().map(|d| d.unsigned_abs()).collect();
+        // Note duplicates in `ds` still contribute to the sum; equality
+        // therefore requires a single element overall.
+        if ds.len() == 1 && mags.len() == 1 {
+            prop_assert_eq!(max, sum);
+        }
+    }
+
+    /// Dense and sparse representations agree.
+    #[test]
+    fn dense_agrees_with_sparse(n in 2usize..25, ds in distance_set()) {
+        let t = Topology::ring(n, &ds);
+        let dense = t.to_dense();
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(dense[i][j] == 1.0, t.connected(i, j));
+            }
+        }
+    }
+
+    /// Edge-list roundtrip: rebuilding a topology from its own edge list
+    /// yields the identical connectivity.
+    #[test]
+    fn edge_roundtrip(n in 2usize..30, ds in distance_set()) {
+        let t = Topology::ring(n, &ds);
+        let edges: Vec<(usize, usize)> = t.edges().collect();
+        let t2 = Topology::from_edges(n, &edges);
+        prop_assert_eq!(t.nnz(), t2.nnz());
+        for (i, j) in t.edges() {
+            prop_assert!(t2.connected(i, j));
+        }
+    }
+}

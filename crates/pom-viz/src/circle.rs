@@ -1,0 +1,151 @@
+//! The circle diagram — view (i) of the paper's tool.
+//!
+//! Oscillator phases are drawn modulo 2π as dots on a circle. A
+//! synchronized system collapses to one dot; a computational wavefront
+//! spreads the dots around the rim (paper Fig. 2's circular insets show
+//! exactly this asymptotic state).
+
+use std::f64::consts::TAU;
+
+use crate::svg::SvgCanvas;
+
+/// ASCII circle diagram of size `size × size` characters (odd sizes look
+/// best). Dots are `o`; overlapping oscillators (a synchronized cluster)
+/// are shown as `@`; the center is `+`.
+pub fn circle_ascii(phases: &[f64], size: usize) -> String {
+    assert!(size >= 5, "circle needs at least 5×5 cells");
+    let mut grid = vec![vec![' '; size]; size];
+    let c = (size as f64 - 1.0) / 2.0;
+    let r = c - 0.5;
+
+    // Rim.
+    for k in 0..360 {
+        let a = k as f64 * TAU / 360.0;
+        let x = (c + r * a.cos()).round() as usize;
+        let y = (c - r * a.sin()).round() as usize;
+        if x < size && y < size {
+            grid[y][x] = '.';
+        }
+    }
+    grid[c.round() as usize][c.round() as usize] = '+';
+
+    for &p in phases {
+        let a = p.rem_euclid(TAU);
+        let x = (c + r * a.cos()).round() as usize;
+        let y = (c - r * a.sin()).round() as usize;
+        if x < size && y < size {
+            grid[y][x] = if grid[y][x] == 'o' || grid[y][x] == '@' { '@' } else { 'o' };
+        }
+    }
+
+    let mut out = String::with_capacity(size * (size + 1));
+    for row in grid {
+        let line: String = row.into_iter().collect();
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// SVG circle diagram; dot shading encodes the instantaneous frequency
+/// deviation when `freqs` is supplied (blue fast, gold slow — the paper's
+/// convention), uniform steel-blue otherwise.
+pub fn circle_svg(phases: &[f64], freqs: Option<&[f64]>, size_px: f64) -> String {
+    let mut canvas = SvgCanvas::new(size_px, size_px, (-1.3, 1.3), (-1.3, 1.3));
+    // Rim.
+    let rim: Vec<(f64, f64)> = (0..=128)
+        .map(|k| {
+            let a = k as f64 * TAU / 128.0;
+            (a.cos(), a.sin())
+        })
+        .collect();
+    canvas.polyline(&rim, "#999", 1.0);
+
+    let (fmin, fmax) = match freqs {
+        Some(f) if !f.is_empty() => {
+            let lo = f.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = f.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            (lo, hi)
+        }
+        _ => (0.0, 0.0),
+    };
+
+    for (i, &p) in phases.iter().enumerate() {
+        let a = p.rem_euclid(TAU);
+        let fill = match freqs {
+            Some(f) if fmax > fmin => {
+                // Normalize: 1 = fastest (blue), 0 = slowest (gold).
+                let w = (f[i] - fmin) / (fmax - fmin);
+                let r = (218.0 + (70.0 - 218.0) * w) as u8;
+                let g = (165.0 + (130.0 - 165.0) * w) as u8;
+                let b = (32.0 + (180.0 - 32.0) * w) as u8;
+                format!("rgb({r},{g},{b})")
+            }
+            _ => "steelblue".to_string(),
+        };
+        canvas.circle((a.cos(), a.sin()), 4.0, &fill);
+    }
+    canvas.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synchronized_cluster_is_one_overlap_dot() {
+        let art = circle_ascii(&[0.3; 10], 21);
+        assert_eq!(art.matches('@').count() + art.matches('o').count(), 1);
+        // All ten landed on the same cell.
+        assert_eq!(art.matches('@').count(), 1);
+    }
+
+    #[test]
+    fn spread_phases_make_many_dots() {
+        let phases: Vec<f64> = (0..8).map(|k| k as f64 * TAU / 8.0).collect();
+        let art = circle_ascii(&phases, 21);
+        let dots = art.matches('o').count() + art.matches('@').count();
+        assert!(dots >= 7, "want ≥7 distinct dots, got {dots}:\n{art}");
+    }
+
+    #[test]
+    fn phase_wrapping() {
+        // θ and θ + 2π land on the same cell.
+        let a = circle_ascii(&[1.0], 15);
+        let b = circle_ascii(&[1.0 + TAU], 15);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ascii_has_rim_and_center() {
+        let art = circle_ascii(&[], 11);
+        assert!(art.contains('+'));
+        assert!(art.matches('.').count() > 10);
+    }
+
+    #[test]
+    fn svg_contains_dots_and_rim() {
+        let phases = [0.0, 1.0, 2.0];
+        let svg = circle_svg(&phases, None, 200.0);
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert!(svg.contains("polyline"));
+        assert!(svg.contains("steelblue"));
+    }
+
+    #[test]
+    fn svg_frequency_coloring() {
+        let phases = [0.0, 1.0];
+        let freqs = [1.0, 2.0];
+        let svg = circle_svg(&phases, Some(&freqs), 200.0);
+        // Two distinct rgb fills.
+        assert_eq!(svg.matches("rgb(").count(), 2);
+        assert!(svg.contains("rgb(218,165,32)")); // slowest = gold
+        assert!(svg.contains("rgb(70,130,180)")); // fastest = blue
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn tiny_circle_rejected() {
+        circle_ascii(&[0.0], 3);
+    }
+}

@@ -1,0 +1,68 @@
+//! CSV writers (hand-rolled; the format is trivial and the data is all
+//! numeric).
+
+use std::fmt::Write as _;
+
+/// Render a two-column series as CSV with the given header names.
+pub fn write_series(header: (&str, &str), series: &[(f64, f64)]) -> String {
+    let mut out = String::with_capacity(series.len() * 24 + 32);
+    let _ = writeln!(out, "{},{}", sanitize(header.0), sanitize(header.1));
+    for (x, y) in series {
+        let _ = writeln!(out, "{x},{y}");
+    }
+    out
+}
+
+/// Render a multi-column table: one header per column, rows of equal
+/// length.
+///
+/// # Panics
+/// Panics if a row's length differs from the header count.
+pub fn write_table(headers: &[&str], rows: &[Vec<f64>]) -> String {
+    let mut out = String::new();
+    let cols: Vec<String> = headers.iter().map(|h| sanitize(h)).collect();
+    let _ = writeln!(out, "{}", cols.join(","));
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(row.len(), headers.len(), "row {i} has wrong arity");
+        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        let _ = writeln!(out, "{}", cells.join(","));
+    }
+    out
+}
+
+/// Replace commas/newlines in headers so the CSV stays rectangular.
+fn sanitize(s: &str) -> String {
+    s.replace([',', '\n', '\r'], "_")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_roundtrip() {
+        let csv = write_series(("t", "r"), &[(0.0, 1.0), (0.5, 0.25)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines, vec!["t,r", "0,1", "0.5,0.25"]);
+    }
+
+    #[test]
+    fn table_layout() {
+        let csv = write_table(&["a", "b", "c"], &[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "a,b,c");
+        assert_eq!(lines[2], "4,5,6");
+    }
+
+    #[test]
+    fn headers_sanitized() {
+        let csv = write_series(("time,s", "x"), &[]);
+        assert!(csv.starts_with("time_s,x"));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong arity")]
+    fn ragged_rows_rejected() {
+        write_table(&["a", "b"], &[vec![1.0]]);
+    }
+}

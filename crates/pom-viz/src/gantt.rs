@@ -1,0 +1,110 @@
+//! ITAC-style trace Gantt charts (the inner images of paper Fig. 2).
+//!
+//! Ranks are rows, time runs left to right; compute is dark, waiting is
+//! light — idle waves appear as diagonal light bands, computational
+//! wavefronts as persistent stair-steps.
+
+use pom_mpisim::{SegmentKind, SimTrace};
+
+use crate::svg::SvgCanvas;
+
+/// ASCII Gantt: one row per rank, `width` characters across the full
+/// makespan. `█` = computing, `·` = waiting, ` ` = finished/not started.
+/// Returns a string of `n_ranks` lines plus a time axis.
+pub fn gantt_ascii(trace: &SimTrace, width: usize) -> String {
+    assert!(width >= 10, "gantt needs at least 10 columns");
+    let makespan = trace.makespan();
+    let mut out = String::new();
+    let col_time = |c: usize| (c as f64 + 0.5) / width as f64 * makespan;
+
+    for r in 0..trace.n_ranks() {
+        let rank = trace.rank(r);
+        let mut row = vec![' '; width];
+        let mut seg_idx = 0;
+        let segs = rank.segments();
+        for (c, cell) in row.iter_mut().enumerate() {
+            let t = col_time(c);
+            while seg_idx < segs.len() && segs[seg_idx].t1 < t {
+                seg_idx += 1;
+            }
+            if seg_idx < segs.len() && segs[seg_idx].t0 <= t {
+                *cell = match segs[seg_idx].kind {
+                    SegmentKind::Compute => '█',
+                    SegmentKind::Wait => '·',
+                };
+            }
+        }
+        let line: String = row.into_iter().collect();
+        out.push_str(&format!("{r:>4} |{}|\n", line));
+    }
+    out.push_str(&format!(
+        "{:>5} 0{:>width$}\n",
+        "t:",
+        format!("{makespan:.4}s"),
+        width = width
+    ));
+    out
+}
+
+/// SVG Gantt with per-segment rectangles (compute = steel blue, wait =
+/// light red, mirroring ITAC's white/red convention on a visible palette).
+pub fn gantt_svg(trace: &SimTrace, width_px: f64, row_px: f64) -> String {
+    let makespan = trace.makespan().max(f64::MIN_POSITIVE);
+    let n = trace.n_ranks() as f64;
+    let mut canvas = SvgCanvas::new(width_px, row_px * n, (0.0, makespan), (0.0, n));
+    for r in 0..trace.n_ranks() {
+        // Rank 0 at the top (screen convention).
+        let y_lo = n - (r as f64) - 1.0;
+        for seg in trace.rank(r).segments() {
+            let fill = match seg.kind {
+                SegmentKind::Compute => "#4682b4",
+                SegmentKind::Wait => "#f4a9a0",
+            };
+            canvas.rect((seg.t0, y_lo + 0.05), (seg.t1, y_lo + 0.95), fill);
+        }
+    }
+    canvas.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pom_kernels::Kernel;
+    use pom_mpisim::{idle_wave_run, lockstep_run, IdleWaveConfig};
+
+    #[test]
+    fn lockstep_gantt_is_mostly_compute() {
+        let tr = lockstep_run(6, 8, Kernel::pisolver(), 1e-3).unwrap();
+        let art = gantt_ascii(&tr, 60);
+        let compute = art.matches('█').count();
+        let wait = art.matches('·').count();
+        assert!(compute > 10 * wait.max(1), "compute {compute} wait {wait}:\n{art}");
+        assert_eq!(art.lines().count(), 7); // 6 ranks + axis
+    }
+
+    #[test]
+    fn idle_wave_shows_wait_band() {
+        let cfg = IdleWaveConfig { n_ranks: 16, iterations: 20, ..IdleWaveConfig::default() };
+        let (pert, base) = idle_wave_run(&cfg).unwrap();
+        let art_p = gantt_ascii(&pert, 80);
+        let art_b = gantt_ascii(&base, 80);
+        // The perturbed run has visibly more waiting.
+        assert!(art_p.matches('·').count() > art_b.matches('·').count() + 10);
+    }
+
+    #[test]
+    fn svg_has_one_rect_per_segment_plus_background() {
+        let tr = lockstep_run(3, 2, Kernel::pisolver(), 1e-3).unwrap();
+        let total_segments: usize = (0..3).map(|r| tr.rank(r).segments().len()).sum();
+        let svg = gantt_svg(&tr, 400.0, 12.0);
+        assert_eq!(svg.matches("<rect").count(), total_segments + 1);
+        assert!(svg.contains("#4682b4"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 10")]
+    fn narrow_gantt_rejected() {
+        let tr = lockstep_run(2, 2, Kernel::pisolver(), 1e-3).unwrap();
+        gantt_ascii(&tr, 5);
+    }
+}

@@ -1,0 +1,171 @@
+//! Timelines — views (ii) and (iii) of the paper's tool, plus a generic
+//! ASCII line chart for terminal output.
+
+use pom_core::PomRun;
+
+use crate::csv::write_table;
+
+/// ASCII chart of one series in a `width × height` character frame, with
+/// min/max labels. Designed for quick terminal inspection of order
+/// parameters, spreads and potentials.
+pub fn ascii_chart(title: &str, series: &[(f64, f64)], width: usize, height: usize) -> String {
+    assert!(width >= 8 && height >= 2, "chart too small");
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    if series.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let ymin = series.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+    let ymax = series.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+    let span = if (ymax - ymin).abs() < 1e-300 { 1.0 } else { ymax - ymin };
+    let xmin = series[0].0;
+    let xmax = series[series.len() - 1].0;
+    let xspan = if (xmax - xmin).abs() < 1e-300 { 1.0 } else { xmax - xmin };
+
+    let mut grid = vec![vec![' '; width]; height];
+    for &(x, y) in series {
+        let col = (((x - xmin) / xspan) * (width - 1) as f64).round() as usize;
+        let row = (((y - ymin) / span) * (height - 1) as f64).round() as usize;
+        let row = height - 1 - row.min(height - 1);
+        grid[row][col.min(width - 1)] = '*';
+    }
+    for (k, row) in grid.into_iter().enumerate() {
+        let label = if k == 0 {
+            format!("{ymax:>10.3e} |")
+        } else if k == height - 1 {
+            format!("{ymin:>10.3e} |")
+        } else {
+            format!("{:>10} |", "")
+        };
+        out.push_str(&label);
+        let line: String = row.into_iter().collect();
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>12}t: {xmin:.3} … {xmax:.3}\n", ""));
+    out
+}
+
+/// View (ii): the timeline of adjacent phase differences
+/// `θ_{i+1} − θ_i` as CSV (`t, d0, d1, …`).
+pub fn phase_timeline_csv(run: &PomRun) -> String {
+    let tr = run.trajectory();
+    let n = tr.dim();
+    let mut headers: Vec<String> = vec!["t".into()];
+    headers.extend((0..n.saturating_sub(1)).map(|i| format!("d{i}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<f64>> = (0..tr.len())
+        .map(|k| {
+            let mut row = Vec::with_capacity(n);
+            row.push(tr.time(k));
+            let s = tr.state(k);
+            row.extend(s.windows(2).map(|w| w[1] - w[0]));
+            row
+        })
+        .collect();
+    write_table(&header_refs, &rows)
+}
+
+/// View (iii): the timeline of potential values per oscillator — the
+/// total interaction drive `Σ_j T_ij V(θ_j − θ_i)` evaluated along the
+/// run — as CSV (`t, v0, v1, …`).
+pub fn potential_timeline_csv(run: &PomRun, model: &pom_core::Pom) -> String {
+    let tr = run.trajectory();
+    let n = tr.dim();
+    let mut headers: Vec<String> = vec!["t".into()];
+    headers.extend((0..n).map(|i| format!("v{i}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let pot = model.potential();
+    let topo = model.topology();
+    let rows: Vec<Vec<f64>> = (0..tr.len())
+        .map(|k| {
+            let s = tr.state(k);
+            let mut row = Vec::with_capacity(n + 1);
+            row.push(tr.time(k));
+            for i in 0..n {
+                let v: f64 = topo
+                    .neighbors(i)
+                    .iter()
+                    .map(|&j| pot.value(s[j as usize] - s[i]))
+                    .sum();
+                row.push(v);
+            }
+            row
+        })
+        .collect();
+    write_table(&header_refs, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pom_core::{InitialCondition, PomBuilder, Potential};
+    use pom_topology::Topology;
+
+    fn small_run() -> (pom_core::Pom, PomRun) {
+        let model = PomBuilder::new(4)
+            .topology(Topology::ring(4, &[-1, 1]))
+            .potential(Potential::Tanh)
+            .compute_time(1.0)
+            .comm_time(0.0)
+            .coupling(4.0)
+            .build()
+            .unwrap();
+        let run = model
+            .simulate_with(
+                InitialCondition::RandomSpread { amplitude: 0.5, seed: 1 },
+                &pom_core::SimOptions::new(10.0).samples(20),
+            )
+            .unwrap();
+        (model, run)
+    }
+
+    #[test]
+    fn chart_renders_trend() {
+        let series: Vec<(f64, f64)> = (0..50).map(|k| (k as f64, (k as f64).sqrt())).collect();
+        let art = ascii_chart("sqrt", &series, 40, 10);
+        assert!(art.starts_with("sqrt\n"));
+        assert!(art.contains('*'));
+        assert_eq!(art.lines().count(), 12); // title + 10 rows + x label
+        // Max label appears on the first data row.
+        assert!(art.lines().nth(1).unwrap().contains("7.000e0"));
+    }
+
+    #[test]
+    fn chart_handles_flat_and_empty() {
+        let art = ascii_chart("flat", &[(0.0, 2.0), (1.0, 2.0)], 20, 5);
+        assert!(art.contains('*'));
+        let art = ascii_chart("empty", &[], 20, 5);
+        assert!(art.contains("no data"));
+    }
+
+    #[test]
+    fn phase_timeline_has_n_minus_1_columns() {
+        let (_, run) = small_run();
+        let csv = phase_timeline_csv(&run);
+        let header = csv.lines().next().unwrap();
+        assert_eq!(header, "t,d0,d1,d2");
+        assert_eq!(csv.lines().count(), 1 + 20);
+    }
+
+    #[test]
+    fn potential_timeline_reflects_sync() {
+        let (model, run) = small_run();
+        let csv = potential_timeline_csv(&run, &model);
+        assert_eq!(csv.lines().next().unwrap(), "t,v0,v1,v2,v3");
+        // At the end the system is nearly synchronized ⇒ potentials ≈ 0.
+        let last = csv.lines().last().unwrap();
+        let vals: Vec<f64> = last.split(',').skip(1).map(|v| v.parse().unwrap()).collect();
+        for v in vals {
+            assert!(v.abs() < 0.05, "potential should vanish near sync: {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_chart_rejected() {
+        ascii_chart("x", &[(0.0, 1.0)], 4, 1);
+    }
+}

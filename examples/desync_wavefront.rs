@@ -1,0 +1,69 @@
+//! Desynchronization and computational wavefronts (paper §5.1.2, §5.2.2).
+//!
+//! Memory-bound (resource-bottlenecked) programs behave in the opposite
+//! way of scalable ones: idle waves *decay* (contention slack absorbs the
+//! delay), and the system settles into a persistently skewed state — the
+//! computational wavefront. The oscillator model captures this with the
+//! desynchronizing potential whose stable pairwise gap is `2σ/3`.
+//!
+//! ```bash
+//! cargo run --release --example desync_wavefront
+//! ```
+
+use pom::analysis::{residual_spread, socket_offsets};
+use pom::core::{InitialCondition, Normalization, PomBuilder, Potential, SimOptions};
+use pom::kernels::Kernel;
+use pom::mpisim::{ProgramSpec, SimDelay, Simulator, WorkSpec};
+use pom::topology::{ClusterSpec, Placement, Topology};
+use pom::viz::circle_ascii;
+
+fn main() {
+    // --- simulator: STREAM triad on 4 Meggie sockets ---------------------
+    let n = 40;
+    let program = ProgramSpec::new(n, 60)
+        .kernel(Kernel::stream_triad())
+        .work(WorkSpec::TargetSeconds(1e-3))
+        .message_bytes(4_000_000) // non-negligible comm lets the wavefront persist
+        .inject(SimDelay { rank: 5, iteration: 5, extra_seconds: 5e-3 });
+    let placement = Placement::packed(ClusterSpec::meggie(), n);
+    let trace = Simulator::new(program, placement).unwrap().run().unwrap();
+
+    println!("memory-bound run, iteration-start spread late in the run:");
+    println!("  mean spread over iterations 45..60: {:.3e} s", residual_spread(&trace, 45));
+    println!("\nper-socket offsets at iteration 55 (the wavefront, cf. Fig. 2b):");
+    for (s, off) in socket_offsets(&trace, 10, 55).iter().enumerate() {
+        let bar = "#".repeat((off / 5e-4).round() as usize);
+        println!("  socket {s}: {off:.3e} s  {bar}");
+    }
+
+    // --- model: desync potential, the 2σ/3 law ---------------------------
+    println!("\noscillator model, chain ±1, desync potential:");
+    println!("{:>6} {:>12} {:>10}", "σ", "mean |gap|", "2σ/3");
+    for sigma in [1.0, 2.0, 3.0] {
+        let run = PomBuilder::new(16)
+            .topology(Topology::chain(16, &[-1, 1]))
+            .potential(Potential::desync(sigma))
+            .compute_time(0.9)
+            .comm_time(0.1)
+            .coupling(4.0)
+            .normalization(Normalization::ByDegree)
+            .build()
+            .unwrap()
+            .simulate_with(
+                InitialCondition::RandomSpread { amplitude: 0.2, seed: 9 },
+                &SimOptions::new(300.0).samples(300),
+            )
+            .unwrap();
+        let gaps = run.final_adjacent_differences();
+        let mean_gap = gaps.iter().map(|g| g.abs()).sum::<f64>() / gaps.len() as f64;
+        println!("{sigma:>6.1} {mean_gap:>12.4} {:>10.4}", 2.0 * sigma / 3.0);
+        if (sigma - 3.0).abs() < 1e-9 {
+            println!("\nfinal phases for σ = 3 (dots spread around the circle = desync):");
+            print!("{}", circle_ascii(run.trajectory().last().unwrap(), 21));
+        }
+    }
+    println!(
+        "\nBottlenecked programs drift out of lockstep into a stable broken-\n\
+         symmetry state; the model pins the gap at the first zero 2σ/3 (§5.2.2)."
+    );
+}

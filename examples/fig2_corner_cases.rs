@@ -1,0 +1,48 @@
+//! All four corner cases of paper Fig. 2: scalable vs. bottlenecked code
+//! × next-neighbor (`d = ±1`) vs. wider (`d = ±1, −2`) communication,
+//! each run on both the oscillator model and the MPI simulator.
+//!
+//! ```bash
+//! cargo run --release --example fig2_corner_cases
+//! ```
+
+use pom::analysis::fig2_verdict;
+use pom::core::{fig2_model, fig2_params, Fig2Panel, InitialCondition, SimOptions};
+use pom::viz::circle_ascii;
+
+fn main() {
+    for panel in Fig2Panel::all() {
+        println!("==============================================================");
+        println!("{}", fig2_params(panel));
+
+        // Asymptotic circle diagram of the model (the paper's insets).
+        let model = fig2_model(panel, true).expect("preset builds");
+        let run = model
+            .simulate_with(InitialCondition::Synchronized, &SimOptions::new(120.0).samples(240))
+            .expect("model integrates");
+        println!("model circle diagram at t = 120 (θ mod 2π):");
+        print!("{}", circle_ascii(run.trajectory().last().unwrap(), 17));
+
+        // Joint verdict (runs both substrates).
+        let v = fig2_verdict(panel);
+        println!("model:     {:?} (residual spread {:.3} rad)", v.model, v.model_residual_spread);
+        println!("simulator: {:?} (residual spread {:.3e} s)", v.sim, v.sim_residual_spread);
+        if let Some(s) = v.model_wave_speed {
+            println!("model wave speed:     {s:.3} ranks/cycle");
+        }
+        if let Some(s) = v.sim_wave_speed {
+            println!("simulator wave speed: {s:.1} ranks/s");
+        }
+        println!(
+            "matches the paper's Fig. 2({}): {}",
+            panel.letter(),
+            if v.agrees() { "YES" } else { "NO" }
+        );
+    }
+    println!("==============================================================");
+    println!(
+        "Scalable panels resynchronize; bottlenecked panels settle in a\n\
+         desynchronized wavefront — on both the model and the simulated\n\
+         cluster, as in the paper."
+    );
+}

@@ -1,0 +1,71 @@
+//! Per-socket bandwidth scaling of the paper's three micro-benchmarks —
+//! the reproduction of Fig. 1(b), plus a live run of the actual kernels.
+//!
+//! ```bash
+//! cargo run --release --example scaling_curves
+//! ```
+
+// Index-as-rank loops are intentional here (the index is the rank id).
+#![allow(clippy::needless_range_loop)]
+
+use pom::kernels::exec;
+use pom::kernels::{saturation_point, scaling_curve, Kernel, SocketSpec};
+
+fn main() {
+    let socket = SocketSpec::meggie();
+    println!(
+        "Meggie socket: {} cores @ {:.1} GHz, {:.0} GB/s saturated bandwidth\n",
+        socket.cores,
+        socket.freq / 1e9,
+        socket.mem_bw / 1e9
+    );
+
+    println!("memory bandwidth [MB/s] vs processes per socket (Fig. 1b):");
+    println!("{:>6} {:>12} {:>16} {:>10}", "procs", "STREAM", "slow Schönauer", "PISOLVER");
+    let kernels = Kernel::paper_kernels();
+    let curves: Vec<_> = kernels.iter().map(|k| scaling_curve(k, &socket, socket.cores)).collect();
+    for p in 0..socket.cores {
+        println!(
+            "{:>6} {:>12.0} {:>16.0} {:>10.0}",
+            p + 1,
+            curves[0][p].aggregate_bw / 1e6,
+            curves[1][p].aggregate_bw / 1e6,
+            curves[2][p].aggregate_bw / 1e6,
+        );
+    }
+    for k in &kernels {
+        match saturation_point(k, &socket, 0.95) {
+            Some(c) => println!("{} saturates at {c} cores", k.name),
+            None => println!("{} never saturates (resource-scalable)", k.name),
+        }
+    }
+
+    // Live micro-kernels: verify the *relative* in-core costs the model
+    // assumes (the slow triad really is slower per element).
+    println!("\nlive kernels (in-memory arrays, single thread):");
+    let n = 1_000_000;
+    let b = vec![1.1; n];
+    let c = vec![2.2; n];
+    let d = vec![3.3; n];
+    let mut a = vec![0.0; n];
+
+    let t0 = std::time::Instant::now();
+    let mut sink = exec::stream_triad(&mut a, &b, &c, 1.5);
+    let t_stream = t0.elapsed();
+
+    let t0 = std::time::Instant::now();
+    sink += exec::schoenauer_slow(&mut a, &b, &c, &d);
+    let t_slow = t0.elapsed();
+
+    let t0 = std::time::Instant::now();
+    let pi = exec::pisolver(5_000_000);
+    let t_pi = t0.elapsed();
+
+    println!("  STREAM triad sweep ({n} elements): {t_stream:?}  (checksum {sink:.1})");
+    println!("  slow Schönauer sweep:              {t_slow:?}");
+    println!("  PISOLVER (5M steps):               {t_pi:?}  (π ≈ {pi:.9})");
+    println!(
+        "  slow/stream per-element cost ratio: {:.1}×",
+        t_slow.as_secs_f64() / t_stream.as_secs_f64()
+    );
+}

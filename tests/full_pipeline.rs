@@ -1,0 +1,126 @@
+//! End-to-end pipeline tests: model → solver → analysis → visualization,
+//! and simulator → trace → analysis → visualization, exercising every
+//! crate through the facade.
+
+use pom::analysis::{sim_wave_arrivals, wave_speed_fit};
+use pom::core::{InitialCondition, Normalization, PomBuilder, Potential, SimOptions};
+use pom::kernels::Kernel;
+use pom::mpisim::{idle_wave_run, IdleWaveConfig};
+use pom::topology::{ClusterSpec, Placement, Topology};
+use pom::viz::{
+    ascii_chart, circle_ascii, circle_svg, gantt_ascii, gantt_svg, phase_timeline_csv,
+    potential_timeline_csv, write_series,
+};
+
+#[test]
+fn model_pipeline_produces_all_three_views() {
+    let model = PomBuilder::new(10)
+        .topology(Topology::ring(10, &[-1, 1]))
+        .potential(Potential::desync(2.0))
+        .compute_time(0.9)
+        .comm_time(0.1)
+        .coupling(5.0)
+        .normalization(Normalization::ByDegree)
+        .build()
+        .unwrap();
+    let run = model
+        .simulate_with(
+            InitialCondition::RandomSpread { amplitude: 0.3, seed: 2 },
+            &SimOptions::new(80.0).samples(160),
+        )
+        .unwrap();
+
+    // View (i): circle diagram.
+    let circle = circle_ascii(run.trajectory().last().unwrap(), 21);
+    assert!(circle.contains('o') || circle.contains('@'));
+    let svg = circle_svg(run.trajectory().last().unwrap(), None, 240.0);
+    assert!(svg.contains("<circle"));
+
+    // View (ii): phase-difference timeline.
+    let csv = phase_timeline_csv(&run);
+    assert!(csv.starts_with("t,d0,"));
+    assert_eq!(csv.lines().count(), 161);
+
+    // View (iii): potential timeline.
+    let csv = potential_timeline_csv(&run, &model);
+    assert!(csv.starts_with("t,v0,"));
+
+    // Standard view: lagger-normalized phases, all non-negative.
+    let norm = run.final_normalized();
+    assert!(norm.iter().all(|&v| v >= 0.0));
+    assert!(norm.contains(&0.0));
+
+    // Series exports.
+    let chart = ascii_chart("r(t)", &run.order_parameter_series(), 60, 10);
+    assert!(chart.contains('*'));
+    let csv = write_series(("t", "r"), &run.order_parameter_series());
+    assert!(csv.lines().count() > 100);
+}
+
+#[test]
+fn simulator_pipeline_detects_and_renders_the_wave() {
+    let cfg = IdleWaveConfig { n_ranks: 16, iterations: 18, ..IdleWaveConfig::default() };
+    let (pert, base) = idle_wave_run(&cfg).unwrap();
+    pert.check_invariants().unwrap();
+
+    let arrivals = sim_wave_arrivals(&pert, &base, 2e-3);
+    let fit = wave_speed_fit(&arrivals, cfg.delay_rank, 8);
+    let speed = fit.mean_speed().expect("wave detected");
+    // ±1 eager: about one rank per iteration ⇒ 1/t_comp ranks per second.
+    let expect = 1.0 / cfg.t_comp;
+    assert!(
+        (speed - expect).abs() < 0.2 * expect,
+        "speed {speed} vs expected ≈ {expect}"
+    );
+
+    let gantt = gantt_ascii(&pert, 80);
+    assert_eq!(gantt.lines().count(), 17);
+    assert!(gantt.contains('·'), "idle wave must be visible");
+    let svg = gantt_svg(&pert, 640.0, 10.0);
+    assert!(svg.matches("<rect").count() > 100);
+}
+
+#[test]
+fn cross_substrate_timescales_are_consistent() {
+    // One model time unit = one compute-communicate cycle; the simulator's
+    // iteration period for the scalable kernel ≈ t_comp + latency. Check
+    // that both runs complete ~N iterations in their respective units.
+    let n = 12;
+    let t_comp = 1e-3;
+    let trace = {
+        use pom::mpisim::{ProgramSpec, Simulator, WorkSpec};
+        let prog = ProgramSpec::new(n, 20)
+            .kernel(Kernel::pisolver())
+            .work(WorkSpec::TargetSeconds(t_comp));
+        Simulator::new(prog, Placement::packed(ClusterSpec::meggie(), n))
+            .unwrap()
+            .run()
+            .unwrap()
+    };
+    let per_iter = trace.makespan() / 20.0;
+    assert!((per_iter - t_comp) / t_comp < 0.05, "per-iteration {per_iter}");
+
+    let model = PomBuilder::new(n)
+        .topology(Topology::ring(n, &[-1, 1]))
+        .potential(Potential::Tanh)
+        .compute_time(0.9)
+        .comm_time(0.1)
+        .build()
+        .unwrap();
+    let run = model.simulate(InitialCondition::Synchronized, 20.0).unwrap();
+    // After 20 time units = 20 cycles, every phase advanced by 20·2π.
+    let expected = 20.0 * model.omega();
+    for (i, &p) in run.trajectory().last().unwrap().iter().enumerate() {
+        assert!((p - expected).abs() < 1e-6, "oscillator {i}: {p} vs {expected}");
+    }
+}
+
+#[test]
+fn cli_smoke_through_library() {
+    // The CLI crate is exercised end-to-end elsewhere; here we only check
+    // the facade's pieces compose: a simulate-like flow driven by strings.
+    let out = pom_cli::run_cli(["potentials", "sigma=1.5"]).unwrap();
+    assert!(out.contains("first zero"));
+    let out = pom_cli::run_cli(["scaling"]).unwrap();
+    assert!(out.contains("STREAM"));
+}

@@ -1,0 +1,46 @@
+//! Integration tests: the oscillator model and the MPI simulator agree on
+//! the paper's Fig. 2 phenomenology (the central claim of the paper).
+
+use pom::analysis::{fig2_verdict, DesyncVerdict};
+use pom::core::Fig2Panel;
+
+#[test]
+fn all_four_corner_cases_match_the_paper() {
+    let verdicts: Vec<_> = Fig2Panel::all().iter().map(|&p| fig2_verdict(p)).collect();
+    for v in &verdicts {
+        assert!(
+            v.agrees(),
+            "panel ({}) disagrees with the paper: {v:?}",
+            v.panel.letter()
+        );
+    }
+
+    // Scalable panels: both substrates synchronized.
+    assert_eq!(verdicts[0].model, DesyncVerdict::Synchronized); // a
+    assert_eq!(verdicts[2].sim, DesyncVerdict::Synchronized); // c
+
+    // Bottlenecked panels: both substrates desynchronized.
+    assert_eq!(verdicts[1].model, DesyncVerdict::Desynchronized); // b
+    assert_eq!(verdicts[3].sim, DesyncVerdict::Desynchronized); // d
+
+    // §5.1.1: the wider stencil speeds the wave up on both substrates.
+    let speed = |v: &pom::analysis::Fig2Verdict| {
+        (
+            v.model_wave_speed.expect("model wave"),
+            v.sim_wave_speed.expect("sim wave"),
+        )
+    };
+    let (ma, sa) = speed(&verdicts[0]);
+    let (mc, sc) = speed(&verdicts[2]);
+    assert!(mc > 1.3 * ma, "model: panel c speed {mc} vs a {ma}");
+    assert!(sc > 1.3 * sa, "sim: panel c speed {sc} vs a {sa}");
+
+    // §5.2.2: stiffer communication (panel d) shrinks the local phase gap
+    // relative to panel b on the model side.
+    assert!(
+        verdicts[3].model_adjacent_gap < 0.6 * verdicts[1].model_adjacent_gap,
+        "gap d {} vs b {}",
+        verdicts[3].model_adjacent_gap,
+        verdicts[1].model_adjacent_gap
+    );
+}
