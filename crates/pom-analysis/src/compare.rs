@@ -68,8 +68,7 @@ pub fn fig2_verdict(panel: Fig2Panel) -> Fig2Verdict {
         .simulate_with(InitialCondition::Synchronized, &opts)
         .expect("model integrates");
     let model_arrivals = model_wave_arrivals(&run_p, &run_b, 0.05);
-    let model_wave_speed =
-        wave_speed_fit(&model_arrivals, 5, 10).mean_speed();
+    let model_wave_speed = wave_speed_fit(&model_arrivals, 5, 10).mean_speed();
     let model = model_verdict(&run_p, 0.5);
 
     // --- simulator side ---
@@ -77,7 +76,11 @@ pub fn fig2_verdict(panel: Fig2Panel) -> Fig2Verdict {
     // bottlenecked ones use the STREAM triad with 4 MB messages — the
     // non-negligible communication time is what lets the computational
     // wavefront persist (see DESIGN.md §4).
-    let kernel = if panel.scalable() { Kernel::pisolver() } else { Kernel::stream_triad() };
+    let kernel = if panel.scalable() {
+        Kernel::pisolver()
+    } else {
+        Kernel::stream_triad()
+    };
     let message_bytes = if panel.scalable() { 8 } else { 4_000_000 };
     let cfg = IdleWaveConfig {
         n_ranks: 40,
@@ -122,7 +125,11 @@ pub fn fig2_verdict(panel: Fig2Panel) -> Fig2Verdict {
         model_residual_spread: crate::desync::model_residual_spread(&run_p, 0.2),
         model_adjacent_gap: {
             let d = run_p.final_adjacent_differences();
-            if d.is_empty() { 0.0 } else { d.iter().map(|x| x.abs()).sum::<f64>() / d.len() as f64 }
+            if d.is_empty() {
+                0.0
+            } else {
+                d.iter().map(|x| x.abs()).sum::<f64>() / d.len() as f64
+            }
         },
         sim_residual_spread: residual_spread(&pert, 45),
     }

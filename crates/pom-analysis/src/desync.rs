@@ -25,8 +25,13 @@ pub enum DesyncVerdict {
 /// `[start_iter, n_iterations)` of a simulator trace.
 pub fn residual_spread(trace: &SimTrace, start_iter: usize) -> f64 {
     let n = trace.n_iterations();
-    assert!(start_iter < n, "window start {start_iter} beyond {n} iterations");
-    let spreads: Vec<f64> = (start_iter..n).map(|k| trace.iteration_start_spread(k)).collect();
+    assert!(
+        start_iter < n,
+        "window start {start_iter} beyond {n} iterations"
+    );
+    let spreads: Vec<f64> = (start_iter..n)
+        .map(|k| trace.iteration_start_spread(k))
+        .collect();
     mean(&spreads)
 }
 
@@ -87,7 +92,11 @@ mod tests {
             .kernel(kernel)
             .work(WorkSpec::TargetSeconds(1e-3))
             .message_bytes(message_bytes)
-            .inject(SimDelay { rank: 5, iteration: 5, extra_seconds: 5e-3 });
+            .inject(SimDelay {
+                rank: 5,
+                iteration: 5,
+                extra_seconds: 5e-3,
+            });
         Simulator::new(p, Placement::packed(ClusterSpec::meggie(), 20))
             .unwrap()
             .run()
@@ -126,7 +135,13 @@ mod tests {
                 .coupling(8.0)
                 .build()
                 .unwrap()
-                .simulate(InitialCondition::RandomSpread { amplitude: 0.2, seed: 3 }, 250.0)
+                .simulate(
+                    InitialCondition::RandomSpread {
+                        amplitude: 0.2,
+                        seed: 3,
+                    },
+                    250.0,
+                )
                 .unwrap()
         };
         let tanh = run(Potential::Tanh);

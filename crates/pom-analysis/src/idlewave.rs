@@ -79,7 +79,11 @@ pub fn sim_wave_arrivals(
                     };
                 }
             }
-            WaveArrival { rank: r, iteration: None, time: None }
+            WaveArrival {
+                rank: r,
+                iteration: None,
+                time: None,
+            }
         })
         .collect()
 }
@@ -104,10 +108,18 @@ pub fn model_wave_arrivals(
             for k in 0..n_samples {
                 let delta = (tp.state(k)[i] - tb.state(k)[i]).abs();
                 if delta > threshold {
-                    return WaveArrival { rank: i, iteration: None, time: Some(tp.time(k)) };
+                    return WaveArrival {
+                        rank: i,
+                        iteration: None,
+                        time: Some(tp.time(k)),
+                    };
                 }
             }
-            WaveArrival { rank: i, iteration: None, time: None }
+            WaveArrival {
+                rank: i,
+                iteration: None,
+                time: None,
+            }
         })
         .collect()
 }
@@ -134,7 +146,46 @@ pub fn wave_speed_fit(arrivals: &[WaveArrival], source: usize, max_distance: usi
         }
     }
     let _ = n;
-    WaveSpeed { up: linear_fit(&up), down: linear_fit(&down) }
+    WaveSpeed {
+        up: linear_fit(&up),
+        down: linear_fit(&down),
+    }
+}
+
+/// A complete wave measurement: per-rank arrivals plus the fitted speed.
+#[derive(Debug, Clone)]
+pub struct MeasuredWave {
+    /// First-deviation arrivals per rank.
+    pub arrivals: Vec<WaveArrival>,
+    /// The least-squares front fit.
+    pub fit: WaveSpeed,
+}
+
+/// One-call model wave measurement: arrivals from a perturbed/baseline
+/// pair, fitted from `source` out to `max_distance` ranks.
+pub fn model_wave_speed(
+    perturbed: &PomRun,
+    baseline: &PomRun,
+    threshold: f64,
+    source: usize,
+    max_distance: usize,
+) -> MeasuredWave {
+    let arrivals = model_wave_arrivals(perturbed, baseline, threshold);
+    let fit = wave_speed_fit(&arrivals, source, max_distance);
+    MeasuredWave { arrivals, fit }
+}
+
+/// One-call simulator wave measurement (see [`model_wave_speed`]).
+pub fn sim_wave_speed(
+    perturbed: &SimTrace,
+    baseline: &SimTrace,
+    threshold: f64,
+    source: usize,
+    max_distance: usize,
+) -> MeasuredWave {
+    let arrivals = sim_wave_arrivals(perturbed, baseline, threshold);
+    let fit = wave_speed_fit(&arrivals, source, max_distance);
+    MeasuredWave { arrivals, fit }
 }
 
 #[cfg(test)]
@@ -156,7 +207,10 @@ mod tests {
         let (pert, base) = idle_wave_run(&cfg).unwrap();
         let arrivals = sim_wave_arrivals(&pert, &base, 0.5 * cfg.delay_factor * cfg.t_comp);
         // Source rank is disturbed in the injection iteration itself.
-        assert_eq!(arrivals[cfg.delay_rank].iteration, Some(cfg.delay_iteration));
+        assert_eq!(
+            arrivals[cfg.delay_rank].iteration,
+            Some(cfg.delay_iteration)
+        );
         // One rank per iteration upward: rank 5+r's iteration end is
         // first delayed in iteration delay_iteration + r − 1 (rank 6
         // already stalls in the injection iteration itself).
@@ -253,7 +307,10 @@ mod tests {
         let t5 = arrivals[5].time.expect("source disturbed");
         let t7 = arrivals[7].time.expect("rank 7 reached");
         let t9 = arrivals[9].time.expect("rank 9 reached");
-        assert!(t5 < t7 && t7 < t9, "front must move outward: {t5} {t7} {t9}");
+        assert!(
+            t5 < t7 && t7 < t9,
+            "front must move outward: {t5} {t7} {t9}"
+        );
         // Speed fit is usable.
         let speed = wave_speed_fit(&arrivals, 5, 6);
         assert!(speed.up.unwrap().slope > 0.0);
@@ -285,7 +342,9 @@ mod tests {
         };
         let speed_for = |vp: f64| {
             let arrivals = model_wave_arrivals(&run(vp, true), &run(vp, false), 0.05);
-            wave_speed_fit(&arrivals, 5, 6).mean_speed().expect("wave detected")
+            wave_speed_fit(&arrivals, 5, 6)
+                .mean_speed()
+                .expect("wave detected")
         };
         let slow = speed_for(1.0);
         let fast = speed_for(4.0);
@@ -296,10 +355,26 @@ mod tests {
     fn speed_fit_handles_missing_sides() {
         // All arrivals on one side only.
         let arrivals = vec![
-            WaveArrival { rank: 5, iteration: None, time: Some(0.0) },
-            WaveArrival { rank: 6, iteration: None, time: Some(1.0) },
-            WaveArrival { rank: 7, iteration: None, time: Some(2.0) },
-            WaveArrival { rank: 3, iteration: None, time: None },
+            WaveArrival {
+                rank: 5,
+                iteration: None,
+                time: Some(0.0),
+            },
+            WaveArrival {
+                rank: 6,
+                iteration: None,
+                time: Some(1.0),
+            },
+            WaveArrival {
+                rank: 7,
+                iteration: None,
+                time: Some(2.0),
+            },
+            WaveArrival {
+                rank: 3,
+                iteration: None,
+                time: None,
+            },
         ];
         let speed = wave_speed_fit(&arrivals, 5, 4);
         assert!(speed.up.is_some());

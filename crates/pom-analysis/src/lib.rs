@@ -29,7 +29,8 @@ pub mod stats;
 pub use compare::{fig2_verdict, Fig2Verdict};
 pub use desync::{model_residual_spread, residual_spread, socket_offsets, DesyncVerdict};
 pub use idlewave::{
-    model_wave_arrivals, sim_wave_arrivals, wave_speed_fit, WaveArrival, WaveSpeed,
+    model_wave_arrivals, model_wave_speed, sim_wave_arrivals, sim_wave_speed, wave_speed_fit,
+    MeasuredWave, WaveArrival, WaveSpeed,
 };
 pub use spectral::{dominant_mode, mode_fraction, mode_power};
 pub use stats::{linear_fit, mean, std_dev, LinFit};

@@ -62,24 +62,28 @@ pub fn mode_fraction(phases: &[f64], m: usize) -> f64 {
     }
     let n = power.len();
     let mirror = (n - m) % n;
-    let p = power[m] + if mirror != m && mirror != 0 { power[mirror] } else { 0.0 };
+    let p = power[m]
+        + if mirror != m && mirror != 0 {
+            power[mirror]
+        } else {
+            0.0
+        };
     p / total
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pom_core::{
-        stability, InitialCondition, Normalization, PomBuilder, Potential, SimOptions,
-    };
+    use pom_core::{stability, InitialCondition, Normalization, PomBuilder, Potential, SimOptions};
     use pom_topology::Topology;
 
     #[test]
     fn pure_mode_is_detected() {
         let n = 16;
         for m in [1usize, 3, 8] {
-            let phases: Vec<f64> =
-                (0..n).map(|i| (TAU * m as f64 * i as f64 / n as f64).cos()).collect();
+            let phases: Vec<f64> = (0..n)
+                .map(|i| (TAU * m as f64 * i as f64 / n as f64).cos())
+                .collect();
             assert_eq!(dominant_mode(&phases), Some(m.min(n - m)), "m = {m}");
             assert!(mode_fraction(&phases, m) > 0.99, "m = {m}");
         }
@@ -130,7 +134,10 @@ mod tests {
             // after t = 8 from 1e-6) so the fastest mode still dominates;
             // past that, nonlinear saturation redistributes mode power.
             .simulate_with(
-                InitialCondition::RandomSpread { amplitude: 1e-6, seed: 23 },
+                InitialCondition::RandomSpread {
+                    amplitude: 1e-6,
+                    seed: 23,
+                },
                 &SimOptions::new(8.0).samples(100),
             )
             .unwrap();

@@ -64,7 +64,12 @@ pub fn linear_fit(points: &[(f64, f64)]) -> Option<LinFit> {
     } else {
         (1.0 - ss_res / ss_tot).clamp(0.0, 1.0)
     };
-    Some(LinFit { slope, intercept, r2, n })
+    Some(LinFit {
+        slope,
+        intercept,
+        r2,
+        n,
+    })
 }
 
 #[cfg(test)]

@@ -12,23 +12,20 @@ fn bench_simulator(c: &mut Criterion) {
     let iterations = 30usize;
     for n in [20usize, 40, 80] {
         group.throughput(Throughput::Elements((n * iterations) as u64));
-        for (label, kernel) in
-            [("pisolver", Kernel::pisolver()), ("stream", Kernel::stream_triad())]
-        {
-            group.bench_with_input(
-                BenchmarkId::new(label, n),
-                &n,
-                |b, &n| {
-                    let prog = ProgramSpec::new(n, iterations)
-                        .kernel(kernel)
-                        .work(WorkSpec::TargetSeconds(1e-3));
-                    let placement = Placement::packed(ClusterSpec::meggie(), n);
-                    b.iter(|| {
-                        let sim = Simulator::new(prog.clone(), placement.clone()).unwrap();
-                        black_box(sim.run().unwrap().makespan())
-                    })
-                },
-            );
+        for (label, kernel) in [
+            ("pisolver", Kernel::pisolver()),
+            ("stream", Kernel::stream_triad()),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                let prog = ProgramSpec::new(n, iterations)
+                    .kernel(kernel)
+                    .work(WorkSpec::TargetSeconds(1e-3));
+                let placement = Placement::packed(ClusterSpec::meggie(), n);
+                b.iter(|| {
+                    let sim = Simulator::new(prog.clone(), placement.clone()).unwrap();
+                    black_box(sim.run().unwrap().makespan())
+                })
+            });
         }
         group.bench_with_input(BenchmarkId::new("rendezvous", n), &n, |b, &n| {
             let prog = ProgramSpec::new(n, iterations)

@@ -23,7 +23,10 @@ fn bench_solvers(c: &mut Criterion) {
     let mut group = c.benchmark_group("solvers");
     for n in [64usize, 256, 1024] {
         let model = build_model(n);
-        let init = InitialCondition::RandomSpread { amplitude: 0.3, seed: 1 };
+        let init = InitialCondition::RandomSpread {
+            amplitude: 0.3,
+            seed: 1,
+        };
         group.bench_with_input(BenchmarkId::new("dopri5", n), &n, |b, _| {
             b.iter(|| {
                 let run = model
@@ -31,7 +34,10 @@ fn bench_solvers(c: &mut Criterion) {
                         init.clone(),
                         &SimOptions::new(10.0)
                             .samples(50)
-                            .solver(SolverChoice::Dopri5 { rtol: 1e-6, atol: 1e-8 }),
+                            .solver(SolverChoice::Dopri5 {
+                                rtol: 1e-6,
+                                atol: 1e-8,
+                            }),
                     )
                     .unwrap();
                 black_box(run.final_order_parameter())
@@ -53,7 +59,9 @@ fn bench_solvers(c: &mut Criterion) {
                 let run = model
                     .simulate_with(
                         init.clone(),
-                        &SimOptions::new(10.0).samples(50).solver(SolverChoice::FixedRk4 { h: 0.02 }),
+                        &SimOptions::new(10.0)
+                            .samples(50)
+                            .solver(SolverChoice::FixedRk4 { h: 0.02 }),
                     )
                     .unwrap();
                 black_box(run.final_order_parameter())

@@ -1,0 +1,103 @@
+//! Criterion bench: campaign throughput (points/second) of the
+//! `pom-sweep` engine at 1, 4 and all-core worker counts, on a grid of
+//! short model runs. The same spec runs at every thread count, so the
+//! numbers expose executor scaling rather than per-point variance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pom_sweep::Campaign;
+use std::hint::black_box;
+
+const POINTS: usize = 24;
+
+fn campaign() -> Campaign {
+    // 24 cheap points: 8 σ × 3 couplings on a small chain.
+    Campaign::from_str(
+        r#"
+        [campaign]
+        name = "bench"
+        seed = 5
+        observables = ["final_r", "final_spread", "mean_abs_gap"]
+        [model]
+        n = 8
+        potential = "desync"
+        [topology]
+        kind = "chain"
+        [init]
+        kind = "spread"
+        amplitude = 0.2
+        [sim]
+        t_end = 15.0
+        samples = 30
+        [[axes]]
+        key = "model.sigma"
+        grid = { start = 0.5, stop = 4.0, steps = 8 }
+        [[axes]]
+        key = "model.coupling"
+        values = [2.0, 4.0, 6.0]
+        "#,
+    )
+    .expect("bench spec")
+}
+
+fn bench_campaign_throughput(c: &mut Criterion) {
+    let campaign = campaign();
+    assert_eq!(campaign.total_points(), POINTS);
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut group = c.benchmark_group("sweep");
+    group.throughput(Throughput::Elements(POINTS as u64));
+    for threads in [1usize, 4, max_threads] {
+        group.bench_with_input(
+            BenchmarkId::new("campaign_24pt", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let rows = campaign.run_collect(threads).expect("campaign run");
+                    black_box(rows.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_expansion(c: &mut Criterion) {
+    // Grid expansion alone (no simulation): spec → assignments for a
+    // 10×10×10 product.
+    let campaign = Campaign::from_str(
+        r#"
+        [campaign]
+        observables = ["final_r"]
+        [model]
+        n = 4
+        [[axes]]
+        key = "model.sigma"
+        grid = { start = 0.5, stop = 5.0, steps = 10 }
+        [[axes]]
+        key = "model.coupling"
+        grid = { start = 1.0, stop = 8.0, steps = 10 }
+        [[axes]]
+        key = "model.tcomp"
+        grid = { start = 0.5, stop = 1.5, steps = 10 }
+        "#,
+    )
+    .expect("expansion spec");
+    let mut group = c.benchmark_group("sweep");
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("expand_1000pt", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in 0..campaign.total_points() {
+                acc += campaign.spec.assignments_at(i).len();
+                acc ^= campaign.spec.point_seed(i) as usize;
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign_throughput, bench_expansion);
+criterion_main!(benches);

@@ -21,7 +21,11 @@ fn run(kernel: Kernel, msg: usize, inject: bool) -> SimTrace {
         .work(WorkSpec::TargetSeconds(1e-3))
         .message_bytes(msg);
     if inject {
-        p = p.inject(SimDelay { rank: 5, iteration: 5, extra_seconds: 5e-3 });
+        p = p.inject(SimDelay {
+            rank: 5,
+            iteration: 5,
+            extra_seconds: 5e-3,
+        });
     }
     Simulator::new(p, Placement::packed(ClusterSpec::meggie(), n))
         .unwrap()
@@ -74,7 +78,10 @@ fn main() {
     }
     save(
         "bottleneck_decay.csv",
-        &write_table(&["iter", "scal_amp", "scal_skew", "mem_amp", "mem_skew"], &rows),
+        &write_table(
+            &["iter", "scal_amp", "scal_skew", "mem_amp", "mem_skew"],
+            &rows,
+        ),
     );
 
     // Scalable: the delay is never absorbed — the whole program ends ~5 ms

@@ -21,7 +21,11 @@ fn run(allreduce_every: Option<usize>) -> SimTrace {
         .kernel(Kernel::stream_triad())
         .work(WorkSpec::TargetSeconds(1e-3))
         .message_bytes(4_000_000)
-        .inject(SimDelay { rank: 5, iteration: 5, extra_seconds: 5e-3 });
+        .inject(SimDelay {
+            rank: 5,
+            iteration: 5,
+            extra_seconds: 5e-3,
+        });
     if let Some(k) = allreduce_every {
         p = p.allreduce_every(k);
     }

@@ -23,7 +23,11 @@ fn residual_for(message_bytes: usize) -> f64 {
         .kernel(Kernel::stream_triad())
         .work(WorkSpec::TargetSeconds(1e-3))
         .message_bytes(message_bytes)
-        .inject(SimDelay { rank: 5, iteration: 5, extra_seconds: 5e-3 });
+        .inject(SimDelay {
+            rank: 5,
+            iteration: 5,
+            extra_seconds: 5e-3,
+        });
     let trace = Simulator::new(p, Placement::packed(ClusterSpec::meggie(), n))
         .unwrap()
         .run()
@@ -38,18 +42,26 @@ fn main() {
          resynchronizes; comm time makes the wavefront persist",
     );
 
-    println!("{:>12}  {:>16}  {:>18}", "msg [bytes]", "comm time [s]", "residual spread [s]");
+    println!(
+        "{:>12}  {:>16}  {:>18}",
+        "msg [bytes]", "comm time [s]", "residual spread [s]"
+    );
     let bw = ClusterSpec::meggie().network.bandwidth;
     let mut rows = Vec::new();
     let mut series = Vec::new();
-    for msg in [8usize, 10_000, 100_000, 500_000, 1_000_000, 2_000_000, 4_000_000] {
+    for msg in [
+        8usize, 10_000, 100_000, 500_000, 1_000_000, 2_000_000, 4_000_000,
+    ] {
         let res = residual_for(msg);
         let comm = msg as f64 / bw;
         println!("{msg:>12}  {comm:>16.3e}  {res:>18.3e}");
         rows.push(vec![msg as f64, comm, res]);
         series.push((msg, res));
     }
-    save("comm_ablation.csv", &write_table(&["msg_bytes", "comm_time", "residual_spread"], &rows));
+    save(
+        "comm_ablation.csv",
+        &write_table(&["msg_bytes", "comm_time", "residual_spread"], &rows),
+    );
 
     let tiny_msgs = series.first().unwrap().1;
     let big_msgs = series.last().unwrap().1;

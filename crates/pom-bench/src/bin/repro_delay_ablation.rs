@@ -31,7 +31,10 @@ fn run(potential: Potential, delay: Delay) -> pom_core::PomRun {
     b.build()
         .unwrap()
         .simulate_with(
-            InitialCondition::RandomSpread { amplitude: 0.3, seed: 21 },
+            InitialCondition::RandomSpread {
+                amplitude: 0.3,
+                seed: 21,
+            },
             &SimOptions::new(150.0).samples(300),
         )
         .unwrap()
@@ -71,7 +74,10 @@ fn main() {
             let gaps = r.final_adjacent_differences();
             let gap = gaps.iter().map(|g| g.abs()).sum::<f64>() / gaps.len() as f64;
             let order = r.final_order_parameter();
-            println!("{:>10}  {name:>18}  {order:>10.4}  {gap:>12.4}", potential.name());
+            println!(
+                "{:>10}  {name:>18}  {order:>10.4}  {gap:>12.4}",
+                potential.name()
+            );
             rows.push(vec![
                 f64::from(u8::from(potential != Potential::Tanh)),
                 order,
@@ -80,7 +86,10 @@ fn main() {
             results.push((potential, name, order, gap));
         }
     }
-    save("delay_ablation.csv", &write_table(&["is_desync", "final_r", "gap"], &rows));
+    save(
+        "delay_ablation.csv",
+        &write_table(&["is_desync", "final_r", "gap"], &rows),
+    );
 
     // Verdicts: tanh keeps r ≈ 1 under every delay; the desync wavefront
     // survives small delays (≤ 0.05 cycles, gap stays at 2σ/3 = 2.0) but a
@@ -94,7 +103,10 @@ fn main() {
         .all(|r| r.2 > 0.95);
     let small_delay_ok = results
         .iter()
-        .filter(|r| r.0 != Potential::Tanh && (r.1 == "none" || r.1 == "const 0.05" || r.1.starts_with("random")))
+        .filter(|r| {
+            r.0 != Potential::Tanh
+                && (r.1 == "none" || r.1 == "const 0.05" || r.1.starts_with("random"))
+        })
         .all(|r| (r.3 - 2.0).abs() < 0.15);
     let large_delay_resync = results
         .iter()

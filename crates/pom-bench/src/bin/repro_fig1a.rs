@@ -27,10 +27,17 @@ fn main() {
         let x = -10.0 + 20.0 * k as f64 / (n - 1) as f64;
         rows.push(vec![x, tanh.value(x), desync.value(x)]);
         if k % 20 == 0 {
-            println!("{x:>8.2}  {:>10.5}  {:>10.5}", tanh.value(x), desync.value(x));
+            println!(
+                "{x:>8.2}  {:>10.5}  {:>10.5}",
+                tanh.value(x),
+                desync.value(x)
+            );
         }
     }
-    save("fig1a_potentials.csv", &write_table(&["x", "tanh", "desync"], &rows));
+    save(
+        "fig1a_potentials.csv",
+        &write_table(&["x", "tanh", "desync"], &rows),
+    );
 
     // SVG in the paper's style.
     let mut svg = SvgCanvas::new(480.0, 280.0, (-10.5, 10.5), (-1.3, 1.3));
@@ -40,21 +47,40 @@ fn main() {
     svg.polyline(&desync.sample_curve(-10.0, 10.0, 400), "steelblue", 1.8);
     svg.line((sigma, -1.2), (sigma, 1.2), "#999", 0.7);
     svg.text((sigma + 0.2, -1.1), 11.0, "σ");
-    svg.text((-9.8, 1.15), 11.0, "red: tanh (scalable) · blue: desync (bottlenecked)");
+    svg.text(
+        (-9.8, 1.15),
+        11.0,
+        "red: tanh (scalable) · blue: desync (bottlenecked)",
+    );
     save("fig1a_potentials.svg", &svg.render());
 
     // Shape checks that define the figure.
     let zero = desync.stable_pair_separation();
     let checks = [
-        ("first zero at 2σ/3", (zero - 2.0 * sigma / 3.0).abs() < 1e-12),
+        (
+            "first zero at 2σ/3",
+            (zero - 2.0 * sigma / 3.0).abs() < 1e-12,
+        ),
         ("desync repulsive inside", desync.value(1.0) < 0.0),
-        ("desync attractive outside", desync.value(2.5) > 0.0 && desync.value(8.0) > 0.0),
-        ("tanh attractive everywhere", (0..100).all(|k| tanh.value(0.1 + k as f64 * 0.1) > 0.0)),
-        ("both bounded by 1", (0..400).all(|k| {
-            let x = -10.0 + k as f64 * 0.05;
-            tanh.value(x).abs() <= 1.0 && desync.value(x).abs() <= 1.0 + 1e-12
-        })),
-        ("continuous at ±σ", (desync.value(sigma - 1e-9) - desync.value(sigma + 1e-9)).abs() < 1e-6),
+        (
+            "desync attractive outside",
+            desync.value(2.5) > 0.0 && desync.value(8.0) > 0.0,
+        ),
+        (
+            "tanh attractive everywhere",
+            (0..100).all(|k| tanh.value(0.1 + k as f64 * 0.1) > 0.0),
+        ),
+        (
+            "both bounded by 1",
+            (0..400).all(|k| {
+                let x = -10.0 + k as f64 * 0.05;
+                tanh.value(x).abs() <= 1.0 && desync.value(x).abs() <= 1.0 + 1e-12
+            }),
+        ),
+        (
+            "continuous at ±σ",
+            (desync.value(sigma - 1e-9) - desync.value(sigma + 1e-9)).abs() < 1e-6,
+        ),
     ];
     for (name, ok) in &checks {
         println!("  [{}] {name}", if *ok { "ok" } else { "FAIL" });

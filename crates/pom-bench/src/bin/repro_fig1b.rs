@@ -21,8 +21,10 @@ fn main() {
     );
     let socket = SocketSpec::meggie();
     let kernels = Kernel::paper_kernels();
-    let curves: Vec<_> =
-        kernels.iter().map(|k| scaling_curve(k, &socket, socket.cores)).collect();
+    let curves: Vec<_> = kernels
+        .iter()
+        .map(|k| scaling_curve(k, &socket, socket.cores))
+        .collect();
 
     println!(
         "{:>6}  {:>14}  {:>18}  {:>12}",
@@ -36,12 +38,21 @@ fn main() {
             curves[1][p].aggregate_bw / 1e6,
             curves[2][p].aggregate_bw / 1e6,
         ];
-        println!("{:>6}  {:>14.0}  {:>18.0}  {:>12.0}", p + 1, r[1], r[2], r[3]);
+        println!(
+            "{:>6}  {:>14.0}  {:>18.0}  {:>12.0}",
+            p + 1,
+            r[1],
+            r[2],
+            r[3]
+        );
         rows.push(r.to_vec());
     }
     save(
         "fig1b_scaling.csv",
-        &write_table(&["procs", "stream_mbs", "schoenauer_mbs", "pisolver_mbs"], &rows),
+        &write_table(
+            &["procs", "stream_mbs", "schoenauer_mbs", "pisolver_mbs"],
+            &rows,
+        ),
     );
 
     // SVG in the paper's axes (MB/s up to 6e4+).
@@ -51,12 +62,18 @@ fn main() {
         svg.text((0.1, gy + 500.0), 10.0, &format!("{:.0}e4", gy / 1e4));
     }
     let series = |ci: usize| -> Vec<(f64, f64)> {
-        (0..socket.cores).map(|p| ((p + 1) as f64, curves[ci][p].aggregate_bw / 1e6)).collect()
+        (0..socket.cores)
+            .map(|p| ((p + 1) as f64, curves[ci][p].aggregate_bw / 1e6))
+            .collect()
     };
     svg.polyline(&series(0), "crimson", 1.8); // STREAM
     svg.polyline(&series(1), "steelblue", 1.8); // slow Schönauer
     svg.polyline(&series(2), "seagreen", 1.8); // PISOLVER
-    svg.text((5.0, 6.9e4), 11.0, "red: STREAM · blue: slow Schönauer · green: PISOLVER");
+    svg.text(
+        (5.0, 6.9e4),
+        11.0,
+        "red: STREAM · blue: slow Schönauer · green: PISOLVER",
+    );
     save("fig1b_scaling.svg", &svg.render());
 
     let sat_stream = saturation_point(&Kernel::stream_triad(), &socket, 0.95);

@@ -24,14 +24,22 @@ fn main() {
         println!("\n--- {}", fig2_params(panel));
 
         // Simulator trace (inner image analog).
-        let kernel = if panel.scalable() { Kernel::pisolver() } else { Kernel::stream_triad() };
+        let kernel = if panel.scalable() {
+            Kernel::pisolver()
+        } else {
+            Kernel::stream_triad()
+        };
         let msg = if panel.scalable() { 8 } else { 4_000_000 };
         let prog = ProgramSpec::new(40, 40)
             .kernel(kernel)
             .work(WorkSpec::TargetSeconds(1e-3))
             .distances(panel.distances().to_vec())
             .message_bytes(msg)
-            .inject(SimDelay { rank: 5, iteration: 5, extra_seconds: 5e-3 });
+            .inject(SimDelay {
+                rank: 5,
+                iteration: 5,
+                extra_seconds: 5e-3,
+            });
         let trace = Simulator::new(prog, Placement::packed(ClusterSpec::meggie(), 40))
             .expect("simulator builds")
             .run()
@@ -41,14 +49,20 @@ fn main() {
             &gantt_svg(&trace, 800.0, 8.0),
         );
         // Compact terminal preview (first 12 ranks).
-        let preview: String =
-            gantt_ascii(&trace, 90).lines().take(12).collect::<Vec<_>>().join("\n");
+        let preview: String = gantt_ascii(&trace, 90)
+            .lines()
+            .take(12)
+            .collect::<Vec<_>>()
+            .join("\n");
         println!("{preview}");
 
         // Model circle diagram (asymptotic state).
         let model = fig2_model(panel, true).expect("preset builds");
         let run = model
-            .simulate_with(InitialCondition::Synchronized, &SimOptions::new(120.0).samples(240))
+            .simulate_with(
+                InitialCondition::Synchronized,
+                &SimOptions::new(120.0).samples(240),
+            )
             .expect("model integrates");
         let final_state = run.trajectory().last().unwrap().to_vec();
         save(
@@ -66,7 +80,10 @@ fn main() {
             println!("wave speed: model {m:.3} ranks/cycle, sim {s:.1} ranks/s");
             speeds.push((panel, m, s));
         }
-        println!("agrees with paper: {}", if v.agrees() { "YES" } else { "NO" });
+        println!(
+            "agrees with paper: {}",
+            if v.agrees() { "YES" } else { "NO" }
+        );
         all_ok &= v.agrees();
     }
 

@@ -32,7 +32,10 @@ fn run_with_delay(topology: Topology, potential: Potential) -> pom_core::PomRun 
         }]))
         .build()
         .unwrap()
-        .simulate_with(InitialCondition::Synchronized, &SimOptions::new(50.0).samples(500))
+        .simulate_with(
+            InitialCondition::Synchronized,
+            &SimOptions::new(50.0).samples(500),
+        )
         .unwrap()
 }
 
@@ -49,7 +52,10 @@ fn main() {
     let kuramoto = run_with_delay(Topology::all_to_all(n), Potential::KuramotoSin);
     let pom = run_with_delay(Topology::ring(n, &[-1, 1]), Potential::Tanh);
     let peak = |r: &pom_core::PomRun| {
-        r.phase_spread_series().iter().map(|p| p.1).fold(0.0f64, f64::max)
+        r.phase_spread_series()
+            .iter()
+            .map(|p| p.1)
+            .fold(0.0f64, f64::max)
     };
     let (pk, pp) = (peak(&kuramoto), peak(&pom));
     println!("peak spread after one-off delay: all-to-all sin {pk:.3} rad, ring tanh {pp:.3} rad");
@@ -71,7 +77,10 @@ fn main() {
             .normalization(Normalization::ByDegree)
             .build()
             .unwrap()
-            .simulate_with(InitialCondition::Phases(init), &SimOptions::new(150.0).samples(300))
+            .simulate_with(
+                InitialCondition::Phases(init),
+                &SimOptions::new(150.0).samples(300),
+            )
             .unwrap()
     };
     let sin_run = slip_run(Potential::KuramotoSin);
@@ -98,7 +107,10 @@ fn main() {
             .build()
             .unwrap()
             .simulate_with(
-                InitialCondition::RandomSpread { amplitude: 0.3, seed: 3 },
+                InitialCondition::RandomSpread {
+                    amplitude: 0.3,
+                    seed: 3,
+                },
                 &SimOptions::new(300.0).samples(300),
             )
             .unwrap()
@@ -107,9 +119,10 @@ fn main() {
     let desync_gaps = spread_run(Potential::desync(3.0)).final_adjacent_differences();
     let near = |x: f64, target: f64| (x - target).abs() < 0.05;
     // Under sin every gap collapses to (a multiple of) 2π or 0.
-    let sin_no_wavefront = sin_gaps
-        .iter()
-        .all(|g| near(g.abs() % std::f64::consts::TAU, 0.0) || near(g.abs() % std::f64::consts::TAU, std::f64::consts::TAU));
+    let sin_no_wavefront = sin_gaps.iter().all(|g| {
+        near(g.abs() % std::f64::consts::TAU, 0.0)
+            || near(g.abs() % std::f64::consts::TAU, std::f64::consts::TAU)
+    });
     let desync_wavefront = desync_gaps.iter().all(|g| near(g.abs(), 2.0));
     println!(
         "asymptotic gaps: sin all ∈ 2πZ: {sin_no_wavefront}; desync all at 2σ/3: {desync_wavefront}"
@@ -122,7 +135,11 @@ fn main() {
             &[
                 vec![0.0, pk, pp],
                 vec![1.0, off_sin, off_tanh],
-                vec![2.0, f64::from(u8::from(sin_no_wavefront)), f64::from(u8::from(desync_wavefront))],
+                vec![
+                    2.0,
+                    f64::from(u8::from(sin_no_wavefront)),
+                    f64::from(u8::from(desync_wavefront)),
+                ],
             ],
         ),
     );

@@ -22,7 +22,11 @@ fn run(noise: f64, inject: bool) -> SimTrace {
         .work(WorkSpec::TargetSeconds(1e-3))
         .noise(noise, 31);
     if inject {
-        p = p.inject(SimDelay { rank: 20, iteration: 4, extra_seconds: 3e-3 });
+        p = p.inject(SimDelay {
+            rank: 20,
+            iteration: 4,
+            extra_seconds: 3e-3,
+        });
     }
     Simulator::new(p, Placement::packed(ClusterSpec::meggie(), n))
         .unwrap()
@@ -60,7 +64,10 @@ fn main() {
         rows.push(vec![noise, reach as f64, amp]);
         reaches.push((noise, reach, amp));
     }
-    save("noise_decay.csv", &write_table(&["noise_sigma", "reach_ranks", "amp_10ranks"], &rows));
+    save(
+        "noise_decay.csv",
+        &write_table(&["noise_sigma", "reach_ranks", "amp_10ranks"], &rows),
+    );
 
     // Noise-free: the wave crosses everything and the delay arrives in
     // full. With growing noise the wave is damped: the surviving

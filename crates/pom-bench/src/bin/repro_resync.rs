@@ -30,7 +30,10 @@ fn recovery(potential: Potential, pull: f64) -> (Option<f64>, f64) {
         .build()
         .unwrap();
     let run = model
-        .simulate_with(InitialCondition::Phases(init), &SimOptions::new(120.0).samples(1200))
+        .simulate_with(
+            InitialCondition::Phases(init),
+            &SimOptions::new(120.0).samples(1200),
+        )
         .unwrap();
     let t_sync = run
         .order_parameter_series()
@@ -70,7 +73,11 @@ fn main() {
             );
             rows.push(vec![
                 pull,
-                if potential == Potential::Tanh { 0.0 } else { 1.0 },
+                if potential == Potential::Tanh {
+                    0.0
+                } else {
+                    1.0
+                },
                 t_sync.unwrap_or(-1.0),
                 max_diff,
             ]);
@@ -89,7 +96,10 @@ fn main() {
             }
         }
     }
-    save("resync_pulls.csv", &write_table(&["pull", "is_sin", "t_sync", "max_diff"], &rows));
+    save(
+        "resync_pulls.csv",
+        &write_table(&["pull", "is_sin", "t_sync", "max_diff"], &rows),
+    );
 
     // Event-detection showcase: time when the pulled oscillator first
     // re-enters the 0.1 rad corridor, from the dense solution.

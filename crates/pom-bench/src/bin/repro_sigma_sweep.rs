@@ -6,61 +6,86 @@
 //! desynchronization; σ correlates with idle-wave speed and phase
 //! spread (a 3× stiffness increase gave 3× speed and correspondingly
 //! smaller spread between Fig. 2(b) and (d)).
+//!
+//! Both sweeps run as declarative `pom-sweep` campaigns across all cores.
 
-use pom_analysis::{model_wave_arrivals, wave_speed_fit};
 use pom_bench::{header, save, verdict};
-use pom_core::{InitialCondition, Normalization, PomBuilder, Potential, SimOptions};
-use pom_noise::{DelayEvent, OneOffDelays};
-use pom_topology::Topology;
+use pom_sweep::Campaign;
 use pom_viz::write_table;
 
-/// Asymptotic |adjacent gap| on a chain (the clean 2σ/3 geometry).
-fn asymptotic_gap(sigma: f64) -> f64 {
-    let n = 16;
-    let run = PomBuilder::new(n)
-        .topology(Topology::chain(n, &[-1, 1]))
-        .potential(Potential::desync(sigma))
-        .compute_time(0.9)
-        .comm_time(0.1)
-        .coupling(4.0)
-        .normalization(Normalization::ByDegree)
-        .build()
-        .unwrap()
-        .simulate_with(
-            InitialCondition::RandomSpread { amplitude: 0.1 * sigma, seed: 11 },
-            &SimOptions::new(400.0).samples(200),
-        )
-        .unwrap();
-    let gaps = run.final_adjacent_differences();
-    gaps.iter().map(|g| g.abs()).sum::<f64>() / gaps.len() as f64
+const SIGMAS: [f64; 6] = [0.5, 1.0, 2.0, 3.0, 4.0, 6.0];
+
+/// Asymptotic |adjacent gap| on a chain (the clean 2σ/3 geometry). The
+/// original loop used `amplitude = 0.1·σ`, so σ and amplitude sweep as a
+/// zipped axis.
+fn gap_campaign() -> Campaign {
+    let zipped: Vec<String> = SIGMAS
+        .iter()
+        .map(|s| format!("[{s}, {}]", 0.1 * s))
+        .collect();
+    let spec = format!(
+        r#"
+        [campaign]
+        name = "sigma-gap"
+        observables = ["mean_abs_gap", "rel_err_two_thirds"]
+        [model]
+        n = 16
+        potential = "desync"
+        tcomp = 0.9
+        tcomm = 0.1
+        coupling = 4.0
+        [topology]
+        kind = "chain"
+        [init]
+        kind = "spread"
+        seed = 11
+        [sim]
+        t_end = 400.0
+        samples = 200
+        [[axes]]
+        keys = ["model.sigma", "init.amplitude"]
+        values = [{}]
+        "#,
+        zipped.join(", ")
+    );
+    Campaign::from_str(&spec).expect("gap campaign spec")
 }
 
 /// Idle-wave speed through a developed wavefront with horizon σ.
-fn wave_speed_at_sigma(sigma: f64) -> Option<f64> {
-    let n = 32;
-    let run = |inject: bool| {
-        let mut b = PomBuilder::new(n)
-            .topology(Topology::ring(n, &[-1, 1]))
-            .potential(Potential::desync(sigma))
-            .compute_time(0.9)
-            .comm_time(0.1)
-            .coupling(4.0)
-            .normalization(Normalization::ByDegree);
-        if inject {
-            b = b.local_noise(OneOffDelays::new(vec![DelayEvent {
-                rank: 5,
-                t_start: 2.0,
-                duration: 3.0,
-                extra: 1.0,
-            }]));
-        }
-        b.build()
-            .unwrap()
-            .simulate_with(InitialCondition::Synchronized, &SimOptions::new(60.0).samples(600))
-            .unwrap()
-    };
-    let arrivals = model_wave_arrivals(&run(true), &run(false), 0.05);
-    wave_speed_fit(&arrivals, 5, 10).mean_speed()
+fn wave_campaign() -> Campaign {
+    let spec = format!(
+        r#"
+        [campaign]
+        name = "sigma-wave"
+        observables = ["wave_speed"]
+        [model]
+        n = 32
+        potential = "desync"
+        tcomp = 0.9
+        tcomm = 0.1
+        coupling = 4.0
+        [topology]
+        kind = "ring"
+        [init]
+        kind = "sync"
+        [inject]
+        rank = 5
+        at = 2.0
+        len = 3.0
+        extra = 1.0
+        [sim]
+        t_end = 60.0
+        samples = 600
+        [wave]
+        threshold = 0.05
+        max_distance = 10
+        [[axes]]
+        key = "model.sigma"
+        values = [{}]
+        "#,
+        SIGMAS.map(|s| s.to_string()).join(", ")
+    );
+    Campaign::from_str(&spec).expect("wave campaign spec")
 }
 
 fn main() {
@@ -70,6 +95,9 @@ fn main() {
          σ anticorrelates with wave speed (3× stiffer ⇒ 3× faster, smaller spread)",
     );
 
+    let gap_rows = gap_campaign().run_collect(0).expect("gap campaign");
+    let wave_rows = wave_campaign().run_collect(0).expect("wave campaign");
+
     println!(
         "{:>6}  {:>12}  {:>10}  {:>10}  {:>14}",
         "σ", "gap [rad]", "2σ/3", "rel.err", "wave [rk/cyc]"
@@ -77,11 +105,18 @@ fn main() {
     let mut rows = Vec::new();
     let mut gaps = Vec::new();
     let mut speeds = Vec::new();
-    for &sigma in &[0.5, 1.0, 2.0, 3.0, 4.0, 6.0] {
-        let gap = asymptotic_gap(sigma);
+    for (g, w) in gap_rows.iter().zip(&wave_rows) {
+        assert!(
+            g.error.is_none() && w.error.is_none(),
+            "{:?} {:?}",
+            g.error,
+            w.error
+        );
+        let sigma = g.params[0].1.as_f64().unwrap();
+        let gap = g.observables[0].1;
+        let rel = g.observables[1].1;
         let expect = 2.0 * sigma / 3.0;
-        let rel = (gap - expect).abs() / expect;
-        let speed = wave_speed_at_sigma(sigma);
+        let speed = Some(w.observables[0].1).filter(|s| s.is_finite());
         println!(
             "{sigma:>6.1}  {gap:>12.4}  {expect:>10.4}  {rel:>10.4}  {:>14}",
             speed.map_or("n/a".into(), |s| format!("{s:.3}"))
@@ -94,7 +129,10 @@ fn main() {
     }
     save(
         "sigma_sweep.csv",
-        &write_table(&["sigma", "gap", "two_thirds_sigma", "rel_err", "wave_speed"], &rows),
+        &write_table(
+            &["sigma", "gap", "two_thirds_sigma", "rel_err", "wave_speed"],
+            &rows,
+        ),
     );
 
     // The paper's Fig. 2(b) → (d) stiffness step: σ 3 → 1.

@@ -18,9 +18,16 @@ fn run(spec: ClusterSpec, kernel: Kernel, msg: usize, inject: bool) -> SimTrace 
         .work(WorkSpec::TargetSeconds(1e-3))
         .message_bytes(msg);
     if inject {
-        p = p.inject(SimDelay { rank: 5, iteration: 5, extra_seconds: 5e-3 });
+        p = p.inject(SimDelay {
+            rank: 5,
+            iteration: 5,
+            extra_seconds: 5e-3,
+        });
     }
-    Simulator::new(p, Placement::packed(spec, n)).unwrap().run().unwrap()
+    Simulator::new(p, Placement::packed(spec, n))
+        .unwrap()
+        .run()
+        .unwrap()
 }
 
 fn main() {
@@ -33,8 +40,10 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut ok = true;
-    for (name, spec) in [("meggie", ClusterSpec::meggie()), ("supermuc-ng", ClusterSpec::supermuc_ng_like())]
-    {
+    for (name, spec) in [
+        ("meggie", ClusterSpec::meggie()),
+        ("supermuc-ng", ClusterSpec::supermuc_ng_like()),
+    ] {
         // Scalable side.
         let pert = run(spec.clone(), Kernel::pisolver(), 8, true);
         let base = run(spec.clone(), Kernel::pisolver(), 8, false);
@@ -57,7 +66,14 @@ fn main() {
     }
     save(
         "supermuc_portability.csv",
-        &write_table(&["wave_speed_rk_iter", "scalable_residual", "membound_residual"], &rows),
+        &write_table(
+            &[
+                "wave_speed_rk_iter",
+                "scalable_residual",
+                "membound_residual",
+            ],
+            &rows,
+        ),
     );
     verdict(
         ok,

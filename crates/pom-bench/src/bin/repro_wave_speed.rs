@@ -4,60 +4,80 @@
 //!
 //! Paper claims: βκ ≈ 0 → free processes (no wave); βκ = 1 → minimum
 //! speed; larger βκ → faster waves, stiffer system.
+//!
+//! Both sides run as declarative `pom-sweep` campaigns: the model sweep
+//! over a coupling axis, the simulator sweep over a zipped
+//! distances/protocol axis.
 
-use pom_analysis::{model_wave_arrivals, sim_wave_arrivals, wave_speed_fit};
 use pom_bench::{header, save, verdict};
-use pom_core::{InitialCondition, Normalization, PomBuilder, Potential, SimOptions};
-use pom_mpisim::{MpiProtocol, ProgramSpec, SimDelay, Simulator, WorkSpec};
-use pom_noise::{DelayEvent, OneOffDelays};
-use pom_topology::{ClusterSpec, Placement, Topology};
+use pom_mpisim::MpiProtocol;
+use pom_sweep::Campaign;
 use pom_viz::write_table;
 
-fn model_speed(beta_kappa: f64) -> Option<f64> {
-    let n = 40;
-    let run = |inject: bool| {
-        let mut b = PomBuilder::new(n)
-            .topology(Topology::ring(n, &[-1, 1]))
-            .potential(Potential::Tanh)
-            .compute_time(0.9)
-            .comm_time(0.1)
-            .coupling(beta_kappa)
-            .normalization(Normalization::ByDegree);
-        if inject {
-            b = b.local_noise(OneOffDelays::new(vec![DelayEvent {
-                rank: 5,
-                t_start: 2.0,
-                duration: 3.0,
-                extra: 1.0,
-            }]));
-        }
-        b.build()
-            .unwrap()
-            .simulate_with(InitialCondition::Synchronized, &SimOptions::new(100.0).samples(500))
-            .unwrap()
-    };
-    let arrivals = model_wave_arrivals(&run(true), &run(false), 0.05);
-    wave_speed_fit(&arrivals, 5, 14).mean_speed()
+fn model_campaign() -> Campaign {
+    Campaign::from_str(
+        r#"
+        [campaign]
+        name = "wave-speed-model"
+        observables = ["wave_speed"]
+        [model]
+        n = 40
+        potential = "tanh"
+        tcomp = 0.9
+        tcomm = 0.1
+        [topology]
+        kind = "ring"
+        [init]
+        kind = "sync"
+        [inject]
+        rank = 5
+        at = 2.0
+        len = 3.0
+        extra = 1.0
+        [sim]
+        t_end = 100.0
+        samples = 500
+        [wave]
+        threshold = 0.05
+        max_distance = 14
+        [[axes]]
+        key = "model.coupling"
+        values = [0.0, 0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0]
+        "#,
+    )
+    .expect("model campaign spec")
 }
 
-fn sim_speed(distances: &[i32], protocol: MpiProtocol) -> Option<f64> {
-    let n = 40;
-    let mk = |inject: bool| {
-        let mut p = ProgramSpec::new(n, 36)
-            .work(WorkSpec::TargetSeconds(1e-3))
-            .distances(distances.to_vec())
-            .protocol(protocol);
-        if inject {
-            p = p.inject(SimDelay { rank: 12, iteration: 4, extra_seconds: 5e-3 });
-        }
-        Simulator::new(p, Placement::packed(ClusterSpec::meggie(), n))
-            .unwrap()
-            .run()
-            .unwrap()
-    };
-    let arrivals = sim_wave_arrivals(&mk(true), &mk(false), 2e-3);
-    // Convert to ranks per iteration (1 iteration ≈ 1 ms here).
-    wave_speed_fit(&arrivals, 12, 12).mean_speed().map(|s| s * 1e-3)
+fn sim_campaign() -> Campaign {
+    Campaign::from_str(
+        r#"
+        [campaign]
+        name = "wave-speed-sim"
+        workload = "mpisim"
+        observables = ["wave_speed"]
+        [mpisim]
+        n = 40
+        iterations = 36
+        kernel = "pisolver"
+        work_seconds = 1e-3
+        [inject]
+        rank = 12
+        iteration = 4
+        extra_seconds = 5e-3
+        [wave]
+        threshold = 2e-3
+        max_distance = 12
+        [[axes]]
+        keys = ["mpisim.distances", "mpisim.protocol"]
+        values = [
+            [[-1, 1], "eager"],
+            [[-1, 1], "rendezvous"],
+            [[-2, -1, 1], "eager"],
+            [[-3, -1, 1], "eager"],
+        ]
+        "#,
+    )
+    .expect("sim campaign spec")
 }
 
 fn main() {
@@ -70,44 +90,75 @@ fn main() {
     // --- model sweep ---
     println!("model (ring ±1, tanh), speed vs βκ:");
     println!("{:>8}  {:>16}", "βκ", "speed [rk/cycle]");
+    let model_rows = model_campaign().run_collect(0).expect("model campaign");
     let mut rows = Vec::new();
     let mut speeds = Vec::new();
-    for bk in [0.0, 0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0] {
-        match model_speed(bk) {
-            Some(s) => {
-                println!("{bk:>8.1}  {s:>16.4}");
-                rows.push(vec![bk, s]);
-                speeds.push((bk, s));
-            }
-            None => {
-                println!("{bk:>8.1}  {:>16}", "no wave");
-                rows.push(vec![bk, 0.0]);
-            }
+    for row in &model_rows {
+        assert!(row.error.is_none(), "{:?}", row.error);
+        let bk = row.params[0].1.as_f64().unwrap();
+        let s = row.observables[0].1;
+        if s.is_finite() {
+            println!("{bk:>8.1}  {s:>16.4}");
+            rows.push(vec![bk, s]);
+            speeds.push((bk, s));
+        } else {
+            println!("{bk:>8.1}  {:>16}", "no wave");
+            rows.push(vec![bk, 0.0]);
         }
     }
-    save("wave_speed_vs_beta_kappa.csv", &write_table(&["beta_kappa", "speed"], &rows));
+    save(
+        "wave_speed_vs_beta_kappa.csv",
+        &write_table(&["beta_kappa", "speed"], &rows),
+    );
 
     let monotone = speeds.windows(2).all(|w| w[1].1 > w[0].1);
     let free_ok = rows[0][1] == 0.0; // βκ = 0 → no wave
 
     // --- simulator: distance sets and protocols ---
     println!("\nsimulator (PISOLVER), speed vs distance set and protocol:");
-    println!("{:>16}  {:>12}  {:>16}", "distances", "protocol", "speed [rk/iter]");
-    let cases: [(&[i32], MpiProtocol); 4] = [
-        (&[-1, 1], MpiProtocol::Eager),
-        (&[-1, 1], MpiProtocol::Rendezvous),
-        (&[-2, -1, 1], MpiProtocol::Eager),
-        (&[-3, -1, 1], MpiProtocol::Eager),
-    ];
+    println!(
+        "{:>16}  {:>12}  {:>16}",
+        "distances", "protocol", "speed [rk/iter]"
+    );
+    let sim_rows_raw = sim_campaign().run_collect(0).expect("sim campaign");
     let mut sim_rows = Vec::new();
     let mut sim_speeds = Vec::new();
-    for (d, p) in cases {
-        let s = sim_speed(d, p).unwrap_or(0.0);
-        println!("{:>16}  {:>12}  {s:>16.3}", format!("{d:?}"), p.name());
-        sim_rows.push(vec![d.iter().map(|x| x.abs()).sum::<i32>() as f64, p.beta(), s]);
+    for row in &sim_rows_raw {
+        assert!(row.error.is_none(), "{:?}", row.error);
+        let distances: Vec<i64> = row.params[0]
+            .1
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|d| d.as_i64().unwrap())
+            .collect();
+        let protocol = match row.params[1].1.as_str().unwrap() {
+            "eager" => MpiProtocol::Eager,
+            "rendezvous" => MpiProtocol::Rendezvous,
+            other => panic!("unexpected protocol label `{other}`"),
+        };
+        let beta = protocol.beta();
+        // The engine reports ranks/second; 1 iteration ≈ 1 ms here.
+        let s = Some(row.observables[0].1)
+            .filter(|s| s.is_finite())
+            .unwrap_or(0.0)
+            * 1e-3;
+        println!(
+            "{:>16}  {:>12}  {s:>16.3}",
+            format!("{distances:?}"),
+            protocol.name()
+        );
+        sim_rows.push(vec![
+            distances.iter().map(|x| x.abs()).sum::<i64>() as f64,
+            beta,
+            s,
+        ]);
         sim_speeds.push(s);
     }
-    save("wave_speed_sim.csv", &write_table(&["kappa_sum", "beta", "speed_rk_per_iter"], &sim_rows));
+    save(
+        "wave_speed_sim.csv",
+        &write_table(&["kappa_sum", "beta", "speed_rk_per_iter"], &sim_rows),
+    );
 
     // Wider stencils are faster; the -3 leg beats the -2 leg.
     let stencil_ok = sim_speeds[2] > sim_speeds[0] && sim_speeds[3] > sim_speeds[2];

@@ -51,7 +51,10 @@ pub fn header(id: &str, claim: &str) {
 
 /// Print the final verdict line (grepped by EXPERIMENTS.md tooling).
 pub fn verdict(ok: bool, detail: &str) {
-    println!("VERDICT: {} — {detail}", if ok { "REPRODUCED" } else { "DEVIATES" });
+    println!(
+        "VERDICT: {} — {detail}",
+        if ok { "REPRODUCED" } else { "DEVIATES" }
+    );
 }
 
 /// Check a file landed where expected (used by the smoke test).

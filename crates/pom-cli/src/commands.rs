@@ -6,12 +6,13 @@
 use std::fmt;
 use std::fmt::Write as _;
 
-use pom_analysis::{fig2_verdict, model_wave_arrivals, wave_speed_fit};
+use pom_analysis::fig2_verdict;
 use pom_core::{
     fig2_params, Fig2Panel, InitialCondition, Normalization, PomBuilder, Potential, SimOptions,
 };
 use pom_kernels::{scaling_curve, Kernel, SocketSpec};
 use pom_noise::{DelayEvent, OneOffDelays, WhiteJitter};
+use pom_sweep::{Campaign, ProgressSink, RunOptions, TeeSink};
 use pom_topology::Topology;
 use pom_viz::{ascii_chart, circle_ascii, gantt_ascii, phase_heatmap_ascii};
 
@@ -59,13 +60,21 @@ where
         return Ok(help());
     };
     let rest: Vec<String> = it.map(|s| s.as_ref().to_string()).collect();
-    let cfg = Config::parse(&rest)?;
+    // `sweep` takes the spec path as a positional argument; everything
+    // else is strict `key=value`.
+    let (positional, keyed): (Vec<String>, Vec<String>) = if cmd.as_ref() == "sweep" {
+        rest.into_iter().partition(|a| !a.contains('='))
+    } else {
+        (Vec::new(), rest)
+    };
+    let cfg = Config::parse(&keyed)?;
     match cmd.as_ref() {
         "help" | "--help" | "-h" => Ok(help()),
         "potentials" => cmd_potentials(&cfg),
         "scaling" => cmd_scaling(&cfg),
         "fig2" => cmd_fig2(&cfg),
         "simulate" => cmd_simulate(&cfg),
+        "sweep" => cmd_sweep(&positional, &cfg),
         "wave-sweep" => cmd_wave_sweep(&cfg),
         "sigma-sweep" => cmd_sigma_sweep(&cfg),
         other => Err(CliError::UnknownCommand(other.to_string())),
@@ -86,6 +95,9 @@ pub fn help() -> String {
      \x20               distances=-1,1 coupling=… t_end=120 init=sync|spread|wavefront\n\
      \x20               seed=7 noise=0 delay_rank=… delay_at=… delay_len=…]\n\
      \x20                                             parameterized model run with result views\n\
+     \x20 sweep        <spec.toml> [threads=0 out=… format=jsonl|csv resume=0|1]\n\
+     \x20                                             run a declarative scenario campaign on all\n\
+     \x20                                             cores, streaming one result row per point\n\
      \x20 wave-sweep   [n=40 t_end=80]                idle-wave speed vs. coupling βκ (§5.1.1)\n\
      \x20 sigma-sweep  [n=24 t_end=300]               phase gap vs. interaction horizon σ (§5.2.2)\n\
      \x20 help                                        this text\n"
@@ -103,7 +115,11 @@ pub fn cmd_potentials(cfg: &Config) -> Result<String, CliError> {
 
     let mut out = String::new();
     let _ = writeln!(out, "# Fig. 1(a): interaction potentials, sigma = {sigma}");
-    let _ = writeln!(out, "{:>8}  {:>10}  {:>10}  {:>10}", "x", "tanh", "desync", "kuramoto");
+    let _ = writeln!(
+        out,
+        "{:>8}  {:>10}  {:>10}  {:>10}",
+        "x", "tanh", "desync", "kuramoto"
+    );
     for k in 0..n {
         let x = -xmax + 2.0 * xmax * k as f64 / (n - 1) as f64;
         let _ = writeln!(
@@ -120,8 +136,16 @@ pub fn cmd_potentials(cfg: &Config) -> Result<String, CliError> {
         desync.stable_pair_separation(),
         2.0 * sigma / 3.0
     );
-    let _ = writeln!(out, "lockstep stable under tanh: {}", tanh.lockstep_stable());
-    let _ = writeln!(out, "lockstep stable under desync: {}", desync.lockstep_stable());
+    let _ = writeln!(
+        out,
+        "lockstep stable under tanh: {}",
+        tanh.lockstep_stable()
+    );
+    let _ = writeln!(
+        out,
+        "lockstep stable under desync: {}",
+        desync.lockstep_stable()
+    );
     Ok(out)
 }
 
@@ -162,9 +186,17 @@ pub fn cmd_scaling(cfg: &Config) -> Result<String, CliError> {
         pom_kernels::saturation_point(k, &socket, 0.95)
             .map_or("never".to_string(), |c| format!("{c} cores"))
     };
-    let _ = writeln!(out, "\nsaturation (95% of {:.0} GB/s):", socket.mem_bw / 1e9);
+    let _ = writeln!(
+        out,
+        "\nsaturation (95% of {:.0} GB/s):",
+        socket.mem_bw / 1e9
+    );
     let _ = writeln!(out, "  STREAM triad:    {}", sat(&Kernel::stream_triad()));
-    let _ = writeln!(out, "  slow Schönauer:  {}", sat(&Kernel::schoenauer_slow()));
+    let _ = writeln!(
+        out,
+        "  slow Schönauer:  {}",
+        sat(&Kernel::schoenauer_slow())
+    );
     let _ = writeln!(out, "  PISOLVER:        {}", sat(&Kernel::pisolver()));
     Ok(out)
 }
@@ -192,16 +224,30 @@ pub fn cmd_fig2(cfg: &Config) -> Result<String, CliError> {
     let _ = writeln!(
         out,
         "model wave speed:         {}",
-        v.model_wave_speed.map_or("n/a".into(), |s| format!("{s:.3} ranks/unit"))
+        v.model_wave_speed
+            .map_or("n/a".into(), |s| format!("{s:.3} ranks/unit"))
     );
     let _ = writeln!(
         out,
         "simulator wave speed:     {}",
-        v.sim_wave_speed.map_or("n/a".into(), |s| format!("{s:.1} ranks/s"))
+        v.sim_wave_speed
+            .map_or("n/a".into(), |s| format!("{s:.1} ranks/s"))
     );
-    let _ = writeln!(out, "model residual spread:    {:.4} rad", v.model_residual_spread);
-    let _ = writeln!(out, "model adjacent gap:       {:.4} rad", v.model_adjacent_gap);
-    let _ = writeln!(out, "sim residual spread:      {:.3e} s", v.sim_residual_spread);
+    let _ = writeln!(
+        out,
+        "model residual spread:    {:.4} rad",
+        v.model_residual_spread
+    );
+    let _ = writeln!(
+        out,
+        "model adjacent gap:       {:.4} rad",
+        v.model_adjacent_gap
+    );
+    let _ = writeln!(
+        out,
+        "sim residual spread:      {:.3e} s",
+        v.sim_residual_spread
+    );
     let _ = writeln!(
         out,
         "paper expectation met:    {}",
@@ -292,8 +338,13 @@ pub fn cmd_simulate(cfg: &Config) -> Result<String, CliError> {
     let model = b.build().map_err(|e| CliError::Run(e.to_string()))?;
     let init = match cfg.str_or("init", "spread").as_str() {
         "sync" => InitialCondition::Synchronized,
-        "spread" => InitialCondition::RandomSpread { amplitude: cfg.f64_or("amplitude", 1.0)?, seed },
-        "wavefront" => InitialCondition::Wavefront { slope: cfg.f64_or("slope", 0.5)? },
+        "spread" => InitialCondition::RandomSpread {
+            amplitude: cfg.f64_or("amplitude", 1.0)?,
+            seed,
+        },
+        "wavefront" => InitialCondition::Wavefront {
+            slope: cfg.f64_or("slope", 0.5)?,
+        },
         other => {
             return Err(CliError::Config(ConfigError::BadValue {
                 key: "init".into(),
@@ -303,7 +354,10 @@ pub fn cmd_simulate(cfg: &Config) -> Result<String, CliError> {
         }
     };
     let run = model
-        .simulate_with(init, &SimOptions::new(t_end).samples(cfg.usize_or("samples", 400)?))
+        .simulate_with(
+            init,
+            &SimOptions::new(t_end).samples(cfg.usize_or("samples", 400)?),
+        )
         .map_err(|e| CliError::Run(e.to_string()))?;
 
     let mut out = String::new();
@@ -314,8 +368,16 @@ pub fn cmd_simulate(cfg: &Config) -> Result<String, CliError> {
         model.params().kappa,
         model.params().coupling()
     );
-    let _ = writeln!(out, "final order parameter r: {:.5}", run.final_order_parameter());
-    let _ = writeln!(out, "final phase spread:      {:.5} rad", run.final_phase_spread());
+    let _ = writeln!(
+        out,
+        "final order parameter r: {:.5}",
+        run.final_order_parameter()
+    );
+    let _ = writeln!(
+        out,
+        "final phase spread:      {:.5} rad",
+        run.final_phase_spread()
+    );
     let gaps = run.final_adjacent_differences();
     let mean_gap = if gaps.is_empty() {
         0.0
@@ -331,7 +393,12 @@ pub fn cmd_simulate(cfg: &Config) -> Result<String, CliError> {
         }
         "spread" => {
             out.push('\n');
-            out.push_str(&ascii_chart("phase spread over time", &run.phase_spread_series(), 64, 12));
+            out.push_str(&ascii_chart(
+                "phase spread over time",
+                &run.phase_spread_series(),
+                64,
+                12,
+            ));
         }
         "heatmap" => {
             let _ = writeln!(out, "\nrank × time heatmap (darker = ahead of the lagger):");
@@ -350,58 +417,182 @@ pub fn cmd_simulate(cfg: &Config) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// §5.1.1: idle-wave speed vs. coupling βκ in the model.
+/// `pom sweep <spec.toml>`: run a declarative campaign from a spec file.
+pub fn cmd_sweep(positional: &[String], cfg: &Config) -> Result<String, CliError> {
+    let spec_path = match (positional.first(), cfg.get("spec")) {
+        (Some(p), _) => p.clone(),
+        (None, Some(p)) => p.to_string(),
+        (None, None) => {
+            return Err(CliError::Run(
+                "usage: pom sweep <spec.toml> [threads=0] [out=results.jsonl] \
+                 [format=jsonl|csv] [resume=0|1]"
+                    .to_string(),
+            ))
+        }
+    };
+    let campaign = Campaign::from_file(&spec_path).map_err(|e| CliError::Run(e.to_string()))?;
+    let threads = cfg.usize_or("threads", 0)?;
+    let resume = cfg.usize_or("resume", 0)? != 0;
+    let format = cfg.str_or("format", "jsonl");
+
+    // Resume state lives in the JSONL header's spec hash; silently
+    // re-running a whole campaign instead would discard completed work.
+    if resume && (cfg.get("out").is_none() || format != "jsonl") {
+        return Err(CliError::Run(
+            "resume=1 requires out=<file> with format=jsonl (only the JSONL stream \
+             carries the spec hash and completed points)"
+                .to_string(),
+        ));
+    }
+
+    let summary = match cfg.get("out") {
+        None => {
+            // No output file: the report *is* the JSONL stream.
+            let text = campaign
+                .run_jsonl_string(threads)
+                .map_err(|e| CliError::Run(e.to_string()))?;
+            return Ok(text);
+        }
+        Some(out_path) => {
+            let mut progress = ProgressSink::new(campaign.total_points());
+            match format.as_str() {
+                "jsonl" => {
+                    let (mut file_sink, opts) = campaign
+                        .jsonl_file_sink(out_path, threads, resume)
+                        .map_err(|e| CliError::Run(e.to_string()))?;
+                    let mut tee = TeeSink::new(vec![&mut file_sink, &mut progress]);
+                    campaign
+                        .run(&opts, &mut tee)
+                        .map_err(|e| CliError::Run(e.to_string()))?
+                }
+                "csv" => {
+                    let file = std::fs::File::create(out_path)
+                        .map_err(|e| CliError::Run(format!("create {out_path}: {e}")))?;
+                    let mut sink = pom_sweep::CsvSink::new(file);
+                    let mut tee = TeeSink::new(vec![&mut sink, &mut progress]);
+                    campaign
+                        .run(&RunOptions::with_threads(threads), &mut tee)
+                        .map_err(|e| CliError::Run(e.to_string()))?
+                }
+                other => {
+                    return Err(CliError::Config(ConfigError::BadValue {
+                        key: "format".into(),
+                        value: other.into(),
+                        expected: "jsonl or csv",
+                    }))
+                }
+            }
+        }
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(out, "# campaign `{}`", campaign.spec.name);
+    let _ = writeln!(out, "points:   {}", summary.total);
+    let _ = writeln!(out, "executed: {}", summary.executed);
+    let _ = writeln!(out, "skipped:  {} (resume cache)", summary.skipped);
+    let _ = writeln!(out, "errors:   {}", summary.errors);
+    if let Some(p) = cfg.get("out") {
+        let _ = writeln!(out, "wrote {p}");
+    }
+    Ok(out)
+}
+
+/// §5.1.1: idle-wave speed vs. coupling βκ in the model — a canned
+/// campaign on the sweep engine.
 pub fn cmd_wave_sweep(cfg: &Config) -> Result<String, CliError> {
     let n = cfg.usize_or("n", 40)?.max(8);
     let t_end = cfg.f64_or("t_end", 80.0)?;
+    let spec = format!(
+        r#"
+        [campaign]
+        name = "wave-sweep"
+        observables = ["wave_speed", "wave_r2"]
+        [model]
+        n = {n}
+        potential = "tanh"
+        tcomp = 0.9
+        tcomm = 0.1
+        [topology]
+        kind = "ring"
+        [init]
+        kind = "sync"
+        [inject]
+        rank = 5
+        at = 2.0
+        len = 3.0
+        extra = 1.0
+        [sim]
+        t_end = {t_end}
+        samples = 400
+        [wave]
+        threshold = 0.05
+        [[axes]]
+        key = "model.coupling"
+        values = [0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0]
+        "#
+    );
+    let campaign = Campaign::from_str(&spec).map_err(|e| CliError::Run(e.to_string()))?;
+    let rows = campaign
+        .run_collect(0)
+        .map_err(|e| CliError::Run(e.to_string()))?;
+
     let mut out = String::new();
-    let _ = writeln!(out, "# Idle-wave speed vs βκ (model, tanh potential, ring ±1)");
+    let _ = writeln!(
+        out,
+        "# Idle-wave speed vs βκ (model, tanh potential, ring ±1)"
+    );
     let _ = writeln!(out, "{:>8}  {:>14}  {:>8}", "βκ", "speed [rk/u]", "R²");
-    for bk in [0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0] {
-        let run = |inject: bool| {
-            let mut b = PomBuilder::new(n)
-                .topology(Topology::ring(n, &[-1, 1]))
-                .potential(Potential::Tanh)
-                .compute_time(0.9)
-                .comm_time(0.1)
-                .coupling(bk)
-                .normalization(Normalization::ByDegree);
-            if inject {
-                b = b.local_noise(OneOffDelays::new(vec![DelayEvent {
-                    rank: 5,
-                    t_start: 2.0,
-                    duration: 3.0,
-                    extra: 1.0,
-                }]));
-            }
-            b.build()
-                .map_err(|e| CliError::Run(e.to_string()))?
-                .simulate_with(
-                    InitialCondition::Synchronized,
-                    &SimOptions::new(t_end).samples(400),
-                )
-                .map_err(|e| CliError::Run(e.to_string()))
-        };
-        let pert = run(true)?;
-        let base = run(false)?;
-        let arrivals = model_wave_arrivals(&pert, &base, 0.05);
-        let fit = wave_speed_fit(&arrivals, 5, n / 2 - 2);
-        match (fit.mean_speed(), fit.up) {
-            (Some(s), Some(up)) => {
-                let _ = writeln!(out, "{bk:>8.1}  {s:>14.4}  {:>8.3}", up.r2);
-            }
-            _ => {
-                let _ = writeln!(out, "{bk:>8.1}  {:>14}  {:>8}", "no wave", "-");
-            }
+    for row in &rows {
+        if let Some(e) = &row.error {
+            return Err(CliError::Run(e.clone()));
+        }
+        let bk = row.params[0].1.as_f64().unwrap_or(f64::NAN);
+        let speed = row.observables[0].1;
+        let r2 = row.observables[1].1;
+        if speed.is_finite() && r2.is_finite() {
+            let _ = writeln!(out, "{bk:>8.1}  {speed:>14.4}  {r2:>8.3}");
+        } else {
+            let _ = writeln!(out, "{bk:>8.1}  {:>14}  {:>8}", "no wave", "-");
         }
     }
     Ok(out)
 }
 
-/// §5.2.2: asymptotic adjacent phase gap vs interaction horizon σ.
+/// §5.2.2: asymptotic adjacent phase gap vs interaction horizon σ — a
+/// canned campaign on the sweep engine.
 pub fn cmd_sigma_sweep(cfg: &Config) -> Result<String, CliError> {
     let n = cfg.usize_or("n", 24)?.max(4);
     let t_end = cfg.f64_or("t_end", 300.0)?;
+    let spec = format!(
+        r#"
+        [campaign]
+        name = "sigma-sweep"
+        observables = ["mean_abs_gap", "rel_err_two_thirds"]
+        [model]
+        n = {n}
+        potential = "desync"
+        tcomp = 0.9
+        tcomm = 0.1
+        coupling = 4.0
+        [topology]
+        kind = "chain"
+        [init]
+        kind = "spread"
+        amplitude = 0.2
+        seed = 3
+        [sim]
+        t_end = {t_end}
+        samples = 300
+        [[axes]]
+        key = "model.sigma"
+        values = [0.5, 1.0, 2.0, 3.0, 4.0, 6.0]
+        "#
+    );
+    let campaign = Campaign::from_str(&spec).map_err(|e| CliError::Run(e.to_string()))?;
+    let rows = campaign
+        .run_collect(0)
+        .map_err(|e| CliError::Run(e.to_string()))?;
+
     let mut out = String::new();
     let _ = writeln!(out, "# Asymptotic |adjacent gap| vs σ (model, chain ±1)");
     let _ = writeln!(
@@ -409,28 +600,17 @@ pub fn cmd_sigma_sweep(cfg: &Config) -> Result<String, CliError> {
         "{:>8}  {:>12}  {:>12}  {:>10}",
         "σ", "gap [rad]", "2σ/3", "rel.err"
     );
-    for sigma in [0.5, 1.0, 2.0, 3.0, 4.0, 6.0] {
-        let run = PomBuilder::new(n)
-            .topology(Topology::chain(n, &[-1, 1]))
-            .potential(Potential::desync(sigma))
-            .compute_time(0.9)
-            .comm_time(0.1)
-            .coupling(4.0)
-            .normalization(Normalization::ByDegree)
-            .build()
-            .map_err(|e| CliError::Run(e.to_string()))?
-            .simulate_with(
-                InitialCondition::RandomSpread { amplitude: 0.2, seed: 3 },
-                &SimOptions::new(t_end).samples(300),
-            )
-            .map_err(|e| CliError::Run(e.to_string()))?;
-        let gaps = run.final_adjacent_differences();
-        let mean_gap = gaps.iter().map(|g| g.abs()).sum::<f64>() / gaps.len() as f64;
+    for row in &rows {
+        if let Some(e) = &row.error {
+            return Err(CliError::Run(e.clone()));
+        }
+        let sigma = row.params[0].1.as_f64().unwrap_or(f64::NAN);
+        let mean_gap = row.observables[0].1;
+        let rel = row.observables[1].1;
         let expect = 2.0 * sigma / 3.0;
         let _ = writeln!(
             out,
-            "{sigma:>8.1}  {mean_gap:>12.4}  {expect:>12.4}  {:>10.4}",
-            (mean_gap - expect).abs() / expect
+            "{sigma:>8.1}  {mean_gap:>12.4}  {expect:>12.4}  {rel:>10.4}"
         );
     }
     Ok(out)
@@ -449,9 +629,116 @@ mod tests {
     #[test]
     fn help_lists_all_commands() {
         let h = help();
-        for cmd in ["potentials", "scaling", "fig2", "simulate", "wave-sweep", "sigma-sweep"] {
+        for cmd in [
+            "potentials",
+            "scaling",
+            "fig2",
+            "simulate",
+            "sweep",
+            "wave-sweep",
+            "sigma-sweep",
+        ] {
             assert!(h.contains(cmd), "missing {cmd}");
         }
+    }
+
+    #[test]
+    fn sweep_without_spec_reports_usage() {
+        let e = run_cli(["sweep"]).unwrap_err();
+        assert!(e.to_string().contains("usage"), "{e}");
+    }
+
+    #[test]
+    fn sweep_resume_requires_jsonl_file_output() {
+        // Without out= (and with format=csv) there is no spec-hash stream
+        // to resume from; silently re-running everything would be worse
+        // than an error.
+        let spec = std::env::temp_dir().join(format!("pom-cli-rr-{}.toml", std::process::id()));
+        std::fs::write(&spec, "[model]\nn = 4\n[sim]\nt_end = 2.0\nsamples = 5\n").unwrap();
+        let e = run_cli(["sweep", spec.to_str().unwrap(), "resume=1"]).unwrap_err();
+        assert!(e.to_string().contains("resume"), "{e}");
+        let e = run_cli([
+            "sweep",
+            spec.to_str().unwrap(),
+            "resume=1",
+            "format=csv",
+            "out=/tmp/x.csv",
+        ])
+        .unwrap_err();
+        assert!(e.to_string().contains("jsonl"), "{e}");
+        let _ = std::fs::remove_file(&spec);
+    }
+
+    #[test]
+    fn sweep_runs_spec_file_and_streams_jsonl() {
+        let spec = r#"
+            [campaign]
+            name = "cli-smoke"
+            seed = 1
+            observables = ["final_r"]
+            [model]
+            n = 4
+            coupling = 6.0
+            [sim]
+            t_end = 5.0
+            samples = 10
+            [[axes]]
+            key = "model.coupling"
+            values = [4.0, 8.0]
+        "#;
+        let path = std::env::temp_dir().join(format!("pom-cli-sweep-{}.toml", std::process::id()));
+        std::fs::write(&path, spec).unwrap();
+        let out = run_cli(["sweep", path.to_str().unwrap()]).unwrap();
+        // Header + 2 rows of JSONL.
+        assert_eq!(out.lines().count(), 3, "{out}");
+        assert!(out.lines().next().unwrap().contains("cli-smoke"));
+        assert!(out.contains("\"final_r\""));
+        // Positional and spec= forms agree.
+        let keyed = run_cli(["sweep".to_string(), format!("spec={}", path.display())]).unwrap();
+        assert_eq!(out, keyed);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sweep_writes_and_resumes_file_output() {
+        let spec = r#"
+            [campaign]
+            observables = ["final_spread"]
+            [model]
+            n = 4
+            [sim]
+            t_end = 4.0
+            samples = 10
+            [[axes]]
+            key = "model.coupling"
+            values = [2.0, 4.0, 6.0]
+        "#;
+        let dir = std::env::temp_dir();
+        let spec_path = dir.join(format!("pom-cli-res-{}.toml", std::process::id()));
+        let out_path = dir.join(format!("pom-cli-res-{}.jsonl", std::process::id()));
+        std::fs::write(&spec_path, spec).unwrap();
+        let _ = std::fs::remove_file(&out_path);
+
+        let report = run_cli([
+            "sweep".to_string(),
+            spec_path.display().to_string(),
+            format!("out={}", out_path.display()),
+        ])
+        .unwrap();
+        assert!(report.contains("executed: 3"), "{report}");
+
+        // Resuming a complete file executes nothing.
+        let report = run_cli([
+            "sweep".to_string(),
+            spec_path.display().to_string(),
+            format!("out={}", out_path.display()),
+            "resume=1".to_string(),
+        ])
+        .unwrap();
+        assert!(report.contains("executed: 0"), "{report}");
+        assert!(report.contains("skipped:  3"), "{report}");
+        let _ = std::fs::remove_file(&spec_path);
+        let _ = std::fs::remove_file(&out_path);
     }
 
     #[test]
@@ -494,7 +781,10 @@ mod tests {
         ])
         .unwrap();
         // r printed with 5 decimals; after resync it is ≈ 1.
-        assert!(out.contains("final order parameter r: 1.0000") || out.contains("r: 0.9999"), "{out}");
+        assert!(
+            out.contains("final order parameter r: 1.0000") || out.contains("r: 0.9999"),
+            "{out}"
+        );
     }
 
     #[test]
@@ -518,7 +808,10 @@ mod tests {
             .and_then(|l| l.split_whitespace().rev().nth(1).map(str::to_string))
             .and_then(|v| v.parse().ok())
             .expect("gap line present");
-        assert!((gap - 1.0).abs() < 0.02, "gap {gap} should be ≈ 2σ/3 = 1.0\n{out}");
+        assert!(
+            (gap - 1.0).abs() < 0.02,
+            "gap {gap} should be ≈ 2σ/3 = 1.0\n{out}"
+        );
         assert!(out.contains("circle diagram"));
     }
 
@@ -553,7 +846,10 @@ mod tests {
         let out = run_cli(["sigma-sweep", "n=12", "t_end=200"]).unwrap();
         // Every row's relative error column should be small; spot-check
         // that at least the σ=3 row is within 5%.
-        let row = out.lines().find(|l| l.trim_start().starts_with("3.0")).unwrap();
+        let row = out
+            .lines()
+            .find(|l| l.trim_start().starts_with("3.0"))
+            .unwrap();
         let rel: f64 = row.split_whitespace().last().unwrap().parse().unwrap();
         assert!(rel < 0.05, "σ=3 relative error {rel}: {out}");
     }

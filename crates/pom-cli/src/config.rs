@@ -33,7 +33,11 @@ impl fmt::Display for ConfigError {
             ConfigError::Malformed(arg) => write!(f, "`{arg}` is not of the form key=value"),
             ConfigError::Duplicate(key) => write!(f, "key `{key}` given twice"),
             ConfigError::Missing(key) => write!(f, "missing required key `{key}`"),
-            ConfigError::BadValue { key, value, expected } => {
+            ConfigError::BadValue {
+                key,
+                value,
+                expected,
+            } => {
                 write!(f, "`{key}={value}`: expected {expected}")
             }
         }
@@ -61,7 +65,10 @@ impl Config {
             let Some((k, v)) = arg.split_once('=') else {
                 return Err(ConfigError::Malformed(arg.to_string()));
             };
-            if values.insert(k.trim().to_string(), v.trim().to_string()).is_some() {
+            if values
+                .insert(k.trim().to_string(), v.trim().to_string())
+                .is_some()
+            {
                 return Err(ConfigError::Duplicate(k.to_string()));
             }
         }
@@ -120,11 +127,7 @@ impl Config {
     }
 
     /// Comma-separated signed integers (e.g. `distances=-2,-1,1`).
-    pub fn i32_list_or(
-        &self,
-        key: &'static str,
-        default: &[i32],
-    ) -> Result<Vec<i32>, ConfigError> {
+    pub fn i32_list_or(&self, key: &'static str, default: &[i32]) -> Result<Vec<i32>, ConfigError> {
         match self.get(key) {
             None => Ok(default.to_vec()),
             Some(v) => v
@@ -190,7 +193,11 @@ mod tests {
 
     #[test]
     fn error_messages_name_the_key() {
-        let e = ConfigError::BadValue { key: "sigma".into(), value: "x".into(), expected: "a number" };
+        let e = ConfigError::BadValue {
+            key: "sigma".into(),
+            value: "x".into(),
+            expected: "a number",
+        };
         assert!(e.to_string().contains("sigma"));
         assert!(ConfigError::Missing("n").to_string().contains('n'));
     }

@@ -164,26 +164,44 @@ impl PomBuilder {
     /// Validate and build.
     pub fn build(self) -> Result<Pom, PomError> {
         if self.n == 0 {
-            return Err(PomError::BadParameter { name: "n", value: 0.0 });
+            return Err(PomError::BadParameter {
+                name: "n",
+                value: 0.0,
+            });
         }
         if !(self.t_comp.is_finite() && self.t_comp > 0.0) {
-            return Err(PomError::BadParameter { name: "t_comp", value: self.t_comp });
+            return Err(PomError::BadParameter {
+                name: "t_comp",
+                value: self.t_comp,
+            });
         }
         if !(self.t_comm.is_finite() && self.t_comm >= 0.0) {
-            return Err(PomError::BadParameter { name: "t_comm", value: self.t_comm });
+            return Err(PomError::BadParameter {
+                name: "t_comm",
+                value: self.t_comm,
+            });
         }
         let topology = self.topology.ok_or(PomError::MissingTopology)?;
         if topology.n() != self.n {
-            return Err(PomError::TopologySize { n: self.n, topo_n: topology.n() });
+            return Err(PomError::TopologySize {
+                n: self.n,
+                topo_n: topology.n(),
+            });
         }
         if let Some(k) = self.kappa {
             if !(k.is_finite() && k >= 0.0) {
-                return Err(PomError::BadParameter { name: "kappa", value: k });
+                return Err(PomError::BadParameter {
+                    name: "kappa",
+                    value: k,
+                });
             }
         }
         if let Some(vp) = self.coupling_override {
             if !vp.is_finite() {
-                return Err(PomError::BadParameter { name: "coupling", value: vp });
+                return Err(PomError::BadParameter {
+                    name: "coupling",
+                    value: vp,
+                });
             }
         }
         let kappa = self.kappa.unwrap_or_else(|| {
@@ -235,7 +253,10 @@ mod tests {
 
     #[test]
     fn rejects_missing_topology() {
-        assert_eq!(PomBuilder::new(4).build().unwrap_err(), PomError::MissingTopology);
+        assert_eq!(
+            PomBuilder::new(4).build().unwrap_err(),
+            PomError::MissingTopology
+        );
     }
 
     #[test]
@@ -267,8 +288,14 @@ mod tests {
             Err(PomError::BadParameter { name: "kappa", .. })
         ));
         assert!(matches!(
-            PomBuilder::new(4).topology(t()).coupling(f64::INFINITY).build(),
-            Err(PomError::BadParameter { name: "coupling", .. })
+            PomBuilder::new(4)
+                .topology(t())
+                .coupling(f64::INFINITY)
+                .build(),
+            Err(PomError::BadParameter {
+                name: "coupling",
+                ..
+            })
         ));
     }
 
@@ -276,7 +303,10 @@ mod tests {
     fn error_messages_readable() {
         let e = PomError::TopologySize { n: 4, topo_n: 5 };
         assert!(e.to_string().contains('4') && e.to_string().contains('5'));
-        let e = PomError::BadParameter { name: "t_comp", value: -1.0 };
+        let e = PomError::BadParameter {
+            name: "t_comp",
+            value: -1.0,
+        };
         assert!(e.to_string().contains("t_comp"));
         assert!(PomError::MissingTopology.to_string().contains("topology"));
     }

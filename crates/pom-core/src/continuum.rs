@@ -70,7 +70,10 @@ pub fn transport_coefficients(
         drift += vp * d as f64;
         diffusion += vp * (d as f64) * (d as f64) / 2.0;
     }
-    TransportCoefficients { drift: coupling_scale * drift, diffusion: coupling_scale * diffusion }
+    TransportCoefficients {
+        drift: coupling_scale * drift,
+        diffusion: coupling_scale * diffusion,
+    }
 }
 
 /// Quadratic-order prediction of the Fourier growth rate

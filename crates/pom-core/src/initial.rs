@@ -38,12 +38,12 @@ impl InitialCondition {
     pub fn phases(&self, n: usize) -> Vec<f64> {
         match self {
             InitialCondition::Synchronized => vec![0.0; n],
-            InitialCondition::Wavefront { slope } => {
-                (0..n).map(|i| i as f64 * slope).collect()
-            }
+            InitialCondition::Wavefront { slope } => (0..n).map(|i| i as f64 * slope).collect(),
             InitialCondition::RandomSpread { amplitude, seed } => {
                 let mut rng = Xoshiro256pp::seeded(*seed);
-                (0..n).map(|_| rng.uniform(-amplitude / 2.0, amplitude / 2.0)).collect()
+                (0..n)
+                    .map(|_| rng.uniform(-amplitude / 2.0, amplitude / 2.0))
+                    .collect()
             }
             InitialCondition::Phases(p) => {
                 assert_eq!(p.len(), n, "explicit phases have wrong length");
@@ -70,13 +70,20 @@ mod tests {
 
     #[test]
     fn random_spread_reproducible_and_bounded() {
-        let ic = InitialCondition::RandomSpread { amplitude: 2.0, seed: 9 };
+        let ic = InitialCondition::RandomSpread {
+            amplitude: 2.0,
+            seed: 9,
+        };
         let a = ic.phases(32);
         let b = ic.phases(32);
         assert_eq!(a, b);
         assert!(a.iter().all(|&x| (-1.0..=1.0).contains(&x)));
         // Different seed, different draw.
-        let c = InitialCondition::RandomSpread { amplitude: 2.0, seed: 10 }.phases(32);
+        let c = InitialCondition::RandomSpread {
+            amplitude: 2.0,
+            seed: 10,
+        }
+        .phases(32);
         assert_ne!(a, c);
     }
 

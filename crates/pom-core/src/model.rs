@@ -136,7 +136,11 @@ impl Pom {
             for &j in self.topology.neighbors(i) {
                 let j = j as usize;
                 let tau = self.interaction_noise.tau(i, j, t);
-                let theta_j = if tau > 0.0 { hist.sample(t - tau, j) } else { theta[j] };
+                let theta_j = if tau > 0.0 {
+                    hist.sample(t - tau, j)
+                } else {
+                    theta[j]
+                };
                 coupling += self.potential.value(theta_j - theta[i]);
             }
             dtheta[i] = self.intrinsic(i, t) + self.coupling_scale(i) * coupling;
@@ -202,7 +206,10 @@ mod tests {
         for &t in &[0.5, 1.0, 2.0] {
             let x = pair_difference(Potential::Tanh, vp, x0, t);
             let exact = (x0.sinh() * (-vp * t).exp()).asinh();
-            assert!((x - exact).abs() < 1e-7, "t = {t}: x = {x}, exact = {exact}");
+            assert!(
+                (x - exact).abs() < 1e-7,
+                "t = {t}: x = {x}, exact = {exact}"
+            );
         }
     }
 
@@ -323,7 +330,10 @@ mod tests {
         let last = traj.last().unwrap();
         let spread = last.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
             - last.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(spread < 0.02, "should resync despite small delay, spread {spread}");
+        assert!(
+            spread < 0.02,
+            "should resync despite small delay, spread {spread}"
+        );
     }
 
     #[test]

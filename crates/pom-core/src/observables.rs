@@ -49,7 +49,10 @@ pub fn phase_spread(phases: &[f64]) -> f64 {
 pub fn lagger_normalized(phases: &[f64], omega: f64, t: f64) -> Vec<f64> {
     assert!(!phases.is_empty());
     let drift = omega * t;
-    let min = phases.iter().map(|&p| p - drift).fold(f64::INFINITY, f64::min);
+    let min = phases
+        .iter()
+        .map(|&p| p - drift)
+        .fold(f64::INFINITY, f64::min);
     phases.iter().map(|&p| p - drift - min).collect()
 }
 

@@ -60,7 +60,14 @@ pub struct PomParams {
 impl PomParams {
     /// Parameters with the paper's derived coupling.
     pub fn new(n: usize, t_comp: f64, t_comm: f64, protocol: Protocol, kappa: f64) -> Self {
-        Self { n, t_comp, t_comm, protocol, kappa, coupling_override: None }
+        Self {
+            n,
+            t_comp,
+            t_comm,
+            protocol,
+            kappa,
+            coupling_override: None,
+        }
     }
 
     /// Cycle duration `t_comp + t_comm` (the oscillator period without

@@ -166,7 +166,7 @@ mod tests {
         let d = fig2_model(Fig2Panel::D, false).unwrap();
         assert_eq!(a.params().kappa, 2.0); // |−1| + |1|
         assert_eq!(d.params().kappa, 4.0); // |−2| + |−1| + |1|
-        // Stiffer communication ⇒ stronger coupling (faster waves, §5.1.1).
+                                           // Stiffer communication ⇒ stronger coupling (faster waves, §5.1.1).
         assert!(d.params().coupling() > a.params().coupling());
     }
 

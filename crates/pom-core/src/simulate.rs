@@ -6,13 +6,10 @@ use pom_ode::{Dopri5, FixedStepSolver, OdeError, Rk4, Trajectory};
 
 use crate::initial::InitialCondition;
 use crate::model::Pom;
-use crate::observables::{
-    adjacent_differences, lagger_normalized, order_parameter, phase_spread,
-};
+use crate::observables::{adjacent_differences, lagger_normalized, order_parameter, phase_spread};
 
 /// Integrator selection for a model run.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum SolverChoice {
     /// Pick automatically: Dormand–Prince 5(4) without interaction delays,
     /// fixed-step DDE-RK4 with them (the paper's MATLAB tool uses ode45;
@@ -33,7 +30,6 @@ pub enum SolverChoice {
     },
 }
 
-
 /// Options for [`Pom::simulate_with`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimOptions {
@@ -48,7 +44,11 @@ pub struct SimOptions {
 impl SimOptions {
     /// Default options for a span: 400 output samples, automatic solver.
     pub fn new(t_end: f64) -> Self {
-        Self { t_end, n_samples: 400, solver: SolverChoice::Auto }
+        Self {
+            t_end,
+            n_samples: 400,
+            solver: SolverChoice::Auto,
+        }
     }
 
     /// Set the number of output samples.
@@ -116,7 +116,11 @@ impl PomRun {
 
     /// The paper's standard view at sample `k`: `θ_i − ωt`, lagger at 0.
     pub fn normalized_snapshot(&self, k: usize) -> Vec<f64> {
-        lagger_normalized(self.trajectory.state(k), self.omega, self.trajectory.time(k))
+        lagger_normalized(
+            self.trajectory.state(k),
+            self.omega,
+            self.trajectory.time(k),
+        )
     }
 
     /// Lagger-normalized phases at the last sample.
@@ -127,6 +131,18 @@ impl PomRun {
     /// Adjacent phase differences at the final sample (wavefront slope).
     pub fn final_adjacent_differences(&self) -> Vec<f64> {
         adjacent_differences(self.trajectory.last().expect("non-empty run"))
+    }
+
+    /// Mean `|adjacent phase difference|` at the final sample — the
+    /// quantity the §5.2.2 sweep compares against `2σ/3` (0 for a single
+    /// oscillator).
+    pub fn mean_abs_adjacent_gap(&self) -> f64 {
+        let gaps = self.final_adjacent_differences();
+        if gaps.is_empty() {
+            0.0
+        } else {
+            gaps.iter().map(|g| g.abs()).sum::<f64>() / gaps.len() as f64
+        }
     }
 
     /// Time series of one oscillator's lagger-normalized phase.
@@ -162,7 +178,10 @@ impl Pom {
                         .min(opts.t_end / 10.0);
                     SolverChoice::FixedRk4 { h }
                 } else {
-                    SolverChoice::Dopri5 { rtol: 1e-8, atol: 1e-10 }
+                    SolverChoice::Dopri5 {
+                        rtol: 1e-8,
+                        atol: 1e-10,
+                    }
                 }
             }
             other => other,
@@ -192,9 +211,12 @@ impl Pom {
                 if self.has_delays() {
                     let n_steps = (opts.t_end / h).ceil() as usize;
                     let every = (n_steps / opts.n_samples).max(1);
-                    let (traj, _) = DdeRk4::new(h)?
-                        .record_every(every)
-                        .integrate(self, 0.0, InitialHistory::Constant(y0), opts.t_end)?;
+                    let (traj, _) = DdeRk4::new(h)?.record_every(every).integrate(
+                        self,
+                        0.0,
+                        InitialHistory::Constant(y0),
+                        opts.t_end,
+                    )?;
                     traj
                 } else {
                     let n_steps = (opts.t_end / h).ceil() as usize;
@@ -246,11 +268,18 @@ mod tests {
     fn scalable_run_resynchronizes() {
         let run = scalable_model(16)
             .simulate(
-                InitialCondition::RandomSpread { amplitude: 1.0, seed: 3 },
+                InitialCondition::RandomSpread {
+                    amplitude: 1.0,
+                    seed: 3,
+                },
                 120.0,
             )
             .unwrap();
-        assert!(run.final_order_parameter() > 0.999, "r = {}", run.final_order_parameter());
+        assert!(
+            run.final_order_parameter() > 0.999,
+            "r = {}",
+            run.final_order_parameter()
+        );
         assert!(run.final_phase_spread() < 1e-2);
         // Order parameter increased from start to end.
         let series = run.order_parameter_series();
@@ -265,7 +294,10 @@ mod tests {
         let sigma = 1.5;
         let run = bottlenecked_model(Topology::chain(12, &[-1, 1]), sigma)
             .simulate(
-                InitialCondition::RandomSpread { amplitude: 0.1, seed: 5 },
+                InitialCondition::RandomSpread {
+                    amplitude: 0.1,
+                    seed: 5,
+                },
                 400.0,
             )
             .unwrap();
@@ -278,7 +310,10 @@ mod tests {
                 d.abs()
             );
         }
-        assert!(run.final_phase_spread() > expect, "a wavefront has macroscopic spread");
+        assert!(
+            run.final_phase_spread() > expect,
+            "a wavefront has macroscopic spread"
+        );
     }
 
     #[test]
@@ -290,19 +325,31 @@ mod tests {
         let sigma = 1.5;
         let run = bottlenecked_model(Topology::ring(12, &[-1, 1]), sigma)
             .simulate(
-                InitialCondition::RandomSpread { amplitude: 0.1, seed: 5 },
+                InitialCondition::RandomSpread {
+                    amplitude: 0.1,
+                    seed: 5,
+                },
                 300.0,
             )
             .unwrap();
         let diffs = run.final_adjacent_differences();
         let mean_abs = diffs.iter().map(|d| d.abs()).sum::<f64>() / diffs.len() as f64;
-        assert!(mean_abs > sigma / 3.0, "mean |delta| = {mean_abs} stayed near lockstep");
-        assert!(run.final_phase_spread() > sigma, "spread = {}", run.final_phase_spread());
+        assert!(
+            mean_abs > sigma / 3.0,
+            "mean |delta| = {mean_abs} stayed near lockstep"
+        );
+        assert!(
+            run.final_phase_spread() > sigma,
+            "spread = {}",
+            run.final_phase_spread()
+        );
     }
 
     #[test]
     fn synchronized_start_stays_synchronized_for_scalable() {
-        let run = scalable_model(8).simulate(InitialCondition::Synchronized, 20.0).unwrap();
+        let run = scalable_model(8)
+            .simulate(InitialCondition::Synchronized, 20.0)
+            .unwrap();
         assert!(run.final_phase_spread() < 1e-9);
         assert!((run.final_order_parameter() - 1.0).abs() < 1e-12);
     }
@@ -310,7 +357,13 @@ mod tests {
     #[test]
     fn normalized_snapshot_has_zero_lagger() {
         let run = scalable_model(8)
-            .simulate(InitialCondition::RandomSpread { amplitude: 0.5, seed: 1 }, 5.0)
+            .simulate(
+                InitialCondition::RandomSpread {
+                    amplitude: 0.5,
+                    seed: 1,
+                },
+                5.0,
+            )
             .unwrap();
         for k in [0, run.trajectory().len() - 1] {
             let norm = run.normalized_snapshot(k);
@@ -334,17 +387,34 @@ mod tests {
     #[test]
     fn fixed_rk4_agrees_with_dopri5() {
         let model = scalable_model(6);
-        let init = InitialCondition::RandomSpread { amplitude: 0.8, seed: 11 };
+        let init = InitialCondition::RandomSpread {
+            amplitude: 0.8,
+            seed: 11,
+        };
         let a = model
-            .simulate_with(init.clone(), &SimOptions::new(30.0).solver(SolverChoice::Dopri5 { rtol: 1e-10, atol: 1e-10 }))
+            .simulate_with(
+                init.clone(),
+                &SimOptions::new(30.0).solver(SolverChoice::Dopri5 {
+                    rtol: 1e-10,
+                    atol: 1e-10,
+                }),
+            )
             .unwrap();
         let b = model
-            .simulate_with(init, &SimOptions::new(30.0).solver(SolverChoice::FixedRk4 { h: 0.005 }))
+            .simulate_with(
+                init,
+                &SimOptions::new(30.0).solver(SolverChoice::FixedRk4 { h: 0.005 }),
+            )
             .unwrap();
         let fa = a.trajectory().last().unwrap();
         let fb = b.trajectory().last().unwrap();
         for i in 0..6 {
-            assert!((fa[i] - fb[i]).abs() < 1e-6, "osc {i}: {} vs {}", fa[i], fb[i]);
+            assert!(
+                (fa[i] - fb[i]).abs() < 1e-6,
+                "osc {i}: {} vs {}",
+                fa[i],
+                fb[i]
+            );
         }
     }
 
@@ -359,7 +429,13 @@ mod tests {
             .unwrap();
         // Just verify the run completes and resynchronizes despite delay.
         let run = model
-            .simulate(InitialCondition::RandomSpread { amplitude: 0.3, seed: 2 }, 80.0)
+            .simulate(
+                InitialCondition::RandomSpread {
+                    amplitude: 0.3,
+                    seed: 2,
+                },
+                80.0,
+            )
             .unwrap();
         assert!(run.final_order_parameter() > 0.99);
     }

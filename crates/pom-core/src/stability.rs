@@ -191,7 +191,9 @@ mod tests {
         let q = std::f64::consts::TAU * m as f64 / n as f64;
         let init: Vec<f64> = (0..n).map(|i| eps * (q * i as f64).cos()).collect();
         let t_end = 4.0;
-        let run = model.simulate(InitialCondition::Phases(init), t_end).unwrap();
+        let run = model
+            .simulate(InitialCondition::Phases(init), t_end)
+            .unwrap();
         // Amplitude of the mode at start and end (remove the mean).
         let amp = |phases: &[f64]| {
             let mean = phases.iter().sum::<f64>() / n as f64;

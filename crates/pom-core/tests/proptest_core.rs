@@ -3,8 +3,8 @@
 
 use pom_core::{
     adjacent_differences, lagger_normalized, order_parameter, phase_spread, stability,
-    transport_coefficients, winding_number, InitialCondition, Normalization, PomBuilder,
-    Potential, SimOptions,
+    transport_coefficients, winding_number, InitialCondition, Normalization, PomBuilder, Potential,
+    SimOptions,
 };
 use pom_topology::Topology;
 use proptest::prelude::*;

@@ -64,7 +64,11 @@ pub fn share_bandwidth(demands: &[f64], capacity: f64) -> BandwidthShare {
         remaining -= g;
         left -= 1;
     }
-    BandwidthShare { granted, total: capacity - remaining, saturated: true }
+    BandwidthShare {
+        granted,
+        total: capacity - remaining,
+        saturated: true,
+    }
 }
 
 #[cfg(test)]

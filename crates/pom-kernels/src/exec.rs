@@ -10,7 +10,10 @@
 ///
 /// Returns a checksum (sum of `a`) so optimizers cannot elide the loop.
 pub fn stream_triad(a: &mut [f64], b: &[f64], c: &[f64], s: f64) -> f64 {
-    assert!(a.len() == b.len() && b.len() == c.len(), "array length mismatch");
+    assert!(
+        a.len() == b.len() && b.len() == c.len(),
+        "array length mismatch"
+    );
     for i in 0..a.len() {
         a[i] = b[i] + s * c[i];
     }
@@ -96,8 +99,10 @@ mod tests {
         for ranks in [1u64, 3, 7, 16] {
             let parts = pisolver_partition(steps, ranks);
             assert_eq!(parts.iter().map(|p| p.1).sum::<u64>(), steps);
-            let partials: Vec<f64> =
-                parts.iter().map(|&(f, c)| pisolver_partial(f, c, steps)).collect();
+            let partials: Vec<f64> = parts
+                .iter()
+                .map(|&(f, c)| pisolver_partial(f, c, steps))
+                .collect();
             let est = pisolver_reduce(&partials, steps);
             assert!((est - pisolver(steps)).abs() < 1e-12, "ranks = {ranks}");
         }

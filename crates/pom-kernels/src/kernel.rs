@@ -21,12 +21,22 @@ impl SocketSpec {
     /// One Meggie socket (§4): 10-core Broadwell at 2.2 GHz, 68 GB/s
     /// saturated, ~20 GB/s single-core.
     pub fn meggie() -> Self {
-        SocketSpec { freq: 2.2e9, cores: 10, mem_bw: 68.0e9, single_core_bw: 20.0e9 }
+        SocketSpec {
+            freq: 2.2e9,
+            cores: 10,
+            mem_bw: 68.0e9,
+            single_core_bw: 20.0e9,
+        }
     }
 
     /// One SuperMUC-NG-like socket: 24-core Skylake, 102 GB/s saturated.
     pub fn supermuc_ng_like() -> Self {
-        SocketSpec { freq: 2.3e9, cores: 24, mem_bw: 102.0e9, single_core_bw: 14.0e9 }
+        SocketSpec {
+            freq: 2.3e9,
+            cores: 24,
+            mem_bw: 102.0e9,
+            single_core_bw: 14.0e9,
+        }
     }
 }
 
@@ -85,7 +95,11 @@ impl Kernel {
 
     /// The three paper kernels in Fig. 1(b) order.
     pub fn paper_kernels() -> [Kernel; 3] {
-        [Self::stream_triad(), Self::schoenauer_slow(), Self::pisolver()]
+        [
+            Self::stream_triad(),
+            Self::schoenauer_slow(),
+            Self::pisolver(),
+        ]
     }
 
     /// `true` if the kernel performs no memory traffic (resource-scalable
@@ -161,7 +175,10 @@ mod tests {
         let s = SocketSpec::meggie();
         let stream = Kernel::stream_triad().bandwidth_demand(&s);
         let slow = Kernel::schoenauer_slow().bandwidth_demand(&s);
-        assert!(stream > 2.0 * slow, "stream {stream:.2e} vs slow {slow:.2e}");
+        assert!(
+            stream > 2.0 * slow,
+            "stream {stream:.2e} vs slow {slow:.2e}"
+        );
         assert_eq!(Kernel::pisolver().bandwidth_demand(&s), 0.0);
     }
 
@@ -172,7 +189,10 @@ mod tests {
         let lups = 1e9;
         // Memory time at single-core bw exceeds the in-core time.
         assert!(k.mem_time(lups, s.single_core_bw) > k.core_time(lups, &s));
-        assert_eq!(k.single_core_time(lups, &s), k.mem_time(lups, s.single_core_bw));
+        assert_eq!(
+            k.single_core_time(lups, &s),
+            k.mem_time(lups, s.single_core_bw)
+        );
     }
 
     #[test]

@@ -21,7 +21,11 @@ pub struct ScalingPoint {
 
 /// Aggregate-bandwidth scaling of `kernel` on `socket` for
 /// `1..=max_processes` processes (paper Fig. 1(b)).
-pub fn scaling_curve(kernel: &Kernel, socket: &SocketSpec, max_processes: usize) -> Vec<ScalingPoint> {
+pub fn scaling_curve(
+    kernel: &Kernel,
+    socket: &SocketSpec,
+    max_processes: usize,
+) -> Vec<ScalingPoint> {
     let demand = kernel.bandwidth_demand(socket);
     (1..=max_processes)
         .map(|k| {
@@ -38,18 +42,18 @@ pub fn scaling_curve(kernel: &Kernel, socket: &SocketSpec, max_processes: usize)
                 let t_cont = kernel.exec_time(1.0, socket, share.granted[0]);
                 t_cont / t_alone
             };
-            ScalingPoint { processes: k, aggregate_bw: share.total, slowdown }
+            ScalingPoint {
+                processes: k,
+                aggregate_bw: share.total,
+                slowdown,
+            }
         })
         .collect()
 }
 
 /// Smallest process count at which the kernel saturates the socket
 /// (aggregate ≥ `threshold` × capacity); `None` if it never does.
-pub fn saturation_point(
-    kernel: &Kernel,
-    socket: &SocketSpec,
-    threshold: f64,
-) -> Option<usize> {
+pub fn saturation_point(kernel: &Kernel, socket: &SocketSpec, threshold: f64) -> Option<usize> {
     scaling_curve(kernel, socket, socket.cores)
         .into_iter()
         .find(|p| p.aggregate_bw >= threshold * socket.mem_bw)

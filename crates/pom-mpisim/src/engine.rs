@@ -52,7 +52,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::InvalidProgram(msg) => write!(f, "invalid program: {msg}"),
-            SimError::PlacementMismatch { program_ranks, placement_ranks } => write!(
+            SimError::PlacementMismatch {
+                program_ranks,
+                placement_ranks,
+            } => write!(
                 f,
                 "program has {program_ranks} ranks but the placement hosts {placement_ranks}"
             ),
@@ -68,12 +71,24 @@ impl std::error::Error for SimError {}
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum EvKind {
-    CoreDone { rank: u32, iter: u32 },
-    MemCompletion { socket: u32, generation: u64 },
-    MsgArrive { key: MsgKey },
-    RdvComplete { key: MsgKey },
+    CoreDone {
+        rank: u32,
+        iter: u32,
+    },
+    MemCompletion {
+        socket: u32,
+        generation: u64,
+    },
+    MsgArrive {
+        key: MsgKey,
+    },
+    RdvComplete {
+        key: MsgKey,
+    },
     /// All ranks reached the collective after iteration `iter`.
-    BarrierRelease { iter: u32 },
+    BarrierRelease {
+        iter: u32,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -106,7 +121,10 @@ impl Ord for Ev {
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Phase {
-    Computing { core_done: bool, mem_done: bool },
+    Computing {
+        core_done: bool,
+        mem_done: bool,
+    },
     Waiting,
     /// Blocked in a synchronizing collective after the given iteration.
     AtBarrier,
@@ -175,8 +193,7 @@ impl Simulator {
         let core_time_base = program.kernel.core_time(lups, &socket_spec);
         let mem_bytes = lups * program.kernel.bytes_per_lup;
         let demand = program.kernel.bandwidth_demand(&socket_spec);
-        let transfer_time =
-            program.message_bytes as f64 / placement.spec().network.bandwidth;
+        let transfer_time = program.message_bytes as f64 / placement.spec().network.bandwidth;
         Ok(Self {
             program,
             placement,
@@ -237,7 +254,10 @@ impl<'a> Engine<'a> {
             states: (0..n)
                 .map(|_| RankState {
                     iter: 0,
-                    phase: Phase::Computing { core_done: false, mem_done: true },
+                    phase: Phase::Computing {
+                        core_done: false,
+                        mem_done: true,
+                    },
                     iter_start_t: 0.0,
                     wait_start_t: 0.0,
                     pending_recv: HashSet::new(),
@@ -259,7 +279,11 @@ impl<'a> Engine<'a> {
 
     fn push(&mut self, t: f64, kind: EvKind) {
         self.seq += 1;
-        self.heap.push(Ev { t, seq: self.seq, kind });
+        self.heap.push(Ev {
+            t,
+            seq: self.seq,
+            kind,
+        });
     }
 
     fn latency(&self, src: usize, dst: usize) -> f64 {
@@ -282,7 +306,10 @@ impl<'a> Engine<'a> {
             }
         }
         if self.finished != self.sim.program.n_ranks {
-            return Err(SimError::Stalled { t: self.makespan, finished_ranks: self.finished });
+            return Err(SimError::Stalled {
+                t: self.makespan,
+                finished_ranks: self.finished,
+            });
         }
         Ok(SimTrace::new(self.traces, self.makespan))
     }
@@ -298,7 +325,11 @@ impl<'a> Engine<'a> {
         if self.sim.program.protocol == MpiProtocol::Rendezvous {
             let partners = self.sim.program.recv_partners(rank);
             for j in partners {
-                let key = MsgKey { src: j as u32, dst: rank as u32, iter };
+                let key = MsgKey {
+                    src: j as u32,
+                    dst: rank as u32,
+                    iter,
+                };
                 if let Some(_send_t) = self.pending_rdv_send.remove(&key) {
                     // Sender already posted: the handshake completes one
                     // latency after the later of the two postings = now.
@@ -314,23 +345,34 @@ impl<'a> Engine<'a> {
         let extra = self.sim.program.extra_core_time(rank, iter as usize);
         let core_t = self.sim.core_time_base + extra;
         let mem_done = self.sim.mem_bytes <= 0.0;
-        self.states[rank].phase = Phase::Computing { core_done: false, mem_done };
-        self.push(t + core_t, EvKind::CoreDone { rank: rank as u32, iter });
+        self.states[rank].phase = Phase::Computing {
+            core_done: false,
+            mem_done,
+        };
+        self.push(
+            t + core_t,
+            EvKind::CoreDone {
+                rank: rank as u32,
+                iter,
+            },
+        );
         if !mem_done {
             let s = self.sim.placement.socket_of(rank);
-            let generation = self.sockets[s].add_stream(
-                t,
-                rank as u32,
-                self.sim.demand,
-                self.sim.mem_bytes,
-            );
+            let generation =
+                self.sockets[s].add_stream(t, rank as u32, self.sim.demand, self.sim.mem_bytes);
             self.schedule_mem_completion(s, generation);
         }
     }
 
     fn schedule_mem_completion(&mut self, socket: usize, generation: u64) {
         if let Some(t_next) = self.sockets[socket].next_completion() {
-            self.push(t_next, EvKind::MemCompletion { socket: socket as u32, generation });
+            self.push(
+                t_next,
+                EvKind::MemCompletion {
+                    socket: socket as u32,
+                    generation,
+                },
+            );
         }
     }
 
@@ -340,7 +382,10 @@ impl<'a> Engine<'a> {
             return; // stale (cannot happen, but harmless)
         }
         if let Phase::Computing { mem_done, .. } = st.phase {
-            st.phase = Phase::Computing { core_done: true, mem_done };
+            st.phase = Phase::Computing {
+                core_done: true,
+                mem_done,
+            };
             if mem_done {
                 self.compute_phase_done(rank, t);
             }
@@ -359,7 +404,13 @@ impl<'a> Engine<'a> {
             let gen = self.sockets[socket].generation();
             if let Some(t_next) = self.sockets[socket].next_completion() {
                 let t_next = t_next.max(t + 1e-12);
-                self.push(t_next, EvKind::MemCompletion { socket: socket as u32, generation: gen });
+                self.push(
+                    t_next,
+                    EvKind::MemCompletion {
+                        socket: socket as u32,
+                        generation: gen,
+                    },
+                );
             }
             return;
         }
@@ -367,7 +418,10 @@ impl<'a> Engine<'a> {
             let rank = *r as usize;
             let st = &mut self.states[rank];
             if let Phase::Computing { core_done, .. } = st.phase {
-                st.phase = Phase::Computing { core_done, mem_done: true };
+                st.phase = Phase::Computing {
+                    core_done,
+                    mem_done: true,
+                };
                 if core_done {
                     self.compute_phase_done(rank, t);
                 }
@@ -393,7 +447,11 @@ impl<'a> Engine<'a> {
         let send_partners = self.sim.program.send_partners(rank);
         let mut pending_send = 0;
         for dst in send_partners {
-            let key = MsgKey { src: rank as u32, dst: dst as u32, iter };
+            let key = MsgKey {
+                src: rank as u32,
+                dst: dst as u32,
+                iter,
+            };
             match self.sim.program.protocol {
                 MpiProtocol::Eager => {
                     let arrive = t + self.latency(rank, dst);
@@ -415,7 +473,11 @@ impl<'a> Engine<'a> {
         // Enter Waitall: collect outstanding receives.
         let mut pending_recv = HashSet::new();
         for j in self.sim.program.recv_partners(rank) {
-            let key = MsgKey { src: j as u32, dst: rank as u32, iter };
+            let key = MsgKey {
+                src: j as u32,
+                dst: rank as u32,
+                iter,
+            };
             if !self.arrived.remove(&key) {
                 pending_recv.insert(key);
             }
@@ -452,8 +514,7 @@ impl<'a> Engine<'a> {
         if st.iter == key.iter {
             debug_assert!(st.pending_send > 0 || st.phase != Phase::Waiting);
             st.pending_send = st.pending_send.saturating_sub(1);
-            if st.phase == Phase::Waiting && st.pending_recv.is_empty() && st.pending_send == 0
-            {
+            if st.phase == Phase::Waiting && st.pending_recv.is_empty() && st.pending_send == 0 {
                 self.end_iteration(src, t);
             }
         }
@@ -492,8 +553,8 @@ impl<'a> Engine<'a> {
                 entry.1 = entry.1.max(t);
                 if entry.0 == n {
                     let tree_hops = (n as f64).log2().ceil().max(1.0);
-                    let release = entry.1
-                        + tree_hops * self.sim.placement.spec().network.latency_inter_node;
+                    let release =
+                        entry.1 + tree_hops * self.sim.placement.spec().network.latency_inter_node;
                     self.push(release, EvKind::BarrierRelease { iter });
                 }
                 return;
@@ -604,7 +665,10 @@ mod tests {
             let rank = 5 + r;
             let before = trace.rank(rank).iter_end(1 + r) - base.rank(rank).iter_end(1 + r);
             let after = trace.rank(rank).iter_end(2 + r) - base.rank(rank).iter_end(2 + r);
-            assert!(before.abs() < 1e-9, "rank {rank} disturbed too early: {before}");
+            assert!(
+                before.abs() < 1e-9,
+                "rank {rank} disturbed too early: {before}"
+            );
             assert!(after > 0.9 * delay, "rank {rank} not delayed: {after}");
         }
         // Total wait time records the idle wave (white → red in ITAC).
@@ -615,10 +679,15 @@ mod tests {
     fn wave_direction_follows_dependency_sign_eager() {
         // D = {+1}: i receives from i+1 ⇒ a delay at rank 10 stalls ranks
         // below it, never above (eager sends don't block).
-        let prog = scalable(20, 16)
-            .distances(vec![1])
-            .inject(SimDelay { rank: 10, iteration: 2, extra_seconds: 4e-3 });
-        let trace = Simulator::new(prog, meggie_placement(20)).unwrap().run().unwrap();
+        let prog = scalable(20, 16).distances(vec![1]).inject(SimDelay {
+            rank: 10,
+            iteration: 2,
+            extra_seconds: 4e-3,
+        });
+        let trace = Simulator::new(prog, meggie_placement(20))
+            .unwrap()
+            .run()
+            .unwrap();
         let base = Simulator::new(scalable(20, 16).distances(vec![1]), meggie_placement(20))
             .unwrap()
             .run()
@@ -640,10 +709,19 @@ mod tests {
         let prog = scalable(20, 16)
             .distances(vec![1])
             .protocol(MpiProtocol::Rendezvous)
-            .inject(SimDelay { rank: 10, iteration: 2, extra_seconds: 4e-3 });
-        let trace = Simulator::new(prog, meggie_placement(20)).unwrap().run().unwrap();
+            .inject(SimDelay {
+                rank: 10,
+                iteration: 2,
+                extra_seconds: 4e-3,
+            });
+        let trace = Simulator::new(prog, meggie_placement(20))
+            .unwrap()
+            .run()
+            .unwrap();
         let base = Simulator::new(
-            scalable(20, 16).distances(vec![1]).protocol(MpiProtocol::Rendezvous),
+            scalable(20, 16)
+                .distances(vec![1])
+                .protocol(MpiProtocol::Rendezvous),
             meggie_placement(20),
         )
         .unwrap()
@@ -652,7 +730,10 @@ mod tests {
         let below = trace.rank(9).iter_end(10) - base.rank(9).iter_end(10);
         let above = trace.rank(11).iter_end(10) - base.rank(11).iter_end(10);
         assert!(below > 3e-3, "downward propagation missing: {below}");
-        assert!(above > 3e-3, "upward (rendezvous) propagation missing: {above}");
+        assert!(
+            above > 3e-3,
+            "upward (rendezvous) propagation missing: {above}"
+        );
         trace.check_invariants().unwrap();
     }
 
@@ -662,9 +743,16 @@ mod tests {
         let mk = |inject: bool| {
             let mut p = scalable(30, 20).distances(vec![-2, -1, 1]);
             if inject {
-                p = p.inject(SimDelay { rank: 5, iteration: 2, extra_seconds: 4e-3 });
+                p = p.inject(SimDelay {
+                    rank: 5,
+                    iteration: 2,
+                    extra_seconds: 4e-3,
+                });
             }
-            Simulator::new(p, meggie_placement(30)).unwrap().run().unwrap()
+            Simulator::new(p, meggie_placement(30))
+                .unwrap()
+                .run()
+                .unwrap()
         };
         let trace = mk(true);
         let base = mk(false);
@@ -676,7 +764,10 @@ mod tests {
             let at = trace.rank(rank).iter_end(1 + r) - base.rank(rank).iter_end(1 + r);
             assert!(at > 3e-3, "rank {rank} iter {}: delta {at}", 1 + r);
             let before = trace.rank(rank).iter_end(r) - base.rank(rank).iter_end(r);
-            assert!(before.abs() < 1e-9, "rank {rank} disturbed early by {before}");
+            assert!(
+                before.abs() < 1e-9,
+                "rank {rank} disturbed early by {before}"
+            );
         }
     }
 
@@ -717,8 +808,15 @@ mod tests {
                 .kernel(kernel)
                 .work(WorkSpec::TargetSeconds(1e-3))
                 .message_bytes(4_000_000)
-                .inject(SimDelay { rank: 5, iteration: 5, extra_seconds: 5e-3 });
-            Simulator::new(p, meggie_placement(40)).unwrap().run().unwrap()
+                .inject(SimDelay {
+                    rank: 5,
+                    iteration: 5,
+                    extra_seconds: 5e-3,
+                });
+            Simulator::new(p, meggie_placement(40))
+                .unwrap()
+                .run()
+                .unwrap()
         };
         let mem = run(Kernel::stream_triad());
         let comp = run(Kernel::pisolver());
@@ -728,8 +826,14 @@ mod tests {
         // macroscopic stagger; the scalable run is tight again.
         let mem_spread = mem.iteration_start_spread(50);
         let comp_spread = comp.iteration_start_spread(50);
-        assert!(mem_spread > 1e-3, "residual wavefront missing: {mem_spread}");
-        assert!(comp_spread < 5e-4, "scalable failed to resync: {comp_spread}");
+        assert!(
+            mem_spread > 1e-3,
+            "residual wavefront missing: {mem_spread}"
+        );
+        assert!(
+            comp_spread < 5e-4,
+            "scalable failed to resync: {comp_spread}"
+        );
     }
 
     #[test]
@@ -742,16 +846,29 @@ mod tests {
                 .kernel(kernel)
                 .work(WorkSpec::TargetSeconds(1e-3));
             if inject {
-                p = p.inject(SimDelay { rank: 5, iteration: 5, extra_seconds: 5e-3 });
+                p = p.inject(SimDelay {
+                    rank: 5,
+                    iteration: 5,
+                    extra_seconds: 5e-3,
+                });
             }
-            Simulator::new(p, meggie_placement(20)).unwrap().run().unwrap()
+            Simulator::new(p, meggie_placement(20))
+                .unwrap()
+                .run()
+                .unwrap()
         };
-        let comp_cost = run(Kernel::pisolver(), true).makespan()
-            - run(Kernel::pisolver(), false).makespan();
+        let comp_cost =
+            run(Kernel::pisolver(), true).makespan() - run(Kernel::pisolver(), false).makespan();
         let mem_cost = run(Kernel::stream_triad(), true).makespan()
             - run(Kernel::stream_triad(), false).makespan();
-        assert!(comp_cost > 4.5e-3, "scalable run pays the full delay: {comp_cost}");
-        assert!(mem_cost < 1e-3, "memory-bound run absorbs the delay: {mem_cost}");
+        assert!(
+            comp_cost > 4.5e-3,
+            "scalable run pays the full delay: {comp_cost}"
+        );
+        assert!(
+            mem_cost < 1e-3,
+            "memory-bound run absorbs the delay: {mem_cost}"
+        );
     }
 
     #[test]
@@ -771,7 +888,10 @@ mod tests {
                 extra_seconds: r as f64 * 3e-4,
             });
         }
-        let stag = Simulator::new(staggered_prog, meggie_placement(10)).unwrap().run().unwrap();
+        let stag = Simulator::new(staggered_prog, meggie_placement(10))
+            .unwrap()
+            .run()
+            .unwrap();
         // Compare the cost of iterations 20..40 (past the transient).
         let cost = |tr: &SimTrace| {
             (0..10)
@@ -802,9 +922,15 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = SimError::Stalled { t: 1.5, finished_ranks: 3 };
+        let e = SimError::Stalled {
+            t: 1.5,
+            finished_ranks: 3,
+        };
         assert!(e.to_string().contains("deadlock"));
-        let e = SimError::PlacementMismatch { program_ranks: 30, placement_ranks: 20 };
+        let e = SimError::PlacementMismatch {
+            program_ranks: 30,
+            placement_ranks: 20,
+        };
         assert!(e.to_string().contains("30"));
     }
 
@@ -817,33 +943,52 @@ mod tests {
         let mk = |allreduce: Option<usize>| {
             let mut p = memory_bound(20, 40)
                 .message_bytes(4_000_000)
-                .inject(SimDelay { rank: 5, iteration: 5, extra_seconds: 5e-3 });
+                .inject(SimDelay {
+                    rank: 5,
+                    iteration: 5,
+                    extra_seconds: 5e-3,
+                });
             if let Some(k) = allreduce {
                 p = p.allreduce_every(k);
             }
-            Simulator::new(p, meggie_placement(20)).unwrap().run().unwrap()
+            Simulator::new(p, meggie_placement(20))
+                .unwrap()
+                .run()
+                .unwrap()
         };
         let free = mk(None);
         let synced = mk(Some(8));
         synced.check_invariants().unwrap();
         // Iteration 32 starts right after the collective at iteration 31.
-        assert!(synced.iteration_start_spread(32) < 1e-6,
-            "collective must realign: {}", synced.iteration_start_spread(32));
-        assert!(free.iteration_start_spread(32) > 1e-3,
-            "barrier-free keeps the wavefront: {}", free.iteration_start_spread(32));
+        assert!(
+            synced.iteration_start_spread(32) < 1e-6,
+            "collective must realign: {}",
+            synced.iteration_start_spread(32)
+        );
+        assert!(
+            free.iteration_start_spread(32) > 1e-3,
+            "barrier-free keeps the wavefront: {}",
+            free.iteration_start_spread(32)
+        );
         // And the synchronized run pays for it in wall-clock time.
-        assert!(synced.makespan() >= free.makespan(),
-            "synced {} vs free {}", synced.makespan(), free.makespan());
+        assert!(
+            synced.makespan() >= free.makespan(),
+            "synced {} vs free {}",
+            synced.makespan(),
+            free.makespan()
+        );
     }
 
     #[test]
     fn collective_adds_tree_latency_in_lockstep() {
         let base = Simulator::new(scalable(8, 8), meggie_placement(8))
-            .unwrap().run().unwrap();
-        let with_bar = Simulator::new(
-            scalable(8, 8).allreduce_every(1),
-            meggie_placement(8),
-        ).unwrap().run().unwrap();
+            .unwrap()
+            .run()
+            .unwrap();
+        let with_bar = Simulator::new(scalable(8, 8).allreduce_every(1), meggie_placement(8))
+            .unwrap()
+            .run()
+            .unwrap();
         with_bar.check_invariants().unwrap();
         // 7 collectives (none after the final iteration), each ≥ 3 hops of
         // inter-node latency.

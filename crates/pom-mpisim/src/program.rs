@@ -201,14 +201,20 @@ impl ProgramSpec {
             return Err("allreduce_every must be at least 1".into());
         }
         if self.noise_sigma < 0.0 || !self.noise_sigma.is_finite() {
-            return Err(format!("noise sigma {} must be non-negative", self.noise_sigma));
+            return Err(format!(
+                "noise sigma {} must be non-negative",
+                self.noise_sigma
+            ));
         }
         for inj in &self.injections {
             if inj.rank >= self.n_ranks {
                 return Err(format!("injection rank {} out of range", inj.rank));
             }
             if inj.iteration >= self.iterations {
-                return Err(format!("injection iteration {} out of range", inj.iteration));
+                return Err(format!(
+                    "injection iteration {} out of range",
+                    inj.iteration
+                ));
             }
             if !(inj.extra_seconds.is_finite() && inj.extra_seconds >= 0.0) {
                 return Err(format!("injection extra {} invalid", inj.extra_seconds));
@@ -279,7 +285,10 @@ mod tests {
         // Mean of |N(0,σ)| is σ·√(2/π) ≈ 0.8σ — check the sample mean.
         let mean: f64 = (0..2000).map(|k| p.extra_core_time(1, k)).sum::<f64>() / 2000.0;
         let expect = 1e-4 * (2.0 / std::f64::consts::PI).sqrt();
-        assert!((mean - expect).abs() < 0.2 * expect, "mean {mean:e} vs {expect:e}");
+        assert!(
+            (mean - expect).abs() < 0.2 * expect,
+            "mean {mean:e} vs {expect:e}"
+        );
     }
 
     #[test]
@@ -287,13 +296,24 @@ mod tests {
         assert!(ProgramSpec::new(0, 5).validate().is_err());
         assert!(ProgramSpec::new(5, 0).validate().is_err());
         assert!(ProgramSpec::new(5, 5).distances(vec![]).validate().is_err());
-        assert!(ProgramSpec::new(5, 5).work(WorkSpec::Lups(-1.0)).validate().is_err());
         assert!(ProgramSpec::new(5, 5)
-            .inject(SimDelay { rank: 9, iteration: 0, extra_seconds: 0.1 })
+            .work(WorkSpec::Lups(-1.0))
             .validate()
             .is_err());
         assert!(ProgramSpec::new(5, 5)
-            .inject(SimDelay { rank: 1, iteration: 9, extra_seconds: 0.1 })
+            .inject(SimDelay {
+                rank: 9,
+                iteration: 0,
+                extra_seconds: 0.1
+            })
+            .validate()
+            .is_err());
+        assert!(ProgramSpec::new(5, 5)
+            .inject(SimDelay {
+                rank: 1,
+                iteration: 9,
+                extra_seconds: 0.1
+            })
             .validate()
             .is_err());
         assert!(ProgramSpec::new(5, 5).validate().is_ok());
@@ -301,7 +321,10 @@ mod tests {
 
     #[test]
     fn allreduce_period_validated() {
-        assert!(ProgramSpec::new(4, 5).allreduce_every(0).validate().is_err());
+        assert!(ProgramSpec::new(4, 5)
+            .allreduce_every(0)
+            .validate()
+            .is_err());
         assert!(ProgramSpec::new(4, 5).allreduce_every(3).validate().is_ok());
     }
 

@@ -69,15 +69,30 @@ mod tests {
     fn threshold_selection() {
         assert_eq!(MpiProtocol::for_message(100, 16_384), MpiProtocol::Eager);
         assert_eq!(MpiProtocol::for_message(16_384, 16_384), MpiProtocol::Eager);
-        assert_eq!(MpiProtocol::for_message(16_385, 16_384), MpiProtocol::Rendezvous);
+        assert_eq!(
+            MpiProtocol::for_message(16_385, 16_384),
+            MpiProtocol::Rendezvous
+        );
     }
 
     #[test]
     fn msg_key_identity() {
         use std::collections::HashSet;
         let mut set = HashSet::new();
-        set.insert(MsgKey { src: 1, dst: 2, iter: 3 });
-        assert!(set.contains(&MsgKey { src: 1, dst: 2, iter: 3 }));
-        assert!(!set.contains(&MsgKey { src: 2, dst: 1, iter: 3 }));
+        set.insert(MsgKey {
+            src: 1,
+            dst: 2,
+            iter: 3,
+        });
+        assert!(set.contains(&MsgKey {
+            src: 1,
+            dst: 2,
+            iter: 3
+        }));
+        assert!(!set.contains(&MsgKey {
+            src: 2,
+            dst: 1,
+            iter: 3
+        }));
     }
 }

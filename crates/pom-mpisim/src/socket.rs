@@ -34,7 +34,12 @@ impl SocketFluid {
     /// A socket with the given saturated bandwidth (bytes/s).
     pub fn new(capacity: f64) -> Self {
         assert!(capacity > 0.0 && capacity.is_finite());
-        Self { capacity, last_update: 0.0, generation: 0, streams: Vec::new() }
+        Self {
+            capacity,
+            last_update: 0.0,
+            generation: 0,
+            streams: Vec::new(),
+        }
     }
 
     /// Current generation (bumped whenever the active set changes).
@@ -75,7 +80,11 @@ impl SocketFluid {
             !self.streams.iter().any(|s| s.rank == rank),
             "rank {rank} already streaming"
         );
-        self.streams.push(Stream { rank, demand, remaining: bytes });
+        self.streams.push(Stream {
+            rank,
+            demand,
+            remaining: bytes,
+        });
         self.generation += 1;
         self.generation
     }

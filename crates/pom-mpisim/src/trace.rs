@@ -239,14 +239,29 @@ mod tests {
     fn sample_trace() -> SimTrace {
         let mut r0 = RankTrace::default();
         r0.record_iter_start(0.0);
-        r0.push_segment(Segment { kind: SegmentKind::Compute, t0: 0.0, t1: 1.0, iter: 0 });
+        r0.push_segment(Segment {
+            kind: SegmentKind::Compute,
+            t0: 0.0,
+            t1: 1.0,
+            iter: 0,
+        });
         r0.record_compute_end(1.0);
-        r0.push_segment(Segment { kind: SegmentKind::Wait, t0: 1.0, t1: 1.5, iter: 0 });
+        r0.push_segment(Segment {
+            kind: SegmentKind::Wait,
+            t0: 1.0,
+            t1: 1.5,
+            iter: 0,
+        });
         r0.record_iter_end(1.5);
 
         let mut r1 = RankTrace::default();
         r1.record_iter_start(0.0);
-        r1.push_segment(Segment { kind: SegmentKind::Compute, t0: 0.0, t1: 1.4, iter: 0 });
+        r1.push_segment(Segment {
+            kind: SegmentKind::Compute,
+            t0: 0.0,
+            t1: 1.4,
+            iter: 0,
+        });
         r1.record_compute_end(1.4);
         r1.record_iter_end(1.5); // waitall satisfied almost immediately
         SimTrace::new(vec![r0, r1], 1.5)
@@ -285,7 +300,12 @@ mod tests {
     #[test]
     fn zero_length_segments_skipped() {
         let mut rt = RankTrace::default();
-        rt.push_segment(Segment { kind: SegmentKind::Wait, t0: 1.0, t1: 1.0, iter: 0 });
+        rt.push_segment(Segment {
+            kind: SegmentKind::Wait,
+            t0: 1.0,
+            t1: 1.0,
+            iter: 0,
+        });
         assert!(rt.segments().is_empty());
     }
 

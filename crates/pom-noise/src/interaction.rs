@@ -48,7 +48,10 @@ pub struct ConstantDelay {
 impl ConstantDelay {
     /// A constant delay (must be ≥ 0 and finite).
     pub fn new(delay: f64) -> Self {
-        assert!(delay >= 0.0 && delay.is_finite(), "delay must be non-negative");
+        assert!(
+            delay >= 0.0 && delay.is_finite(),
+            "delay must be non-negative"
+        );
         Self { delay }
     }
 }
@@ -83,7 +86,10 @@ impl RandomCommDelay {
     /// decorrelating over `corr_time`. `n_ranks` bounds the pair-index
     /// folding.
     pub fn new(seed: u64, n_ranks: usize, mean: f64, spread: f64, corr_time: f64) -> Self {
-        assert!(mean >= 0.0 && spread >= 0.0, "delay parameters must be non-negative");
+        assert!(
+            mean >= 0.0 && spread >= 0.0,
+            "delay parameters must be non-negative"
+        );
         Self {
             field: FrozenField::new(seed, corr_time),
             mean,

@@ -51,7 +51,10 @@ impl WhiteJitter {
     /// `corr_time` (seconds).
     pub fn new(seed: u64, sigma: f64, corr_time: f64) -> Self {
         assert!(sigma >= 0.0 && sigma.is_finite());
-        Self { field: FrozenField::new(seed, corr_time), sigma }
+        Self {
+            field: FrozenField::new(seed, corr_time),
+            sigma,
+        }
     }
 }
 
@@ -112,7 +115,11 @@ impl LoadImbalance {
         if n <= 1 {
             return Self::new(vec![0.0; n]);
         }
-        Self::new((0..n).map(|i| max_extra * i as f64 / (n - 1) as f64).collect())
+        Self::new(
+            (0..n)
+                .map(|i| max_extra * i as f64 / (n - 1) as f64)
+                .collect(),
+        )
     }
 }
 
@@ -142,7 +149,12 @@ pub struct DelayEvent {
 impl DelayEvent {
     /// The paper's canonical injection: one strong delay on rank 5.
     pub fn paper_default(t_start: f64, extra: f64) -> Self {
-        Self { rank: 5, t_start, duration: extra, extra }
+        Self {
+            rank: 5,
+            t_start,
+            duration: extra,
+            extra,
+        }
     }
 
     fn active(&self, rank: usize, t: f64) -> bool {
@@ -244,7 +256,12 @@ mod tests {
 
     #[test]
     fn periodic_daemon_window() {
-        let d = PeriodicDaemon { period: 1.0, duty: 0.25, magnitude: 0.1, rank_phase: 0.0 };
+        let d = PeriodicDaemon {
+            period: 1.0,
+            duty: 0.25,
+            magnitude: 0.1,
+            rank_phase: 0.0,
+        };
         assert_eq!(d.zeta(0, 0.1), 0.1);
         assert_eq!(d.zeta(0, 0.3), 0.0);
         assert_eq!(d.zeta(0, 1.1), 0.1); // periodic
@@ -253,7 +270,12 @@ mod tests {
 
     #[test]
     fn periodic_daemon_rank_phase_staggers() {
-        let d = PeriodicDaemon { period: 1.0, duty: 0.1, magnitude: 1.0, rank_phase: 0.5 };
+        let d = PeriodicDaemon {
+            period: 1.0,
+            duty: 0.1,
+            magnitude: 1.0,
+            rank_phase: 0.5,
+        };
         // Rank 0 at t = 0.05 is inside its window; rank 1 is shifted.
         assert_eq!(d.zeta(0, 0.05), 1.0);
         assert_eq!(d.zeta(1, 0.05), 0.0);
@@ -288,8 +310,18 @@ mod tests {
     #[test]
     fn overlapping_events_sum() {
         let inj = OneOffDelays::new(vec![
-            DelayEvent { rank: 0, t_start: 0.0, duration: 2.0, extra: 0.1 },
-            DelayEvent { rank: 0, t_start: 1.0, duration: 2.0, extra: 0.2 },
+            DelayEvent {
+                rank: 0,
+                t_start: 0.0,
+                duration: 2.0,
+                extra: 0.1,
+            },
+            DelayEvent {
+                rank: 0,
+                t_start: 1.0,
+                duration: 2.0,
+                extra: 0.2,
+            },
         ]);
         assert!((inj.zeta(0, 1.5) - 0.3).abs() < 1e-12);
         assert!((inj.zeta(0, 0.5) - 0.1).abs() < 1e-12);

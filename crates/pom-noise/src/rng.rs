@@ -167,7 +167,10 @@ pub struct FrozenField {
 impl FrozenField {
     /// Create a field with correlation time `dt` (must be positive).
     pub fn new(seed: u64, dt: f64) -> Self {
-        assert!(dt > 0.0 && dt.is_finite(), "lattice spacing must be positive");
+        assert!(
+            dt > 0.0 && dt.is_finite(),
+            "lattice spacing must be positive"
+        );
         Self { seed, dt }
     }
 

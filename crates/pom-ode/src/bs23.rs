@@ -68,7 +68,12 @@ pub struct Bs23Stats {
 impl Bs23 {
     /// Integrator with default tolerances `rtol = atol = 1e-6`.
     pub fn new() -> Self {
-        Self { rtol: 1e-6, atol: 1e-6, h_max: None, max_steps: 1_000_000 }
+        Self {
+            rtol: 1e-6,
+            atol: 1e-6,
+            h_max: None,
+            max_steps: 1_000_000,
+        }
     }
 
     /// Relative tolerance.
@@ -104,7 +109,10 @@ impl Bs23 {
         }
         let n = sys.dim();
         if y0.len() != n {
-            return Err(OdeError::DimensionMismatch { expected: n, got: y0.len() });
+            return Err(OdeError::DimensionMismatch {
+                expected: n,
+                got: y0.len(),
+            });
         }
         // Deliberate negation: also rejects NaN endpoints.
         #[allow(clippy::neg_cmp_op_on_partial_ord)]
@@ -141,7 +149,10 @@ impl Bs23 {
                 break;
             }
             if stats.n_accepted + stats.n_rejected >= self.max_steps {
-                return Err(OdeError::TooManySteps { t_reached: t, max_steps: self.max_steps });
+                return Err(OdeError::TooManySteps {
+                    t_reached: t,
+                    max_steps: self.max_steps,
+                });
             }
             if t + 1.01 * h >= t_end {
                 h = t_end - t;
@@ -209,8 +220,11 @@ mod tests {
 
     #[test]
     fn decay_accuracy() {
-        let (traj, stats) =
-            Bs23::new().rtol(1e-9).atol(1e-11).integrate(&decay(), 0.0, &[1.0], 5.0).unwrap();
+        let (traj, stats) = Bs23::new()
+            .rtol(1e-9)
+            .atol(1e-11)
+            .integrate(&decay(), 0.0, &[1.0], 5.0)
+            .unwrap();
         assert!((traj.last().unwrap()[0] - (-5.0f64).exp()).abs() < 1e-7);
         assert!(stats.n_accepted > 0);
         // FSAL accounting: 3 per attempt + initial eval.
@@ -223,8 +237,11 @@ mod tests {
             d[0] = y[1];
             d[1] = -y[0];
         });
-        let (traj, _) =
-            Bs23::new().rtol(1e-8).atol(1e-8).integrate(&sys, 0.0, &[1.0, 0.0], TAU).unwrap();
+        let (traj, _) = Bs23::new()
+            .rtol(1e-8)
+            .atol(1e-8)
+            .integrate(&sys, 0.0, &[1.0, 0.0], TAU)
+            .unwrap();
         let last = traj.last().unwrap();
         assert!((last[0] - 1.0).abs() < 1e-5, "{}", last[0]);
         assert!(last[1].abs() < 1e-5);
@@ -235,8 +252,11 @@ mod tests {
         // Fixed-tolerance runs aren't order tests; instead drive the
         // tolerance down and verify the error follows ~rtol.
         let err_at = |tol: f64| {
-            let (traj, _) =
-                Bs23::new().rtol(tol).atol(tol * 1e-2).integrate(&decay(), 0.0, &[1.0], 2.0).unwrap();
+            let (traj, _) = Bs23::new()
+                .rtol(tol)
+                .atol(tol * 1e-2)
+                .integrate(&decay(), 0.0, &[1.0], 2.0)
+                .unwrap();
             (traj.last().unwrap()[0] - (-2.0f64).exp()).abs()
         };
         let e4 = err_at(1e-4);
@@ -254,7 +274,11 @@ mod tests {
             d[0] = y[1];
             d[1] = -y[0];
         });
-        let (_, bs) = Bs23::new().rtol(1e-3).atol(1e-5).integrate(&sys, 0.0, &[1.0, 0.0], 50.0).unwrap();
+        let (_, bs) = Bs23::new()
+            .rtol(1e-3)
+            .atol(1e-5)
+            .integrate(&sys, 0.0, &[1.0, 0.0], 50.0)
+            .unwrap();
         let (_, dp) = crate::Dopri5::new()
             .rtol(1e-3)
             .atol(1e-5)
@@ -270,8 +294,13 @@ mod tests {
 
     #[test]
     fn input_validation() {
-        assert!(Bs23::new().rtol(0.0).integrate(&decay(), 0.0, &[1.0], 1.0).is_err());
-        assert!(Bs23::new().integrate(&decay(), 0.0, &[1.0, 2.0], 1.0).is_err());
+        assert!(Bs23::new()
+            .rtol(0.0)
+            .integrate(&decay(), 0.0, &[1.0], 1.0)
+            .is_err());
+        assert!(Bs23::new()
+            .integrate(&decay(), 0.0, &[1.0, 2.0], 1.0)
+            .is_err());
         assert!(Bs23::new().integrate(&decay(), 1.0, &[1.0], 1.0).is_err());
     }
 

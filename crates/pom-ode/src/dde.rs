@@ -183,7 +183,10 @@ impl DdeRk4 {
     /// Create an integrator with step size `h`.
     pub fn new(h: f64) -> Result<Self, OdeError> {
         if !(h.is_finite() && h > 0.0) {
-            return Err(OdeError::InvalidParameter { name: "h", value: h });
+            return Err(OdeError::InvalidParameter {
+                name: "h",
+                value: h,
+            });
         }
         Ok(Self { h, record_every: 1 })
     }
@@ -210,7 +213,10 @@ impl DdeRk4 {
         let n = sys.dim();
         if let Some(d) = initial.dim() {
             if d != n {
-                return Err(OdeError::DimensionMismatch { expected: n, got: d });
+                return Err(OdeError::DimensionMismatch {
+                    expected: n,
+                    got: d,
+                });
             }
         }
         // Deliberate negation: also rejects NaN endpoints.
@@ -222,7 +228,11 @@ impl DdeRk4 {
         let y0: Vec<f64> = (0..n).map(|i| initial.sample(t0, i)).collect();
 
         // Bootstrap: f0 uses the (pre-t0) history only.
-        let boot = BootstrapHistory { initial: &initial, t0, y0: &y0 };
+        let boot = BootstrapHistory {
+            initial: &initial,
+            t0,
+            y0: &y0,
+        };
         let mut f0 = vec![0.0; n];
         sys.eval(t0, &y0, &boot, &mut f0);
         check_finite(t0, &f0)?;
@@ -342,7 +352,11 @@ mod tests {
             .integrate(&LagDecay, 0.0, InitialHistory::Constant(vec![1.0]), 2.0)
             .unwrap();
         for (t, s) in traj.iter() {
-            let exact = if t <= 1.0 { 1.0 - t } else { 0.5 * t * t - 2.0 * t + 1.5 };
+            let exact = if t <= 1.0 {
+                1.0 - t
+            } else {
+                0.5 * t * t - 2.0 * t + 1.5
+            };
             assert!(
                 (s[0] - exact).abs() < 1e-8,
                 "t = {t}: got {}, want {exact}",
@@ -367,7 +381,12 @@ mod tests {
     fn zero_delay_reduces_to_ode() {
         let solver = DdeRk4::new(0.01).unwrap();
         let (traj, _) = solver
-            .integrate(&ZeroDelayDecay, 0.0, InitialHistory::Constant(vec![1.0]), 3.0)
+            .integrate(
+                &ZeroDelayDecay,
+                0.0,
+                InitialHistory::Constant(vec![1.0]),
+                3.0,
+            )
             .unwrap();
         let exact = (-3.0f64).exp();
         // Extrapolated self-lookup costs some accuracy vs pure RK4 but must
@@ -380,7 +399,12 @@ mod tests {
         let err_for = |h: f64| {
             let solver = DdeRk4::new(h).unwrap();
             let (traj, _) = solver
-                .integrate(&ZeroDelayDecay, 0.0, InitialHistory::Constant(vec![1.0]), 1.0)
+                .integrate(
+                    &ZeroDelayDecay,
+                    0.0,
+                    InitialHistory::Constant(vec![1.0]),
+                    1.0,
+                )
                 .unwrap();
             (traj.last().unwrap()[0] - (-1.0f64).exp()).abs()
         };
@@ -428,7 +452,12 @@ mod tests {
     #[test]
     fn constant_history_dimension_checked() {
         let solver = DdeRk4::new(0.1).unwrap();
-        let res = solver.integrate(&LagDecay, 0.0, InitialHistory::Constant(vec![1.0, 2.0]), 1.0);
+        let res = solver.integrate(
+            &LagDecay,
+            0.0,
+            InitialHistory::Constant(vec![1.0, 2.0]),
+            1.0,
+        );
         assert!(matches!(res, Err(OdeError::DimensionMismatch { .. })));
     }
 
@@ -442,16 +471,18 @@ mod tests {
     #[test]
     fn record_every_keeps_final_sample() {
         let solver = DdeRk4::new(0.1).unwrap().record_every(7);
-        let (traj, _) =
-            solver.integrate(&LagDecay, 0.0, InitialHistory::Constant(vec![1.0]), 1.0).unwrap();
+        let (traj, _) = solver
+            .integrate(&LagDecay, 0.0, InitialHistory::Constant(vec![1.0]), 1.0)
+            .unwrap();
         assert!((traj.times().last().unwrap() - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn buffer_usable_for_posthoc_sampling() {
         let solver = DdeRk4::new(0.05).unwrap();
-        let (_, buf) =
-            solver.integrate(&LagDecay, 0.0, InitialHistory::Constant(vec![1.0]), 2.0).unwrap();
+        let (_, buf) = solver
+            .integrate(&LagDecay, 0.0, InitialHistory::Constant(vec![1.0]), 2.0)
+            .unwrap();
         // Off-grid sample in the first analytic piece.
         let t = 0.333;
         assert!((buf.sample(t, 0) - (1.0 - t)).abs() < 1e-8);

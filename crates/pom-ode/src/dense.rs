@@ -107,8 +107,17 @@ impl DenseSolution {
         y_end: Vec<f64>,
         segments: Vec<DenseSegment>,
     ) -> Self {
-        debug_assert!(segments.windows(2).all(|w| (w[0].t1() - w[1].t0()).abs() < 1e-9));
-        Self { dim, t0, t_end, y0, y_end, segments }
+        debug_assert!(segments
+            .windows(2)
+            .all(|w| (w[0].t1() - w[1].t0()).abs() < 1e-9));
+        Self {
+            dim,
+            t0,
+            t_end,
+            y0,
+            y_end,
+            segments,
+        }
     }
 
     /// State dimension.
@@ -183,7 +192,10 @@ impl DenseSolution {
     /// producing a [`Trajectory`].
     pub fn resample(&self, n: usize) -> Result<Trajectory, OdeError> {
         if n < 2 {
-            return Err(OdeError::InvalidParameter { name: "n", value: n as f64 });
+            return Err(OdeError::InvalidParameter {
+                name: "n",
+                value: n as f64,
+            });
         }
         let mut traj = Trajectory::with_capacity(self.dim, n);
         let mut buf = vec![0.0; self.dim];

@@ -112,7 +112,13 @@ impl Default for Dopri5 {
 impl Dopri5 {
     /// Integrator with default tolerances `rtol = atol = 1e-6`.
     pub fn new() -> Self {
-        Self { rtol: 1e-6, atol: 1e-6, h0: None, h_max: None, max_steps: 1_000_000 }
+        Self {
+            rtol: 1e-6,
+            atol: 1e-6,
+            h0: None,
+            h_max: None,
+            max_steps: 1_000_000,
+        }
     }
 
     /// Relative tolerance (per component).
@@ -153,12 +159,18 @@ impl Dopri5 {
         }
         if let Some(h0) = self.h0 {
             if !(h0.is_finite() && h0 > 0.0) {
-                return Err(OdeError::InvalidParameter { name: "h0", value: h0 });
+                return Err(OdeError::InvalidParameter {
+                    name: "h0",
+                    value: h0,
+                });
             }
         }
         if let Some(hm) = self.h_max {
             if !(hm.is_finite() && hm > 0.0) {
-                return Err(OdeError::InvalidParameter { name: "h_max", value: hm });
+                return Err(OdeError::InvalidParameter {
+                    name: "h_max",
+                    value: hm,
+                });
             }
         }
         Ok(())
@@ -176,7 +188,10 @@ impl Dopri5 {
         self.validate()?;
         let n = sys.dim();
         if y0.len() != n {
-            return Err(OdeError::DimensionMismatch { expected: n, got: y0.len() });
+            return Err(OdeError::DimensionMismatch {
+                expected: n,
+                got: y0.len(),
+            });
         }
         // Deliberate negation: also rejects NaN endpoints.
         #[allow(clippy::neg_cmp_op_on_partial_ord)]
@@ -222,7 +237,10 @@ impl Dopri5 {
                 break;
             }
             if stats.n_accepted + stats.n_rejected >= self.max_steps {
-                return Err(OdeError::TooManySteps { t_reached: t, max_steps: self.max_steps });
+                return Err(OdeError::TooManySteps {
+                    t_reached: t,
+                    max_steps: self.max_steps,
+                });
             }
             // Don't overshoot; also avoid a microscopic final step by
             // stretching slightly when within 1% of the end.
@@ -247,8 +265,7 @@ impl Dopri5 {
             }
             sys.eval(t + C4 * h, &y_stage, &mut k4);
             for i in 0..n {
-                y_stage[i] =
-                    y[i] + h * (A51 * k1[i] + A52 * k2[i] + A53 * k3[i] + A54 * k4[i]);
+                y_stage[i] = y[i] + h * (A51 * k1[i] + A52 * k2[i] + A53 * k3[i] + A54 * k4[i]);
             }
             sys.eval(t + C5 * h, &y_stage, &mut k5);
             for i in 0..n {
@@ -268,8 +285,7 @@ impl Dopri5 {
             let mut err_sq = 0.0;
             for i in 0..n {
                 let e = h
-                    * (E1 * k1[i] + E3 * k3[i] + E4 * k4[i] + E5 * k5[i] + E6 * k6[i]
-                        + E7 * k7[i]);
+                    * (E1 * k1[i] + E3 * k3[i] + E4 * k4[i] + E5 * k5[i] + E6 * k6[i] + E7 * k7[i]);
                 let sc = self.atol + self.rtol * y[i].abs().max(y_new[i].abs());
                 err_sq += (e / sc) * (e / sc);
             }
@@ -296,7 +312,11 @@ impl Dopri5 {
                     c3[i] = bspl;
                     c4[i] = ydiff - h * k7[i] - bspl;
                     c5[i] = h
-                        * (D1 * k1[i] + D3 * k3[i] + D4 * k4[i] + D5 * k5[i] + D6 * k6[i]
+                        * (D1 * k1[i]
+                            + D3 * k3[i]
+                            + D4 * k4[i]
+                            + D5 * k5[i]
+                            + D6 * k6[i]
                             + D7 * k7[i]);
                 }
                 segments.push(DenseSegment::new(t, h, [c1, c2, c3, c4, c5]));
@@ -327,7 +347,8 @@ impl Dopri5 {
         y0: &[f64],
         t_end: f64,
     ) -> Result<DenseSolution, OdeError> {
-        self.integrate_with_stats(sys, t0, y0, t_end).map(|(s, _)| s)
+        self.integrate_with_stats(sys, t0, y0, t_end)
+            .map(|(s, _)| s)
     }
 
     /// Hairer's automatic initial-step heuristic: pick h so that an Euler
@@ -472,10 +493,12 @@ mod tests {
     fn tighter_tolerance_means_more_steps_and_less_error() {
         let loose = Dopri5::new().rtol(1e-4).atol(1e-4);
         let tight = Dopri5::new().rtol(1e-10).atol(1e-10);
-        let (s_loose, st_loose) =
-            loose.integrate_with_stats(&harmonic(), 0.0, &[1.0, 0.0], 10.0 * TAU).unwrap();
-        let (s_tight, st_tight) =
-            tight.integrate_with_stats(&harmonic(), 0.0, &[1.0, 0.0], 10.0 * TAU).unwrap();
+        let (s_loose, st_loose) = loose
+            .integrate_with_stats(&harmonic(), 0.0, &[1.0, 0.0], 10.0 * TAU)
+            .unwrap();
+        let (s_tight, st_tight) = tight
+            .integrate_with_stats(&harmonic(), 0.0, &[1.0, 0.0], 10.0 * TAU)
+            .unwrap();
         assert!(st_tight.n_accepted > st_loose.n_accepted);
         let e_loose = (s_loose.y_end()[0] - 1.0).abs();
         let e_tight = (s_tight.y_end()[0] - 1.0).abs();
@@ -486,7 +509,11 @@ mod tests {
     fn moderately_stiff_problem_is_handled() {
         // λ = −200: explicit methods need small steps but must succeed.
         let sys = FnSystem::new(1, |_t, y, d| d[0] = -200.0 * y[0]);
-        let sol = Dopri5::new().rtol(1e-7).atol(1e-9).integrate(&sys, 0.0, &[1.0], 1.0).unwrap();
+        let sol = Dopri5::new()
+            .rtol(1e-7)
+            .atol(1e-9)
+            .integrate(&sys, 0.0, &[1.0], 1.0)
+            .unwrap();
         assert!(sol.y_end()[0].abs() < 1e-8);
     }
 
@@ -494,7 +521,11 @@ mod tests {
     fn forced_oscillator_nonautonomous() {
         // ẏ = cos t, y(0) = 0 ⇒ y = sin t.
         let sys = FnSystem::new(1, |t, _y, d| d[0] = t.cos());
-        let sol = Dopri5::new().rtol(1e-10).atol(1e-10).integrate(&sys, 0.0, &[0.0], 7.0).unwrap();
+        let sol = Dopri5::new()
+            .rtol(1e-10)
+            .atol(1e-10)
+            .integrate(&sys, 0.0, &[0.0], 7.0)
+            .unwrap();
         for k in 0..=70 {
             let t = 7.0 * k as f64 / 70.0;
             assert!((sol.sample_component(t, 0) - t.sin()).abs() < 1e-8);
@@ -503,16 +534,29 @@ mod tests {
 
     #[test]
     fn rejects_invalid_configuration() {
-        assert!(Dopri5::new().rtol(0.0).integrate(&decay(), 0.0, &[1.0], 1.0).is_err());
-        assert!(Dopri5::new().atol(-1.0).integrate(&decay(), 0.0, &[1.0], 1.0).is_err());
-        assert!(Dopri5::new().h0(f64::NAN).integrate(&decay(), 0.0, &[1.0], 1.0).is_err());
-        assert!(Dopri5::new().integrate(&decay(), 0.0, &[1.0, 2.0], 1.0).is_err());
+        assert!(Dopri5::new()
+            .rtol(0.0)
+            .integrate(&decay(), 0.0, &[1.0], 1.0)
+            .is_err());
+        assert!(Dopri5::new()
+            .atol(-1.0)
+            .integrate(&decay(), 0.0, &[1.0], 1.0)
+            .is_err());
+        assert!(Dopri5::new()
+            .h0(f64::NAN)
+            .integrate(&decay(), 0.0, &[1.0], 1.0)
+            .is_err());
+        assert!(Dopri5::new()
+            .integrate(&decay(), 0.0, &[1.0, 2.0], 1.0)
+            .is_err());
         assert!(Dopri5::new().integrate(&decay(), 1.0, &[1.0], 0.5).is_err());
     }
 
     #[test]
     fn step_budget_enforced() {
-        let res = Dopri5::new().max_steps(3).integrate(&harmonic(), 0.0, &[1.0, 0.0], 1000.0);
+        let res = Dopri5::new()
+            .max_steps(3)
+            .integrate(&harmonic(), 0.0, &[1.0, 0.0], 1000.0);
         assert!(matches!(res, Err(OdeError::TooManySteps { .. })));
     }
 

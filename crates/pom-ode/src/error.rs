@@ -89,29 +89,47 @@ mod tests {
 
     #[test]
     fn display_messages_mention_key_values() {
-        let e = OdeError::DimensionMismatch { expected: 3, got: 2 };
+        let e = OdeError::DimensionMismatch {
+            expected: 3,
+            got: 2,
+        };
         assert!(e.to_string().contains('3'));
         assert!(e.to_string().contains('2'));
 
         let e = OdeError::StepSizeUnderflow { t: 1.5, h: 1e-18 };
         assert!(e.to_string().contains("1.5"));
 
-        let e = OdeError::TooManySteps { t_reached: 0.25, max_steps: 10 };
+        let e = OdeError::TooManySteps {
+            t_reached: 0.25,
+            max_steps: 10,
+        };
         assert!(e.to_string().contains("10"));
 
-        let e = OdeError::NonFiniteDerivative { t: 2.0, component: 4 };
+        let e = OdeError::NonFiniteDerivative {
+            t: 2.0,
+            component: 4,
+        };
         assert!(e.to_string().contains("component 4"));
 
-        let e = OdeError::InvalidParameter { name: "rtol", value: -1.0 };
+        let e = OdeError::InvalidParameter {
+            name: "rtol",
+            value: -1.0,
+        };
         assert!(e.to_string().contains("rtol"));
 
-        let e = OdeError::EmptySpan { t0: 1.0, t_end: 1.0 };
+        let e = OdeError::EmptySpan {
+            t0: 1.0,
+            t_end: 1.0,
+        };
         assert!(e.to_string().contains("empty"));
     }
 
     #[test]
     fn error_is_std_error() {
         fn takes_err(_: &dyn std::error::Error) {}
-        takes_err(&OdeError::EmptySpan { t0: 0.0, t_end: 0.0 });
+        takes_err(&OdeError::EmptySpan {
+            t0: 0.0,
+            t_end: 0.0,
+        });
     }
 }

@@ -110,7 +110,11 @@ mod tests {
             d[0] = y[1];
             d[1] = -y[0];
         });
-        Dopri5::new().rtol(1e-10).atol(1e-10).integrate(&sys, 0.0, &[1.0, 0.0], 10.0).unwrap()
+        Dopri5::new()
+            .rtol(1e-10)
+            .atol(1e-10)
+            .integrate(&sys, 0.0, &[1.0, 0.0], 10.0)
+            .unwrap()
     }
 
     #[test]
@@ -145,7 +149,10 @@ mod tests {
     #[test]
     fn no_crossing_returns_none() {
         let sol = harmonic_solution();
-        assert_eq!(first_zero_crossing(&sol, |_t, y| y[0] + 10.0, 0.0, 10.0, 100), None);
+        assert_eq!(
+            first_zero_crossing(&sol, |_t, y| y[0] + 10.0, 0.0, 10.0, 100),
+            None
+        );
         assert_eq!(first_time_above(&sol, 0, 55.0, 100), None);
     }
 

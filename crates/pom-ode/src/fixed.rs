@@ -133,9 +133,16 @@ impl<S: Stepper> FixedStepSolver<S> {
     /// Create a solver with step size `h` (must be positive and finite).
     pub fn new(stepper: S, h: f64) -> Result<Self, OdeError> {
         if !(h.is_finite() && h > 0.0) {
-            return Err(OdeError::InvalidParameter { name: "h", value: h });
+            return Err(OdeError::InvalidParameter {
+                name: "h",
+                value: h,
+            });
         }
-        Ok(Self { stepper, h, record_every: 1 })
+        Ok(Self {
+            stepper,
+            h,
+            record_every: 1,
+        })
     }
 
     /// Record only every `k`-th step into the trajectory (the final state is
@@ -161,7 +168,10 @@ impl<S: Stepper> FixedStepSolver<S> {
         t_end: f64,
     ) -> Result<Trajectory, OdeError> {
         if y0.len() != sys.dim() {
-            return Err(OdeError::DimensionMismatch { expected: sys.dim(), got: y0.len() });
+            return Err(OdeError::DimensionMismatch {
+                expected: sys.dim(),
+                got: y0.len(),
+            });
         }
         // Deliberate negation: also rejects NaN endpoints.
         #[allow(clippy::neg_cmp_op_on_partial_ord)]
@@ -267,9 +277,15 @@ mod tests {
     fn rk4_harmonic_phase_and_energy() {
         let solver = FixedStepSolver::new(Rk4, 0.005).unwrap();
         let t_end = 4.0 * std::f64::consts::PI; // two full periods
-        let traj = solver.integrate(&harmonic(), 0.0, &[1.0, 0.0], t_end).unwrap();
+        let traj = solver
+            .integrate(&harmonic(), 0.0, &[1.0, 0.0], t_end)
+            .unwrap();
         let last = traj.last().unwrap();
-        assert!((last[0] - 1.0).abs() < 1e-8, "cos returned to 1, got {}", last[0]);
+        assert!(
+            (last[0] - 1.0).abs() < 1e-8,
+            "cos returned to 1, got {}",
+            last[0]
+        );
         assert!(last[1].abs() < 1e-8);
         // Energy conservation along the whole run.
         for (_, s) in traj.iter() {

@@ -24,7 +24,11 @@ pub struct Trajectory {
 impl Trajectory {
     /// Create an empty trajectory for states of dimension `dim`.
     pub fn new(dim: usize) -> Self {
-        Self { dim, times: Vec::new(), data: Vec::new() }
+        Self {
+            dim,
+            times: Vec::new(),
+            data: Vec::new(),
+        }
     }
 
     /// Create an empty trajectory and reserve room for `n` samples.
@@ -83,7 +87,10 @@ impl Trajectory {
     /// have length `dim`.
     pub fn push(&mut self, t: f64, y: &[f64]) -> Result<(), OdeError> {
         if y.len() != self.dim {
-            return Err(OdeError::DimensionMismatch { expected: self.dim, got: y.len() });
+            return Err(OdeError::DimensionMismatch {
+                expected: self.dim,
+                got: y.len(),
+            });
         }
         if let Some(&last) = self.times.last() {
             if t <= last {
@@ -97,13 +104,25 @@ impl Trajectory {
 
     /// Iterate over `(t, state)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (f64, &[f64])> + '_ {
-        self.times.iter().copied().zip(self.data.chunks_exact(self.dim))
+        self.times
+            .iter()
+            .copied()
+            .zip(self.data.chunks_exact(self.dim))
     }
 
     /// Extract the time series of a single component.
     pub fn component(&self, i: usize) -> Vec<f64> {
-        assert!(i < self.dim, "component {i} out of range (dim = {})", self.dim);
-        self.data.iter().skip(i).step_by(self.dim).copied().collect()
+        assert!(
+            i < self.dim,
+            "component {i} out of range (dim = {})",
+            self.dim
+        );
+        self.data
+            .iter()
+            .skip(i)
+            .step_by(self.dim)
+            .copied()
+            .collect()
     }
 
     /// Linearly interpolate the state at time `t`.
@@ -128,7 +147,12 @@ impl Trajectory {
         let w = (t - t0) / (t1 - t0);
         let a = self.state(lo);
         let b = self.state(hi);
-        Some(a.iter().zip(b).map(|(&x0, &x1)| x0 + w * (x1 - x0)).collect())
+        Some(
+            a.iter()
+                .zip(b)
+                .map(|(&x0, &x1)| x0 + w * (x1 - x0))
+                .collect(),
+        )
     }
 
     /// Index of the last sample with time ≤ `t`, or `None` if `t` precedes
@@ -177,7 +201,10 @@ mod tests {
         let mut tr = Trajectory::new(2);
         assert!(matches!(
             tr.push(0.0, &[1.0]),
-            Err(OdeError::DimensionMismatch { expected: 2, got: 1 })
+            Err(OdeError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            })
         ));
     }
 
@@ -235,8 +262,7 @@ mod tests {
     #[test]
     fn iter_yields_all_samples() {
         let tr = traj();
-        let collected: Vec<(f64, Vec<f64>)> =
-            tr.iter().map(|(t, s)| (t, s.to_vec())).collect();
+        let collected: Vec<(f64, Vec<f64>)> = tr.iter().map(|(t, s)| (t, s.to_vec())).collect();
         assert_eq!(collected.len(), 3);
         assert_eq!(collected[2], (3.0, vec![3.0, 40.0]));
     }

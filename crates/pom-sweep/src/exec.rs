@@ -1,0 +1,124 @@
+//! The parallel campaign executor.
+//!
+//! Points are distributed dynamically: workers pull the next pending index
+//! from a shared atomic cursor, so long-running points never serialize the
+//! rest of the grid behind them (self-balancing — the practical effect of
+//! work stealing without per-thread deques, since every "steal" is one
+//! `fetch_add`). Completed rows stream back over a channel; the collector
+//! holds them in a reorder buffer and releases them to the sink strictly
+//! in grid order. Per-point seeds derive from the point *index*, so the
+//! resulting byte stream is identical for any thread count.
+
+use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use crate::run::{run_point, PointRow};
+use crate::sink::{CampaignSummary, ResultSink};
+use crate::spec::{CampaignSpec, SweepError};
+
+/// Execution options.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Worker threads; `0` uses all available cores.
+    pub threads: usize,
+    /// Point indices already on disk (resume); they are not re-executed.
+    pub completed: HashSet<usize>,
+}
+
+impl RunOptions {
+    /// Run on `threads` workers (0 = all cores).
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            completed: HashSet::new(),
+        }
+    }
+
+    /// The resolved worker count.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Expand the grid, execute all pending points across the worker pool,
+/// and stream rows to `sink` in index order.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    opts: &RunOptions,
+    sink: &mut dyn ResultSink,
+) -> Result<CampaignSummary, SweepError> {
+    let total = spec.total_points();
+    let pending: Vec<usize> = (0..total).filter(|i| !opts.completed.contains(i)).collect();
+    let n_workers = opts.effective_threads().min(pending.len().max(1));
+
+    sink.begin(spec)?;
+
+    let mut summary = CampaignSummary {
+        total,
+        executed: 0,
+        skipped: total - pending.len(),
+        errors: 0,
+    };
+
+    if pending.is_empty() {
+        sink.end(&summary)?;
+        return Ok(summary);
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<PointRow>();
+
+    let mut sink_error: Option<std::io::Error> = None;
+    std::thread::scope(|scope| {
+        for _ in 0..n_workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let pending = &pending;
+            scope.spawn(move || loop {
+                let k = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&index) = pending.get(k) else { break };
+                // A dropped receiver means the collector bailed; stop.
+                if tx.send(run_point(spec, index)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+
+        // Collector: reorder completions into ascending pending order.
+        let mut buffer: BTreeMap<usize, PointRow> = BTreeMap::new();
+        let mut emit_at = 0usize; // position within `pending`
+        for row in rx {
+            buffer.insert(row.index, row);
+            while emit_at < pending.len() {
+                let next_index = pending[emit_at];
+                let Some(row) = buffer.remove(&next_index) else {
+                    break;
+                };
+                summary.executed += 1;
+                if row.error.is_some() {
+                    summary.errors += 1;
+                }
+                if let Err(e) = sink.row(&row) {
+                    sink_error = Some(e);
+                    return; // drops rx; workers stop at next send
+                }
+                emit_at += 1;
+            }
+        }
+        debug_assert!(buffer.is_empty(), "all rows emitted");
+    });
+
+    if let Some(e) = sink_error {
+        return Err(SweepError::Io(e));
+    }
+    sink.end(&summary)?;
+    Ok(summary)
+}

@@ -1,0 +1,194 @@
+//! Executing one grid point and computing its observables.
+
+use pom_analysis::{model_wave_speed, sim_wave_speed};
+use pom_core::PomRun;
+use pom_mpisim::{SimTrace, Simulator};
+use pom_topology::{ClusterSpec, Placement};
+
+use crate::spec::{CampaignSpec, ModelScenario, MpiScenario, Observable, Scenario, SweepError};
+use crate::value::Value;
+
+/// One completed grid point, ready for a result sink.
+#[derive(Debug, Clone)]
+pub struct PointRow {
+    /// Grid index (row-major over the axes).
+    pub index: usize,
+    /// The per-point derived seed.
+    pub seed: u64,
+    /// Axis assignments, in axis order.
+    pub params: Vec<(String, Value)>,
+    /// Observables, in the campaign's requested order. Non-finite values
+    /// mean "not measurable here" (e.g. no wave detected).
+    pub observables: Vec<(String, f64)>,
+    /// Set when the scenario failed to resolve or run.
+    pub error: Option<String>,
+}
+
+/// Resolve, run, and measure grid point `index`. Failures land in
+/// [`PointRow::error`] instead of aborting the campaign.
+pub fn run_point(spec: &CampaignSpec, index: usize) -> PointRow {
+    let seed = spec.point_seed(index);
+    let params = spec.assignments_at(index);
+    match execute(spec, index, seed) {
+        Ok(observables) => PointRow {
+            index,
+            seed,
+            params,
+            observables,
+            error: None,
+        },
+        Err(e) => PointRow {
+            index,
+            seed,
+            params,
+            observables: Vec::new(),
+            error: Some(e.to_string()),
+        },
+    }
+}
+
+fn execute(spec: &CampaignSpec, index: usize, seed: u64) -> Result<Vec<(String, f64)>, SweepError> {
+    let scenario = spec.scenario_at(index)?;
+    match scenario {
+        Scenario::Model(m) => model_observables(&m, &spec.observables, seed),
+        Scenario::MpiSim(m) => mpisim_observables(&m, &spec.observables, seed),
+    }
+}
+
+fn model_observables(
+    s: &ModelScenario,
+    wanted: &[Observable],
+    seed: u64,
+) -> Result<Vec<(String, f64)>, SweepError> {
+    let needs_baseline = wanted.iter().any(Observable::needs_baseline);
+    let opts = s.sim_options();
+    let init = s.initial_condition(seed);
+
+    let run = |with_inject: bool| -> Result<PomRun, SweepError> {
+        s.build(seed, with_inject)?
+            .simulate_with(init.clone(), &opts)
+            .map_err(|e| SweepError::Run(e.to_string()))
+    };
+
+    let perturbed = run(true)?;
+    let wave = if needs_baseline {
+        if s.inject.is_none() {
+            return Err(SweepError::Spec(
+                "wave observables need an [inject] delay to launch the wave".to_string(),
+            ));
+        }
+        let baseline = run(false)?;
+        Some(model_wave_speed(
+            &perturbed,
+            &baseline,
+            s.wave.threshold,
+            s.wave_source(),
+            s.wave_max_distance(),
+        ))
+    } else {
+        None
+    };
+
+    wanted
+        .iter()
+        .map(|o| {
+            let v = match o {
+                Observable::FinalOrderParameter => perturbed.final_order_parameter(),
+                Observable::FinalPhaseSpread => perturbed.final_phase_spread(),
+                Observable::MeanAbsGap => perturbed.mean_abs_adjacent_gap(),
+                Observable::RelErrTwoThirds => {
+                    let expect = s.potential.stable_pair_separation();
+                    if expect > 0.0 {
+                        (perturbed.mean_abs_adjacent_gap() - expect).abs() / expect
+                    } else {
+                        f64::NAN
+                    }
+                }
+                Observable::WaveSpeed => wave
+                    .as_ref()
+                    .and_then(|w| w.fit.mean_speed())
+                    .unwrap_or(f64::NAN),
+                Observable::WaveR2 => wave
+                    .as_ref()
+                    .and_then(|w| w.fit.up)
+                    .map(|f| f.r2)
+                    .unwrap_or(f64::NAN),
+                Observable::Makespan | Observable::TotalWait => {
+                    return Err(SweepError::Spec(format!(
+                        "observable `{}` needs the mpisim workload",
+                        o.name()
+                    )))
+                }
+            };
+            Ok((o.name().to_string(), v))
+        })
+        .collect()
+}
+
+fn mpisim_observables(
+    s: &MpiScenario,
+    wanted: &[Observable],
+    seed: u64,
+) -> Result<Vec<(String, f64)>, SweepError> {
+    let needs_baseline = wanted.iter().any(Observable::needs_baseline);
+
+    let run = |with_inject: bool| -> Result<SimTrace, SweepError> {
+        let program = s.program(seed, with_inject);
+        Simulator::new(program, Placement::packed(ClusterSpec::meggie(), s.n))
+            .map_err(|e| SweepError::Run(e.to_string()))?
+            .run()
+            .map_err(|e| SweepError::Run(e.to_string()))
+    };
+
+    let perturbed = run(true)?;
+    let wave = if needs_baseline {
+        if s.inject.is_none() {
+            return Err(SweepError::Spec(
+                "wave observables need an [inject] delay to launch the wave".to_string(),
+            ));
+        }
+        let baseline = run(false)?;
+        Some(sim_wave_speed(
+            &perturbed,
+            &baseline,
+            s.wave.threshold,
+            s.wave_source(),
+            s.wave_max_distance(),
+        ))
+    } else {
+        None
+    };
+
+    wanted
+        .iter()
+        .map(|o| {
+            let v = match o {
+                Observable::Makespan => perturbed.makespan(),
+                Observable::TotalWait => perturbed
+                    .ranks()
+                    .iter()
+                    .map(|r| r.total_wait())
+                    .sum::<f64>(),
+                Observable::WaveSpeed => wave
+                    .as_ref()
+                    .and_then(|w| w.fit.mean_speed())
+                    .unwrap_or(f64::NAN),
+                Observable::WaveR2 => wave
+                    .as_ref()
+                    .and_then(|w| w.fit.up)
+                    .map(|f| f.r2)
+                    .unwrap_or(f64::NAN),
+                Observable::FinalOrderParameter
+                | Observable::FinalPhaseSpread
+                | Observable::MeanAbsGap
+                | Observable::RelErrTwoThirds => {
+                    return Err(SweepError::Spec(format!(
+                        "observable `{}` needs the model workload",
+                        o.name()
+                    )))
+                }
+            };
+            Ok((o.name().to_string(), v))
+        })
+        .collect()
+}

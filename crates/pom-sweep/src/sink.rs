@@ -1,0 +1,305 @@
+//! Streaming result sinks and the resume scanner.
+//!
+//! The executor emits [`PointRow`]s strictly in grid order, so every sink
+//! here produces byte-identical output for the same spec regardless of
+//! thread count. JSONL is the primary format (one self-describing object
+//! per line, header first); CSV is provided for spreadsheet-style
+//! consumers.
+
+use std::collections::HashSet;
+use std::io::{self, Write};
+
+use crate::run::PointRow;
+use crate::spec::CampaignSpec;
+use crate::value::{format_f64, parse_json, write_json_str, Value};
+
+/// Campaign completion statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CampaignSummary {
+    /// Grid size.
+    pub total: usize,
+    /// Points executed in this invocation.
+    pub executed: usize,
+    /// Points skipped because a resume cache already had them.
+    pub skipped: usize,
+    /// Points whose row carries an error.
+    pub errors: usize,
+}
+
+/// Receives campaign output as it streams.
+pub trait ResultSink {
+    /// Called once before any row.
+    fn begin(&mut self, spec: &CampaignSpec) -> io::Result<()>;
+    /// Called once per executed point, in ascending `index` order.
+    fn row(&mut self, row: &PointRow) -> io::Result<()>;
+    /// Called once after the last row.
+    fn end(&mut self, summary: &CampaignSummary) -> io::Result<()>;
+}
+
+impl PointRow {
+    /// The row's JSONL line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        out.push_str("{\"point\":");
+        out.push_str(&self.index.to_string());
+        out.push_str(",\"seed\":");
+        out.push_str(&self.seed.to_string());
+        out.push_str(",\"params\":{");
+        for (i, (k, v)) in self.params.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_str(k, &mut out);
+            out.push(':');
+            out.push_str(&v.canonical());
+        }
+        out.push('}');
+        if let Some(e) = &self.error {
+            out.push_str(",\"error\":");
+            write_json_str(e, &mut out);
+        } else {
+            out.push_str(",\"observables\":{");
+            for (i, (k, v)) in self.observables.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_str(k, &mut out);
+                out.push(':');
+                out.push_str(&format_f64(*v));
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// The JSONL header line for a campaign (no trailing newline).
+pub fn header_json(spec: &CampaignSpec) -> String {
+    let mut out = String::new();
+    out.push_str("{\"campaign\":");
+    write_json_str(&spec.name, &mut out);
+    out.push_str(",\"spec_hash\":");
+    write_json_str(&format!("{:016x}", spec.spec_hash), &mut out);
+    out.push_str(",\"points\":");
+    out.push_str(&spec.total_points().to_string());
+    out.push_str(",\"seed\":");
+    out.push_str(&spec.seed.to_string());
+    out.push_str(",\"axes\":[");
+    for (i, axis) in spec.axes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_json_str(&axis.keys.join(","), &mut out);
+    }
+    out.push_str("],\"observables\":[");
+    for (i, o) in spec.observables.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_json_str(o.name(), &mut out);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// JSON-lines sink: one header object, then one object per point.
+pub struct JsonlSink<W: Write> {
+    writer: W,
+    /// Suppress the header (used when appending to a resumed file).
+    skip_header: bool,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Sink writing a fresh stream (header + rows).
+    pub fn new(writer: W) -> Self {
+        Self {
+            writer,
+            skip_header: false,
+        }
+    }
+
+    /// Sink appending rows to an existing stream (no header).
+    pub fn appending(writer: W) -> Self {
+        Self {
+            writer,
+            skip_header: true,
+        }
+    }
+
+    /// Recover the writer (e.g. the built string/buffer).
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> ResultSink for JsonlSink<W> {
+    fn begin(&mut self, spec: &CampaignSpec) -> io::Result<()> {
+        if !self.skip_header {
+            writeln!(self.writer, "{}", header_json(spec))?;
+        }
+        Ok(())
+    }
+
+    fn row(&mut self, row: &PointRow) -> io::Result<()> {
+        writeln!(self.writer, "{}", row.to_json())?;
+        self.writer.flush()
+    }
+
+    fn end(&mut self, _summary: &CampaignSummary) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+/// CSV sink: `point,seed,<axis keys…>,<observables…>,error`.
+pub struct CsvSink<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> CsvSink<W> {
+    /// Sink writing header row + data rows.
+    pub fn new(writer: W) -> Self {
+        Self { writer }
+    }
+
+    /// Recover the writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+fn csv_cell(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn value_cell(v: &Value) -> String {
+    match v {
+        Value::Str(s) => csv_cell(s),
+        other => csv_cell(&other.canonical()),
+    }
+}
+
+impl<W: Write> ResultSink for CsvSink<W> {
+    fn begin(&mut self, spec: &CampaignSpec) -> io::Result<()> {
+        let mut cols = vec!["point".to_string(), "seed".to_string()];
+        for axis in &spec.axes {
+            cols.extend(axis.keys.iter().cloned());
+        }
+        cols.extend(spec.observables.iter().map(|o| o.name().to_string()));
+        cols.push("error".to_string());
+        writeln!(self.writer, "{}", cols.join(","))
+    }
+
+    fn row(&mut self, row: &PointRow) -> io::Result<()> {
+        let mut cells = vec![row.index.to_string(), row.seed.to_string()];
+        cells.extend(row.params.iter().map(|(_, v)| value_cell(v)));
+        cells.extend(row.observables.iter().map(|(_, v)| format_f64(*v)));
+        cells.push(row.error.as_deref().map(csv_cell).unwrap_or_default());
+        writeln!(self.writer, "{}", cells.join(","))?;
+        self.writer.flush()
+    }
+
+    fn end(&mut self, _summary: &CampaignSummary) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+/// In-memory sink for tests and programmatic consumers.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    /// Collected rows, in grid order.
+    pub rows: Vec<PointRow>,
+}
+
+impl ResultSink for MemorySink {
+    fn begin(&mut self, _spec: &CampaignSpec) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn row(&mut self, row: &PointRow) -> io::Result<()> {
+        self.rows.push(row.clone());
+        Ok(())
+    }
+
+    fn end(&mut self, _summary: &CampaignSummary) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Broadcast to several sinks at once (e.g. file + progress meter).
+pub struct TeeSink<'a> {
+    sinks: Vec<&'a mut dyn ResultSink>,
+}
+
+impl<'a> TeeSink<'a> {
+    /// Combine sinks; rows go to each in order.
+    pub fn new(sinks: Vec<&'a mut dyn ResultSink>) -> Self {
+        Self { sinks }
+    }
+}
+
+impl ResultSink for TeeSink<'_> {
+    fn begin(&mut self, spec: &CampaignSpec) -> io::Result<()> {
+        self.sinks.iter_mut().try_for_each(|s| s.begin(spec))
+    }
+
+    fn row(&mut self, row: &PointRow) -> io::Result<()> {
+        self.sinks.iter_mut().try_for_each(|s| s.row(row))
+    }
+
+    fn end(&mut self, summary: &CampaignSummary) -> io::Result<()> {
+        self.sinks.iter_mut().try_for_each(|s| s.end(summary))
+    }
+}
+
+/// Scan an existing JSONL stream for completed points.
+///
+/// Returns the set of point indices with a well-formed, error-free row.
+/// Fails if the header's `spec_hash` does not match `spec` (the file
+/// belongs to a different campaign — resuming would silently mix
+/// incompatible results). Truncated/garbled lines (an interrupted write)
+/// are skipped, so those points simply re-run.
+pub fn scan_completed(text: &str, spec: &CampaignSpec) -> Result<HashSet<usize>, String> {
+    let mut lines = text.lines();
+    let header = loop {
+        match lines.next() {
+            None => return Ok(HashSet::new()), // empty file: nothing done
+            Some(l) if l.trim().is_empty() => continue,
+            Some(l) => break l,
+        }
+    };
+    let header = parse_json(header).map_err(|e| format!("bad result header: {e}"))?;
+    let file_hash = header
+        .get("spec_hash")
+        .and_then(Value::as_str)
+        .unwrap_or("");
+    let want = format!("{:016x}", spec.spec_hash);
+    if file_hash != want {
+        return Err(format!(
+            "result file belongs to a different spec (hash {file_hash}, expected {want}); \
+             delete it or run without resume"
+        ));
+    }
+    let total = spec.total_points();
+    let mut done = HashSet::new();
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Ok(row) = parse_json(line) else { continue };
+        if row.get("error").is_some() {
+            continue; // failed points re-run on resume
+        }
+        if let Some(idx) = row.get("point").and_then(Value::as_i64) {
+            if idx >= 0 && (idx as usize) < total {
+                done.insert(idx as usize);
+            }
+        }
+    }
+    Ok(done)
+}

@@ -1,0 +1,325 @@
+//! Integration tests for the campaign engine: grid expansion, cross-thread
+//! determinism, streaming order, and resume-after-interrupt.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use pom_sweep::{Campaign, CsvSink, ResultSink, RunOptions};
+
+/// Small, fast model campaign: 3 σ × 2 couplings = 6 points.
+const SPEC: &str = r#"
+    [campaign]
+    name = "itest"
+    seed = 42
+    observables = ["final_r", "final_spread", "mean_abs_gap"]
+
+    [model]
+    n = 6
+    potential = "desync"
+    coupling = 4.0
+
+    [topology]
+    kind = "chain"
+
+    [init]
+    kind = "spread"
+    amplitude = 0.2
+
+    [sim]
+    t_end = 20.0
+    samples = 40
+
+    [[axes]]
+    key = "model.sigma"
+    values = [1.0, 2.0, 3.0]
+
+    [[axes]]
+    key = "model.coupling"
+    values = [3.0, 6.0]
+"#;
+
+fn tmp_path(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("pom-sweep-{tag}-{}.jsonl", std::process::id()));
+    p
+}
+
+#[test]
+fn expansion_count_and_row_major_order() {
+    let campaign = Campaign::from_str(SPEC).unwrap();
+    assert_eq!(campaign.total_points(), 6);
+    let rows = campaign.run_collect(2).unwrap();
+    assert_eq!(rows.len(), 6);
+    // Streaming order is grid order even with 2 threads.
+    let indices: Vec<usize> = rows.iter().map(|r| r.index).collect();
+    assert_eq!(indices, vec![0, 1, 2, 3, 4, 5]);
+    // Row-major: last axis (coupling) fastest.
+    let expect = [
+        (1.0, 3.0),
+        (1.0, 6.0),
+        (2.0, 3.0),
+        (2.0, 6.0),
+        (3.0, 3.0),
+        (3.0, 6.0),
+    ];
+    for (row, (sigma, coupling)) in rows.iter().zip(expect) {
+        assert_eq!(row.params[0].0, "model.sigma");
+        assert_eq!(row.params[0].1.as_f64(), Some(sigma));
+        assert_eq!(row.params[1].1.as_f64(), Some(coupling));
+        assert!(row.error.is_none(), "{:?}", row.error);
+        assert_eq!(row.observables.len(), 3);
+    }
+}
+
+#[test]
+fn jsonl_identical_across_thread_counts() {
+    let campaign = Campaign::from_str(SPEC).unwrap();
+    let serial = campaign.run_jsonl_string(1).unwrap();
+    let parallel = campaign.run_jsonl_string(4).unwrap();
+    let oversubscribed = campaign.run_jsonl_string(16).unwrap();
+    assert_eq!(
+        serial, parallel,
+        "1-thread and 4-thread streams must be bitwise identical"
+    );
+    assert_eq!(serial, oversubscribed);
+    // Sanity: 1 header + 6 rows.
+    assert_eq!(serial.lines().count(), 7);
+    assert!(serial.lines().next().unwrap().contains("\"spec_hash\""));
+}
+
+#[test]
+fn per_point_seeds_are_index_stable() {
+    let campaign = Campaign::from_str(SPEC).unwrap();
+    let a = campaign.run_collect(1).unwrap();
+    let b = campaign.run_collect(3).unwrap();
+    for (ra, rb) in a.iter().zip(&b) {
+        assert_eq!(ra.seed, rb.seed);
+        assert_eq!(ra.observables, rb.observables);
+    }
+    // Distinct points draw distinct seeds.
+    let seeds: BTreeSet<u64> = a.iter().map(|r| r.seed).collect();
+    assert_eq!(seeds.len(), a.len());
+}
+
+#[test]
+fn resume_completes_only_missing_points() {
+    let campaign = Campaign::from_str(SPEC).unwrap();
+    let path = tmp_path("resume");
+    let _ = std::fs::remove_file(&path);
+
+    // Fresh full run → reference output.
+    campaign.run_jsonl_file(&path, 2, false).unwrap();
+    let full = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(full.lines().count(), 7);
+
+    // Simulate an interrupt: keep header + first 2 rows + half a row.
+    let mut truncated: Vec<&str> = full.lines().take(3).collect();
+    truncated.push("{\"point\":2,\"seed\":123,\"par"); // torn write
+    std::fs::write(&path, truncated.join("\n")).unwrap();
+
+    let missing = campaign.missing_points(&path).unwrap();
+    assert_eq!(missing, vec![2, 3, 4, 5]);
+
+    let summary = campaign.run_jsonl_file(&path, 2, true).unwrap();
+    assert_eq!(summary.skipped, 2);
+    assert_eq!(summary.executed, 4);
+
+    // Every point present exactly once, values equal to the fresh run.
+    let resumed = std::fs::read_to_string(&path).unwrap();
+    let mut full_rows: Vec<&str> = full.lines().skip(1).collect();
+    let mut resumed_rows: Vec<&str> = resumed
+        .lines()
+        .skip(1)
+        .filter(|l| !l.ends_with("par"))
+        .collect();
+    full_rows.sort_unstable();
+    resumed_rows.sort_unstable();
+    assert_eq!(full_rows, resumed_rows);
+
+    assert!(campaign.missing_points(&path).unwrap().is_empty());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn resume_rejects_spec_change() {
+    let campaign = Campaign::from_str(SPEC).unwrap();
+    let path = tmp_path("hash");
+    let _ = std::fs::remove_file(&path);
+    campaign.run_jsonl_file(&path, 2, false).unwrap();
+
+    let edited = Campaign::from_str(&SPEC.replace("t_end = 20.0", "t_end = 30.0")).unwrap();
+    let err = edited.run_jsonl_file(&path, 2, true).unwrap_err();
+    assert!(err.to_string().contains("different spec"), "{err}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn csv_sink_has_stable_columns() {
+    let campaign = Campaign::from_str(SPEC).unwrap();
+    let mut sink = CsvSink::new(Vec::<u8>::new());
+    campaign
+        .run(&RunOptions::with_threads(2), &mut sink)
+        .unwrap();
+    let text = String::from_utf8(sink.into_inner()).unwrap();
+    let mut lines = text.lines();
+    assert_eq!(
+        lines.next().unwrap(),
+        "point,seed,model.sigma,model.coupling,final_r,final_spread,mean_abs_gap,error"
+    );
+    assert_eq!(lines.count(), 6);
+}
+
+#[test]
+fn failed_points_are_reported_not_fatal() {
+    // inject.rank out of range for n = 4 at one grid point only.
+    let spec = r#"
+        [campaign]
+        observables = ["final_r"]
+        [model]
+        n = 4
+        [sim]
+        t_end = 5.0
+        samples = 10
+        [[axes]]
+        key = "model.n"
+        values = [4, 2]
+        [[axes]]
+        key = "model.coupling"
+        values = [1.0]
+    "#;
+    // model.n = 2 with default ring(distances ±1) is fine; use a bad
+    // potential instead to trigger a per-point spec failure.
+    let campaign = Campaign::from_str(spec).unwrap();
+    let rows = campaign.run_collect(2).unwrap();
+    assert_eq!(rows.len(), 2);
+    assert!(rows.iter().all(|r| r.error.is_none()));
+
+    let bad = Campaign::from_str(
+        r#"
+        [campaign]
+        observables = ["final_r"]
+        [model]
+        n = 8
+        [sim]
+        t_end = 5.0
+        samples = 10
+        [[axes]]
+        key = "model.potential"
+        values = ["tanh", "quux"]
+        "#,
+    )
+    .unwrap();
+    let rows = bad.run_collect(2).unwrap();
+    assert_eq!(rows.len(), 2);
+    assert!(rows[0].error.is_none());
+    let err = rows[1].error.as_deref().unwrap();
+    assert!(err.contains("quux"), "{err}");
+}
+
+#[test]
+fn wave_speed_campaign_measures_moving_front() {
+    let campaign = Campaign::from_str(
+        r#"
+        [campaign]
+        name = "wave"
+        observables = ["wave_speed", "wave_r2"]
+
+        [model]
+        n = 24
+        potential = "tanh"
+        tcomp = 0.9
+        tcomm = 0.1
+
+        [init]
+        kind = "sync"
+
+        [inject]
+        rank = 5
+        at = 2.0
+        len = 3.0
+        extra = 1.0
+
+        [sim]
+        t_end = 60.0
+        samples = 300
+
+        [[axes]]
+        key = "model.coupling"
+        values = [2.0, 8.0]
+        "#,
+    )
+    .unwrap();
+    let rows = campaign.run_collect(0).unwrap();
+    assert_eq!(rows.len(), 2);
+    let speeds: Vec<f64> = rows.iter().map(|r| r.observables[0].1).collect();
+    assert!(
+        speeds.iter().all(|s| s.is_finite() && *s > 0.0),
+        "{speeds:?}"
+    );
+    assert!(
+        speeds[1] > speeds[0],
+        "stiffer coupling must speed the wave: {speeds:?}"
+    );
+}
+
+#[test]
+fn mpisim_campaign_reports_makespan() {
+    let campaign = Campaign::from_str(
+        r#"
+        [campaign]
+        workload = "mpisim"
+        observables = ["makespan", "total_wait"]
+        [mpisim]
+        n = 8
+        iterations = 6
+        work_seconds = 1e-4
+        [[axes]]
+        key = "mpisim.protocol"
+        values = ["eager", "rendezvous"]
+        "#,
+    )
+    .unwrap();
+    let rows = campaign.run_collect(2).unwrap();
+    assert_eq!(rows.len(), 2);
+    for row in &rows {
+        assert!(row.error.is_none(), "{:?}", row.error);
+        assert!(row.observables[0].1 > 0.0);
+    }
+}
+
+/// The engine streams rows as soon as the in-order prefix completes — a
+/// sink observing rows must see them before `end`.
+#[test]
+fn rows_stream_before_end() {
+    struct OrderProbe {
+        got_rows_before_end: bool,
+        rows: usize,
+        ended: bool,
+    }
+    impl ResultSink for OrderProbe {
+        fn begin(&mut self, _: &pom_sweep::CampaignSpec) -> std::io::Result<()> {
+            Ok(())
+        }
+        fn row(&mut self, _: &pom_sweep::PointRow) -> std::io::Result<()> {
+            assert!(!self.ended);
+            self.rows += 1;
+            self.got_rows_before_end = true;
+            Ok(())
+        }
+        fn end(&mut self, s: &pom_sweep::CampaignSummary) -> std::io::Result<()> {
+            self.ended = true;
+            assert_eq!(s.executed, self.rows);
+            Ok(())
+        }
+    }
+    let campaign = Campaign::from_str(SPEC).unwrap();
+    let mut probe = OrderProbe {
+        got_rows_before_end: false,
+        rows: 0,
+        ended: false,
+    };
+    campaign
+        .run(&RunOptions::with_threads(3), &mut probe)
+        .unwrap();
+    assert!(probe.got_rows_before_end && probe.ended && probe.rows == 6);
+}

@@ -126,7 +126,11 @@ impl Placement {
         assert!(n_ranks > 0, "need at least one rank");
         assert!(ranks_per_socket > 0, "need at least one rank per socket");
         let rps = ranks_per_socket.min(spec.cores_per_socket);
-        Placement { spec, n_ranks, ranks_per_socket: rps }
+        Placement {
+            spec,
+            n_ranks,
+            ranks_per_socket: rps,
+        }
     }
 
     /// Place `n_ranks` with fully packed sockets.

@@ -57,7 +57,10 @@ pub fn kappa_of_topology(topo: &Topology, mode: WaitMode) -> f64 {
             }
             let mut acc = 0.0;
             for i in 0..n {
-                let dists = topo.neighbors(i).iter().map(|&j| topo.rank_distance(i, j as usize));
+                let dists = topo
+                    .neighbors(i)
+                    .iter()
+                    .map(|&j| topo.rank_distance(i, j as usize));
                 let v = match mode {
                     WaitMode::Individual => dists.sum::<usize>() as f64,
                     WaitMode::Waitall => dists.max().unwrap_or(0) as f64,

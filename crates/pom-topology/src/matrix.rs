@@ -73,7 +73,12 @@ impl Topology {
             col_idx.extend(row.iter().copied());
             row_ptr.push(col_idx.len() as u32);
         }
-        Self { n, row_ptr, col_idx, kind }
+        Self {
+            n,
+            row_ptr,
+            col_idx,
+            kind,
+        }
     }
 
     /// Periodic ring of `n` ranks with the signed distance set `distances`.
@@ -95,7 +100,13 @@ impl Topology {
                 }
             }
         }
-        Self::from_rows(n, rows, TopologyKind::Ring { distances: dedup(distances) })
+        Self::from_rows(
+            n,
+            rows,
+            TopologyKind::Ring {
+                distances: dedup(distances),
+            },
+        )
     }
 
     /// Open chain: like [`Topology::ring`] but neighbors falling outside
@@ -111,7 +122,13 @@ impl Topology {
                 }
             }
         }
-        Self::from_rows(n, rows, TopologyKind::Chain { distances: dedup(distances) })
+        Self::from_rows(
+            n,
+            rows,
+            TopologyKind::Chain {
+                distances: dedup(distances),
+            },
+        )
     }
 
     /// Full coupling: the connectivity of the plain Kuramoto model, which
@@ -215,15 +232,15 @@ impl Topology {
     /// pipelines are not.
     pub fn is_symmetric(&self) -> bool {
         (0..self.n).all(|i| {
-            self.neighbors(i).iter().all(|&j| self.connected(j as usize, i))
+            self.neighbors(i)
+                .iter()
+                .all(|&j| self.connected(j as usize, i))
         })
     }
 
     /// Iterate over all directed edges `(i, j)`.
     pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        (0..self.n).flat_map(move |i| {
-            self.neighbors(i).iter().map(move |&j| (i, j as usize))
-        })
+        (0..self.n).flat_map(move |i| self.neighbors(i).iter().map(move |&j| (i, j as usize)))
     }
 
     /// Dense copy of the matrix (row-major), for tests and ablations.

@@ -34,7 +34,11 @@ pub fn circle_ascii(phases: &[f64], size: usize) -> String {
         let x = (c + r * a.cos()).round() as usize;
         let y = (c - r * a.sin()).round() as usize;
         if x < size && y < size {
-            grid[y][x] = if grid[y][x] == 'o' || grid[y][x] == '@' { '@' } else { 'o' };
+            grid[y][x] = if grid[y][x] == 'o' || grid[y][x] == '@' {
+                '@'
+            } else {
+                'o'
+            };
         }
     }
 

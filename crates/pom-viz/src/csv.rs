@@ -48,7 +48,10 @@ mod tests {
 
     #[test]
     fn table_layout() {
-        let csv = write_table(&["a", "b", "c"], &[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let csv = write_table(
+            &["a", "b", "c"],
+            &[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]],
+        );
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "a,b,c");
         assert_eq!(lines[2], "4,5,6");

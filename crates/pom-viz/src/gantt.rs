@@ -78,13 +78,20 @@ mod tests {
         let art = gantt_ascii(&tr, 60);
         let compute = art.matches('█').count();
         let wait = art.matches('·').count();
-        assert!(compute > 10 * wait.max(1), "compute {compute} wait {wait}:\n{art}");
+        assert!(
+            compute > 10 * wait.max(1),
+            "compute {compute} wait {wait}:\n{art}"
+        );
         assert_eq!(art.lines().count(), 7); // 6 ranks + axis
     }
 
     #[test]
     fn idle_wave_shows_wait_band() {
-        let cfg = IdleWaveConfig { n_ranks: 16, iterations: 20, ..IdleWaveConfig::default() };
+        let cfg = IdleWaveConfig {
+            n_ranks: 16,
+            iterations: 20,
+            ..IdleWaveConfig::default()
+        };
         let (pert, base) = idle_wave_run(&cfg).unwrap();
         let art_p = gantt_ascii(&pert, 80);
         let art_b = gantt_ascii(&base, 80);

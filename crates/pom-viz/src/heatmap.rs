@@ -119,7 +119,10 @@ mod tests {
             }]))
             .build()
             .unwrap()
-            .simulate_with(InitialCondition::Synchronized, &SimOptions::new(30.0).samples(120))
+            .simulate_with(
+                InitialCondition::Synchronized,
+                &SimOptions::new(30.0).samples(120),
+            )
             .unwrap()
     }
 
@@ -128,7 +131,7 @@ mod tests {
         let run = wave_run();
         let art = phase_heatmap_ascii(&run, 60);
         assert_eq!(art.lines().count(), 13); // 12 rows + scale line
-        // The wave leaves visible shading.
+                                             // The wave leaves visible shading.
         assert!(art.contains('@') || art.contains('#'), "{art}");
     }
 

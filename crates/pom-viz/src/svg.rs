@@ -23,7 +23,13 @@ impl SvgCanvas {
     pub fn new(width: f64, height: f64, x_range: (f64, f64), y_range: (f64, f64)) -> Self {
         assert!(width > 0.0 && height > 0.0);
         assert!(x_range.1 > x_range.0 && y_range.1 > y_range.0);
-        Self { width, height, x_range, y_range, body: String::new() }
+        Self {
+            width,
+            height,
+            x_range,
+            y_range,
+            body: String::new(),
+        }
     }
 
     fn px(&self, x: f64) -> f64 {

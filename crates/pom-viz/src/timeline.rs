@@ -19,10 +19,18 @@ pub fn ascii_chart(title: &str, series: &[(f64, f64)], width: usize, height: usi
     }
     let ymin = series.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
     let ymax = series.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
-    let span = if (ymax - ymin).abs() < 1e-300 { 1.0 } else { ymax - ymin };
+    let span = if (ymax - ymin).abs() < 1e-300 {
+        1.0
+    } else {
+        ymax - ymin
+    };
     let xmin = series[0].0;
     let xmax = series[series.len() - 1].0;
-    let xspan = if (xmax - xmin).abs() < 1e-300 { 1.0 } else { xmax - xmin };
+    let xspan = if (xmax - xmin).abs() < 1e-300 {
+        1.0
+    } else {
+        xmax - xmin
+    };
 
     let mut grid = vec![vec![' '; width]; height];
     for &(x, y) in series {
@@ -115,7 +123,10 @@ mod tests {
             .unwrap();
         let run = model
             .simulate_with(
-                InitialCondition::RandomSpread { amplitude: 0.5, seed: 1 },
+                InitialCondition::RandomSpread {
+                    amplitude: 0.5,
+                    seed: 1,
+                },
                 &pom_core::SimOptions::new(10.0).samples(20),
             )
             .unwrap();
@@ -129,7 +140,7 @@ mod tests {
         assert!(art.starts_with("sqrt\n"));
         assert!(art.contains('*'));
         assert_eq!(art.lines().count(), 12); // title + 10 rows + x label
-        // Max label appears on the first data row.
+                                             // Max label appears on the first data row.
         assert!(art.lines().nth(1).unwrap().contains("7.000e0"));
     }
 
@@ -157,7 +168,11 @@ mod tests {
         assert_eq!(csv.lines().next().unwrap(), "t,v0,v1,v2,v3");
         // At the end the system is nearly synchronized ⇒ potentials ≈ 0.
         let last = csv.lines().last().unwrap();
-        let vals: Vec<f64> = last.split(',').skip(1).map(|v| v.parse().unwrap()).collect();
+        let vals: Vec<f64> = last
+            .split(',')
+            .skip(1)
+            .map(|v| v.parse().unwrap())
+            .collect();
         for v in vals {
             assert!(v.abs() < 0.05, "potential should vanish near sync: {v}");
         }

@@ -24,12 +24,19 @@ fn main() {
         .kernel(Kernel::stream_triad())
         .work(WorkSpec::TargetSeconds(1e-3))
         .message_bytes(4_000_000) // non-negligible comm lets the wavefront persist
-        .inject(SimDelay { rank: 5, iteration: 5, extra_seconds: 5e-3 });
+        .inject(SimDelay {
+            rank: 5,
+            iteration: 5,
+            extra_seconds: 5e-3,
+        });
     let placement = Placement::packed(ClusterSpec::meggie(), n);
     let trace = Simulator::new(program, placement).unwrap().run().unwrap();
 
     println!("memory-bound run, iteration-start spread late in the run:");
-    println!("  mean spread over iterations 45..60: {:.3e} s", residual_spread(&trace, 45));
+    println!(
+        "  mean spread over iterations 45..60: {:.3e} s",
+        residual_spread(&trace, 45)
+    );
     println!("\nper-socket offsets at iteration 55 (the wavefront, cf. Fig. 2b):");
     for (s, off) in socket_offsets(&trace, 10, 55).iter().enumerate() {
         let bar = "#".repeat((off / 5e-4).round() as usize);
@@ -50,7 +57,10 @@ fn main() {
             .build()
             .unwrap()
             .simulate_with(
-                InitialCondition::RandomSpread { amplitude: 0.2, seed: 9 },
+                InitialCondition::RandomSpread {
+                    amplitude: 0.2,
+                    seed: 9,
+                },
                 &SimOptions::new(300.0).samples(300),
             )
             .unwrap();

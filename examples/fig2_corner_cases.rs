@@ -18,15 +18,24 @@ fn main() {
         // Asymptotic circle diagram of the model (the paper's insets).
         let model = fig2_model(panel, true).expect("preset builds");
         let run = model
-            .simulate_with(InitialCondition::Synchronized, &SimOptions::new(120.0).samples(240))
+            .simulate_with(
+                InitialCondition::Synchronized,
+                &SimOptions::new(120.0).samples(240),
+            )
             .expect("model integrates");
         println!("model circle diagram at t = 120 (θ mod 2π):");
         print!("{}", circle_ascii(run.trajectory().last().unwrap(), 17));
 
         // Joint verdict (runs both substrates).
         let v = fig2_verdict(panel);
-        println!("model:     {:?} (residual spread {:.3} rad)", v.model, v.model_residual_spread);
-        println!("simulator: {:?} (residual spread {:.3e} s)", v.sim, v.sim_residual_spread);
+        println!(
+            "model:     {:?} (residual spread {:.3} rad)",
+            v.model, v.model_residual_spread
+        );
+        println!(
+            "simulator: {:?} (residual spread {:.3e} s)",
+            v.sim, v.sim_residual_spread
+        );
         if let Some(s) = v.model_wave_speed {
             println!("model wave speed:     {s:.3} ranks/cycle");
         }

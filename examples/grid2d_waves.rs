@@ -38,7 +38,10 @@ fn main() {
         }
         b.build()
             .unwrap()
-            .simulate_with(InitialCondition::Synchronized, &SimOptions::new(30.0).samples(300))
+            .simulate_with(
+                InitialCondition::Synchronized,
+                &SimOptions::new(30.0).samples(300),
+            )
             .unwrap()
     };
 
@@ -72,8 +75,12 @@ fn main() {
     // Manhattan distance from the source.
     let manhattan = |r: usize| {
         let (x, y) = (r % nx, r / nx);
-        let dx = (x as i64 - source.0 as i64).unsigned_abs().min((nx as i64 - (x as i64 - source.0 as i64).abs()) as u64);
-        let dy = (y as i64 - source.1 as i64).unsigned_abs().min((ny as i64 - (y as i64 - source.1 as i64).abs()) as u64);
+        let dx = (x as i64 - source.0 as i64)
+            .unsigned_abs()
+            .min((nx as i64 - (x as i64 - source.0 as i64).abs()) as u64);
+        let dy = (y as i64 - source.1 as i64)
+            .unsigned_abs()
+            .min((ny as i64 - (y as i64 - source.1 as i64).abs()) as u64);
         dx + dy
     };
     let mut by_dist: Vec<Vec<f64>> = vec![Vec::new(); nx + ny];
@@ -94,6 +101,9 @@ fn main() {
         monotone &= mean >= last;
         last = mean;
     }
-    assert!(monotone, "the front must move outward in Manhattan distance");
+    assert!(
+        monotone,
+        "the front must move outward in Manhattan distance"
+    );
     println!("\n⇒ the idle wave spreads as a diamond through the 2-D dependency grid.");
 }

@@ -65,7 +65,10 @@ fn main() {
         }
         b.build()
             .unwrap()
-            .simulate_with(InitialCondition::Synchronized, &SimOptions::new(60.0).samples(600))
+            .simulate_with(
+                InitialCondition::Synchronized,
+                &SimOptions::new(60.0).samples(600),
+            )
             .unwrap()
     };
     let pert = mk(true);

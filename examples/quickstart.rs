@@ -31,7 +31,10 @@ fn main() {
 
     // Start desynchronized and watch the system pull itself into sync —
     // the defining behavior of scalable programs (§5.2.1).
-    let init = InitialCondition::RandomSpread { amplitude: 2.0, seed: 42 };
+    let init = InitialCondition::RandomSpread {
+        amplitude: 2.0,
+        seed: 42,
+    };
     let run = model
         .simulate_with(init, &SimOptions::new(60.0).samples(300))
         .expect("integration succeeds");
@@ -57,6 +60,9 @@ fn main() {
         run.final_order_parameter(),
         run.final_phase_spread()
     );
-    assert!(run.final_order_parameter() > 0.99, "the swarm of fireflies must sync");
+    assert!(
+        run.final_order_parameter() > 0.99,
+        "the swarm of fireflies must sync"
+    );
     println!("⇒ resynchronized, as the paper predicts for scalable programs.");
 }

@@ -21,9 +21,15 @@ fn main() {
     );
 
     println!("memory bandwidth [MB/s] vs processes per socket (Fig. 1b):");
-    println!("{:>6} {:>12} {:>16} {:>10}", "procs", "STREAM", "slow Schönauer", "PISOLVER");
+    println!(
+        "{:>6} {:>12} {:>16} {:>10}",
+        "procs", "STREAM", "slow Schönauer", "PISOLVER"
+    );
     let kernels = Kernel::paper_kernels();
-    let curves: Vec<_> = kernels.iter().map(|k| scaling_curve(k, &socket, socket.cores)).collect();
+    let curves: Vec<_> = kernels
+        .iter()
+        .map(|k| scaling_curve(k, &socket, socket.cores))
+        .collect();
     for p in 0..socket.cores {
         println!(
             "{:>6} {:>12.0} {:>16.0} {:>10.0}",

@@ -25,7 +25,10 @@ fn model_pipeline_produces_all_three_views() {
         .unwrap();
     let run = model
         .simulate_with(
-            InitialCondition::RandomSpread { amplitude: 0.3, seed: 2 },
+            InitialCondition::RandomSpread {
+                amplitude: 0.3,
+                seed: 2,
+            },
             &SimOptions::new(80.0).samples(160),
         )
         .unwrap();
@@ -59,7 +62,11 @@ fn model_pipeline_produces_all_three_views() {
 
 #[test]
 fn simulator_pipeline_detects_and_renders_the_wave() {
-    let cfg = IdleWaveConfig { n_ranks: 16, iterations: 18, ..IdleWaveConfig::default() };
+    let cfg = IdleWaveConfig {
+        n_ranks: 16,
+        iterations: 18,
+        ..IdleWaveConfig::default()
+    };
     let (pert, base) = idle_wave_run(&cfg).unwrap();
     pert.check_invariants().unwrap();
 
@@ -98,7 +105,10 @@ fn cross_substrate_timescales_are_consistent() {
             .unwrap()
     };
     let per_iter = trace.makespan() / 20.0;
-    assert!((per_iter - t_comp) / t_comp < 0.05, "per-iteration {per_iter}");
+    assert!(
+        (per_iter - t_comp) / t_comp < 0.05,
+        "per-iteration {per_iter}"
+    );
 
     let model = PomBuilder::new(n)
         .topology(Topology::ring(n, &[-1, 1]))
@@ -107,11 +117,16 @@ fn cross_substrate_timescales_are_consistent() {
         .comm_time(0.1)
         .build()
         .unwrap();
-    let run = model.simulate(InitialCondition::Synchronized, 20.0).unwrap();
+    let run = model
+        .simulate(InitialCondition::Synchronized, 20.0)
+        .unwrap();
     // After 20 time units = 20 cycles, every phase advanced by 20·2π.
     let expected = 20.0 * model.omega();
     for (i, &p) in run.trajectory().last().unwrap().iter().enumerate() {
-        assert!((p - expected).abs() < 1e-6, "oscillator {i}: {p} vs {expected}");
+        assert!(
+            (p - expected).abs() < 1e-6,
+            "oscillator {i}: {p} vs {expected}"
+        );
     }
 }
 

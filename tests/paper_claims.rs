@@ -2,9 +2,7 @@
 //! crates (model + solver + topology + analysis together).
 
 use pom::analysis::{model_wave_arrivals, wave_speed_fit};
-use pom::core::{
-    stability, InitialCondition, Normalization, PomBuilder, Potential, SimOptions,
-};
+use pom::core::{stability, InitialCondition, Normalization, PomBuilder, Potential, SimOptions};
 use pom::noise::{DelayEvent, OneOffDelays};
 use pom::topology::{kappa_for, Topology, WaitMode};
 
@@ -24,7 +22,10 @@ fn two_thirds_sigma_law_holds_across_sigmas() {
             .build()
             .unwrap()
             .simulate_with(
-                InitialCondition::RandomSpread { amplitude: 0.1 * sigma, seed: 17 },
+                InitialCondition::RandomSpread {
+                    amplitude: 0.1 * sigma,
+                    seed: 17,
+                },
                 &SimOptions::new(400.0).samples(200),
             )
             .unwrap();
@@ -62,7 +63,10 @@ fn wave_speed_monotone_in_beta_kappa() {
         }
         b.build()
             .unwrap()
-            .simulate_with(InitialCondition::Synchronized, &SimOptions::new(60.0).samples(600))
+            .simulate_with(
+                InitialCondition::Synchronized,
+                &SimOptions::new(60.0).samples(600),
+            )
             .unwrap()
     };
     let speed_for = |vp: f64| {
@@ -73,13 +77,20 @@ fn wave_speed_monotone_in_beta_kappa() {
         .iter()
         .map(|&vp| speed_for(vp).expect("wave detected"))
         .collect();
-    assert!(speeds[1] > speeds[0] && speeds[2] > speeds[1], "speeds {speeds:?}");
+    assert!(
+        speeds[1] > speeds[0] && speeds[2] > speeds[1],
+        "speeds {speeds:?}"
+    );
 
     // βκ ≈ 0: no coupling — the disturbance never leaves the source.
     let arrivals = model_wave_arrivals(&run(0.0, true), &run(0.0, false), 0.05);
     assert!(arrivals[5].time.is_some(), "source itself is disturbed");
     for a in arrivals.iter().filter(|a| a.rank != 5) {
-        assert!(a.time.is_none(), "rank {} disturbed without coupling", a.rank);
+        assert!(
+            a.time.is_none(),
+            "rank {} disturbed without coupling",
+            a.rank
+        );
     }
 }
 
@@ -107,15 +118,24 @@ fn stability_structure_matches_simulation() {
     let n = 16;
 
     assert!(!stability::lockstep_stable_on_ring(pot, &distances, n));
-    assert!(stability::lockstep_stable_on_ring(Potential::Tanh, &distances, n));
+    assert!(stability::lockstep_stable_on_ring(
+        Potential::Tanh,
+        &distances,
+        n
+    ));
 
     let rates = stability::growth_rates(pot, 0.25, &distances, n, 0.0);
     assert!(rates[0].abs() < 1e-14, "Goldstone mode must be neutral");
-    assert!(rates.iter().skip(1).all(|&r| r > 0.0), "all non-trivial modes grow");
+    assert!(
+        rates.iter().skip(1).all(|&r| r > 0.0),
+        "all non-trivial modes grow"
+    );
 
-    let wavefront_rates =
-        stability::growth_rates(pot, 0.25, &distances, n, 2.0 * sigma / 3.0);
-    assert!(wavefront_rates.iter().all(|&r| r <= 1e-12), "wavefront is stable");
+    let wavefront_rates = stability::growth_rates(pot, 0.25, &distances, n, 2.0 * sigma / 3.0);
+    assert!(
+        wavefront_rates.iter().all(|&r| r <= 1e-12),
+        "wavefront is stable"
+    );
 
     // Nonlinear confirmation: a tiny perturbation grows by orders of
     // magnitude under the desync potential.
@@ -128,11 +148,18 @@ fn stability_structure_matches_simulation() {
         .build()
         .unwrap()
         .simulate(
-            InitialCondition::RandomSpread { amplitude: 1e-6, seed: 5 },
+            InitialCondition::RandomSpread {
+                amplitude: 1e-6,
+                seed: 5,
+            },
             200.0,
         )
         .unwrap();
-    assert!(run.final_phase_spread() > 0.5, "spread {}", run.final_phase_spread());
+    assert!(
+        run.final_phase_spread() > 0.5,
+        "spread {}",
+        run.final_phase_spread()
+    );
 }
 
 /// §2.2.2: the plain Kuramoto model (all-to-all + sin) acts like a
@@ -158,7 +185,10 @@ fn kuramoto_contrast_all_to_all_acts_like_barrier() {
             }]))
             .build()
             .unwrap()
-            .simulate_with(InitialCondition::Synchronized, &SimOptions::new(40.0).samples(400))
+            .simulate_with(
+                InitialCondition::Synchronized,
+                &SimOptions::new(40.0).samples(400),
+            )
             .unwrap()
     };
     // All-to-all: every oscillator reacts essentially simultaneously; the
@@ -168,7 +198,10 @@ fn kuramoto_contrast_all_to_all_acts_like_barrier() {
     let pom = run(Topology::ring(n, &[-1, 1]), Potential::Tanh);
 
     let max_spread = |r: &pom::core::PomRun| {
-        r.phase_spread_series().iter().map(|p| p.1).fold(0.0f64, f64::max)
+        r.phase_spread_series()
+            .iter()
+            .map(|p| p.1)
+            .fold(0.0f64, f64::max)
     };
     let ks = max_spread(&kuramoto);
     let ps = max_spread(&pom);

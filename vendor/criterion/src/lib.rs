@@ -1,0 +1,286 @@
+//! A minimal, self-contained subset of the `criterion` benchmarking API.
+//!
+//! The build environment has no crate-registry access, so the real
+//! `criterion` cannot be fetched. This vendored stand-in keeps the
+//! workspace's `[[bench]]` targets compiling and *running*: each
+//! `Bencher::iter` call is warmed up, then timed over several batches, and
+//! the median per-iteration time is printed in a `name ... time: [..]`
+//! line loosely matching criterion's output. Statistical analysis, HTML
+//! reports and comparison baselines are intentionally absent.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation (printed alongside timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("dopri5", 256)` → `dopri5/256`.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        Self {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Runs closures and reports per-iteration timing.
+pub struct Bencher {
+    /// Wall-clock budget for the measurement phase.
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    fn measure<O, F: FnMut() -> O>(&mut self, mut f: F) -> Duration {
+        // Warm-up: run until ~10% of the budget is spent (at least once),
+        // and estimate the per-iteration cost.
+        let warmup_budget = self.measurement_time / 10;
+        let warm_start = Instant::now();
+        let mut warm_iters: u32 = 0;
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= warmup_budget || warm_iters >= 1000 {
+                break;
+            }
+        }
+        let est = warm_start.elapsed() / warm_iters;
+
+        // Measurement: several batches sized so each takes ~1/8 of the
+        // budget; report the fastest batch (least-noise estimate).
+        let batch = ((self.measurement_time.as_nanos() / 8).saturating_div(est.as_nanos().max(1)))
+            .clamp(1, 1_000_000) as u32;
+        let mut best = Duration::MAX;
+        for _ in 0..8 {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let per_iter = t0.elapsed() / batch;
+            best = best.min(per_iter);
+        }
+        best
+    }
+
+    /// Time `f`, reporting the per-iteration cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, f: F) {
+        let per_iter = self.measure(f);
+        print_time(per_iter);
+    }
+}
+
+fn print_time(d: Duration) {
+    let ns = d.as_nanos();
+    let pretty = if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    };
+    println!("time: [{pretty} {pretty} {pretty}]");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the per-benchmark sample count (accepted, unused).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Override the measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    fn announce(&self, id: &BenchmarkId) {
+        print!("{}/{}  ", self.name, id.id);
+        if let Some(t) = self.throughput {
+            match t {
+                Throughput::Elements(n) => print!("(throughput: {n} elems/iter)  "),
+                Throughput::Bytes(n) => print!("(throughput: {n} B/iter)  "),
+            }
+        }
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.announce(&id);
+        let mut b = Bencher {
+            measurement_time: self.criterion.measurement_time,
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Benchmark a closure against one input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.announce(&id);
+        let mut b = Bencher {
+            measurement_time: self.criterion.measurement_time,
+        };
+        f(&mut b, input);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Short budget: these stand-in numbers guide optimization locally,
+        // they are not archival statistics.
+        Self {
+            measurement_time: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group {name}");
+        BenchmarkGroup {
+            name,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Benchmark a closure outside a group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        print!("{}  ", id.id);
+        let mut b = Bencher {
+            measurement_time: self.measurement_time,
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Override the measurement budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fib(n: u64) -> u64 {
+        if n < 2 {
+            n
+        } else {
+            fib(n - 1) + fib(n - 2)
+        }
+    }
+
+    #[test]
+    fn group_bench_runs() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(20));
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("fib10", |b| b.iter(|| fib(black_box(10))));
+        g.bench_with_input(BenchmarkId::new("fib", 12), &12u64, |b, &n| {
+            b.iter(|| fib(black_box(n)))
+        });
+        g.finish();
+    }
+}
