@@ -63,6 +63,39 @@ fn bench_campaign_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_point_workspace_reuse(c: &mut Criterion) {
+    // One worker, points/sec: fresh SimWorkspace per point vs one reused
+    // workspace (what each executor worker does since the allocation-free
+    // core landed). Isolates the marginal value of scratch reuse on top
+    // of the per-step allocation removal.
+    use pom_core::SimWorkspace;
+    use pom_sweep::{run_point, run_point_ws};
+
+    let campaign = campaign();
+    let mut group = c.benchmark_group("sweep");
+    group.throughput(Throughput::Elements(POINTS as u64));
+    group.bench_function("points_fresh_ws", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..POINTS {
+                acc += run_point(&campaign.spec, i).observables[0].1;
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("points_reused_ws", |b| {
+        b.iter(|| {
+            let mut ws = SimWorkspace::new();
+            let mut acc = 0.0;
+            for i in 0..POINTS {
+                acc += run_point_ws(&campaign.spec, i, &mut ws).observables[0].1;
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
 fn bench_expansion(c: &mut Criterion) {
     // Grid expansion alone (no simulation): spec → assignments for a
     // 10×10×10 product.
@@ -99,5 +132,10 @@ fn bench_expansion(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_campaign_throughput, bench_expansion);
+criterion_group!(
+    benches,
+    bench_campaign_throughput,
+    bench_point_workspace_reuse,
+    bench_expansion
+);
 criterion_main!(benches);

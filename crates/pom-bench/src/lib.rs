@@ -11,6 +11,40 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use pom_ode::OdeSystem;
+
+/// Faithful replica of the pre-workspace `Rk4::step`: five heap
+/// allocations per step, right-hand side reached through a vtable.
+///
+/// This is the load-bearing baseline for the hot-loop speedup numbers —
+/// `benches/solvers.rs` and the `bench_steps` binary both measure against
+/// this one copy, so the criterion comparison and the recorded
+/// `BENCH_*.json` always benchmark the same code.
+pub fn rk4_step_legacy(sys: &dyn OdeSystem, t: f64, y: &[f64], h: f64, y_out: &mut [f64]) {
+    let n = y.len();
+    let mut k1 = vec![0.0; n];
+    let mut k2 = vec![0.0; n];
+    let mut k3 = vec![0.0; n];
+    let mut k4 = vec![0.0; n];
+    let mut ytmp = vec![0.0; n];
+    sys.eval(t, y, &mut k1);
+    for i in 0..n {
+        ytmp[i] = y[i] + 0.5 * h * k1[i];
+    }
+    sys.eval(t + 0.5 * h, &ytmp, &mut k2);
+    for i in 0..n {
+        ytmp[i] = y[i] + 0.5 * h * k2[i];
+    }
+    sys.eval(t + 0.5 * h, &ytmp, &mut k3);
+    for i in 0..n {
+        ytmp[i] = y[i] + h * k3[i];
+    }
+    sys.eval(t + h, &ytmp, &mut k4);
+    for i in 0..n {
+        y_out[i] = y[i] + (h / 6.0) * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    }
+}
+
 /// Output directory for reproduction artifacts (`target/repro`), created
 /// on demand.
 pub fn repro_dir() -> PathBuf {

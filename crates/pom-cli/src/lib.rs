@@ -14,6 +14,12 @@
 //!
 //! All command functions return the report as a `String` so they are
 //! directly testable; the binary just prints.
+//!
+//! The sweep-shaped subcommands (`sweep`, `wave-sweep`, `sigma-sweep`)
+//! delegate to the `pom-sweep` campaign engine: a self-balancing worker
+//! pool whose workers each hold one reusable integrator workspace, with
+//! per-point seeds derived from the point index so output is bitwise
+//! identical for any `threads=` value.
 
 pub mod commands;
 pub mod config;

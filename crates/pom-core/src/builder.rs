@@ -210,7 +210,7 @@ impl PomBuilder {
         let mut params = PomParams::new(self.n, self.t_comp, self.t_comm, self.protocol, kappa);
         params.coupling_override = self.coupling_override;
         let min_cycle = self.min_cycle_fraction * params.cycle_time();
-        Ok(Pom {
+        let mut pom = Pom {
             params,
             topology,
             potential: self.potential,
@@ -218,7 +218,12 @@ impl PomBuilder {
             interaction_noise: self.interaction_noise,
             normalization: self.normalization,
             min_cycle,
-        })
+            coupling_cache: Vec::new(),
+        };
+        pom.coupling_cache = (0..pom.params.n)
+            .map(|i| pom.compute_coupling_scale(i))
+            .collect();
+        Ok(pom)
     }
 }
 

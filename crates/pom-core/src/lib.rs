@@ -28,6 +28,33 @@
 //! picks the right integrator automatically and returns a [`simulate::PomRun`]
 //! with the paper's observables: Kuramoto order parameter, phase spread,
 //! lagger-normalized phases (§3.2's "standard view").
+//!
+//! ## Example
+//!
+//! A resource-scalable program (tanh potential) pulls itself back into
+//! lockstep from a perturbed start:
+//!
+//! ```
+//! use pom_core::{InitialCondition, PomBuilder, Potential, SimOptions, SimWorkspace};
+//! use pom_topology::Topology;
+//!
+//! let model = PomBuilder::new(16)
+//!     .topology(Topology::ring(16, &[-1, 1]))
+//!     .potential(Potential::Tanh)
+//!     .compute_time(1.0)
+//!     .comm_time(0.1)
+//!     .coupling(8.0)
+//!     .build()
+//!     .unwrap();
+//!
+//! // One workspace serves many runs (per-thread scratch reuse).
+//! let mut ws = SimWorkspace::new();
+//! let init = InitialCondition::RandomSpread { amplitude: 1.0, seed: 3 };
+//! let run = model
+//!     .simulate_with_ws(init, &SimOptions::new(120.0), &mut ws)
+//!     .unwrap();
+//! assert!(run.final_order_parameter() > 0.999); // resynchronized
+//! ```
 
 pub mod builder;
 pub mod continuum;
@@ -50,4 +77,4 @@ pub use observables::{
 pub use params::{PomParams, Protocol};
 pub use potential::Potential;
 pub use presets::{fig2_model, fig2_params, Fig2Panel};
-pub use simulate::{PomRun, SimOptions, SolverChoice};
+pub use simulate::{PomRun, SimOptions, SimWorkspace, SolverChoice};

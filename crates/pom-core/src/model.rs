@@ -39,6 +39,10 @@ pub struct Pom {
     /// Smallest admissible cycle time, guarding the `2π/(… + ζ)`
     /// denominator against non-physical noise excursions.
     pub(crate) min_cycle: f64,
+    /// Per-oscillator coupling prefactor `v_p/N` or `v_p/deg(i)`,
+    /// precomputed at build time — the right-hand side is evaluated
+    /// millions of times per run and must not re-derive static factors.
+    pub(crate) coupling_cache: Vec<f64>,
 }
 
 impl std::fmt::Debug for Pom {
@@ -96,9 +100,16 @@ impl Pom {
         self.interaction_noise.max_delay()
     }
 
-    /// Coupling prefactor for oscillator `i` (`v_p/N` or `v_p/deg(i)`).
-    #[inline]
+    /// Coupling prefactor for oscillator `i` (`v_p/N` or `v_p/deg(i)`),
+    /// served from the build-time cache.
+    #[cfg(test)]
     pub(crate) fn coupling_scale(&self, i: usize) -> f64 {
+        self.coupling_cache[i]
+    }
+
+    /// Compute the coupling prefactor from first principles (used once at
+    /// build time to fill the cache).
+    pub(crate) fn compute_coupling_scale(&self, i: usize) -> f64 {
         let vp = self.params.coupling();
         match self.normalization {
             Normalization::ByN => vp / self.params.n as f64,
@@ -117,20 +128,69 @@ impl Pom {
         TAU / cycle.max(self.min_cycle)
     }
 
-    /// Shared RHS for the no-delay path.
-    fn rhs_ode(&self, t: f64, theta: &[f64], dtheta: &mut [f64]) {
+    /// Write the intrinsic term for every oscillator into `dtheta`.
+    ///
+    /// Noise-free, the term is one constant — computed once instead of
+    /// re-deriving the cycle time and division per oscillator (the RHS
+    /// runs four times per RK4 step, millions of steps per campaign
+    /// point). With local noise the per-oscillator path is unavoidable.
+    /// Both branches produce the exact FP values of [`Pom::intrinsic`].
+    #[inline]
+    fn fill_intrinsic(&self, t: f64, dtheta: &mut [f64]) {
+        if self.local_noise.is_null() {
+            let omega = TAU / self.params.cycle_time().max(self.min_cycle);
+            dtheta[..self.params.n].fill(omega);
+        } else {
+            for (i, d) in dtheta.iter_mut().enumerate().take(self.params.n) {
+                *d = self.intrinsic(i, t);
+            }
+        }
+    }
+
+    /// Accumulate `scale_i · Σ_j V(θ_j − θ_i)` onto the intrinsic terms
+    /// already stored in `dtheta`, with the potential's parameters hoisted
+    /// into `v` (monomorphized per potential shape by [`Pom::rhs_ode`]).
+    #[inline]
+    fn accumulate_coupling(&self, theta: &[f64], dtheta: &mut [f64], v: impl Fn(f64) -> f64) {
         for i in 0..self.params.n {
+            let theta_i = theta[i];
             let mut coupling = 0.0;
             for &j in self.topology.neighbors(i) {
-                coupling += self.potential.value(theta[j as usize] - theta[i]);
+                coupling += v(theta[j as usize] - theta_i);
             }
-            dtheta[i] = self.intrinsic(i, t) + self.coupling_scale(i) * coupling;
+            dtheta[i] += self.coupling_cache[i] * coupling;
+        }
+    }
+
+    /// Shared RHS for the no-delay path.
+    ///
+    /// The potential match and its per-shape constants (e.g. the desync
+    /// wavenumber `3π/2σ`, previously a division per neighbor per
+    /// evaluation) are hoisted out of the oscillator loop. All arithmetic
+    /// is identical operation-for-operation to the naive nested loop, so
+    /// results stay bitwise unchanged.
+    fn rhs_ode(&self, t: f64, theta: &[f64], dtheta: &mut [f64]) {
+        self.fill_intrinsic(t, dtheta);
+        match self.potential {
+            Potential::Tanh => self.accumulate_coupling(theta, dtheta, |x| x.tanh()),
+            Potential::Desync { sigma } => {
+                let k = 1.5 * std::f64::consts::PI / sigma;
+                self.accumulate_coupling(theta, dtheta, move |x| {
+                    if x.abs() < sigma {
+                        -(k * x).sin()
+                    } else {
+                        x.signum()
+                    }
+                });
+            }
+            Potential::KuramotoSin => self.accumulate_coupling(theta, dtheta, |x| x.sin()),
         }
     }
 
     /// Shared RHS for the delay path: partner phases are read from the
     /// history at `t − τ_ij(t)`.
     fn rhs_dde(&self, t: f64, theta: &[f64], hist: &dyn PhaseHistory, dtheta: &mut [f64]) {
+        self.fill_intrinsic(t, dtheta);
         for i in 0..self.params.n {
             let mut coupling = 0.0;
             for &j in self.topology.neighbors(i) {
@@ -143,7 +203,7 @@ impl Pom {
                 };
                 coupling += self.potential.value(theta_j - theta[i]);
             }
-            dtheta[i] = self.intrinsic(i, t) + self.coupling_scale(i) * coupling;
+            dtheta[i] += self.coupling_cache[i] * coupling;
         }
     }
 }

@@ -2,11 +2,36 @@
 //! observables on the result.
 
 use pom_ode::dde::{DdeRk4, InitialHistory};
-use pom_ode::{Dopri5, FixedStepSolver, OdeError, Rk4, Trajectory};
+use pom_ode::{Dopri5, FixedStepSolver, OdeError, Rk4, Trajectory, Workspace};
 
 use crate::initial::InitialCondition;
 use crate::model::Pom;
 use crate::observables::{adjacent_differences, lagger_normalized, order_parameter, phase_spread};
+
+/// Reusable scratch memory for model runs.
+///
+/// Wraps the integrator [`Workspace`] so one allocation pool serves every
+/// solver path ([`SolverChoice::Dopri5`], [`SolverChoice::FixedRk4`], the
+/// DDE driver). Hold one per worker thread and pass it to
+/// [`Pom::simulate_with_ws`] / [`Pom::simulate_many`]; reuse never changes
+/// results (trajectories are bitwise identical to the fresh-workspace
+/// path).
+#[derive(Debug, Clone, Default)]
+pub struct SimWorkspace {
+    ode: Workspace,
+}
+
+impl SimWorkspace {
+    /// An empty workspace; buffers are acquired lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Access the underlying integrator workspace.
+    pub fn ode(&mut self) -> &mut Workspace {
+        &mut self.ode
+    }
+}
 
 /// Integrator selection for a model run.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -161,10 +186,41 @@ impl Pom {
     }
 
     /// Integrate with explicit [`SimOptions`].
+    ///
+    /// Allocates fresh scratch; loops over many runs should hold a
+    /// [`SimWorkspace`] and call [`Pom::simulate_with_ws`] instead.
     pub fn simulate_with(
         &self,
         init: InitialCondition,
         opts: &SimOptions,
+    ) -> Result<PomRun, OdeError> {
+        self.simulate_with_ws(init, opts, &mut SimWorkspace::new())
+    }
+
+    /// Integrate an ensemble of initial conditions under the same options,
+    /// sharing one workspace across all members — the batched entry point
+    /// the sweep engine builds on. Results are identical to sequential
+    /// [`Pom::simulate_with`] calls; the first error aborts the batch.
+    pub fn simulate_many(
+        &self,
+        inits: &[InitialCondition],
+        opts: &SimOptions,
+    ) -> Result<Vec<PomRun>, OdeError> {
+        let mut ws = SimWorkspace::new();
+        inits
+            .iter()
+            .map(|init| self.simulate_with_ws(init.clone(), opts, &mut ws))
+            .collect()
+    }
+
+    /// Integrate with explicit [`SimOptions`] and caller-provided scratch
+    /// memory — the allocation-lean fast path (monomorphized right-hand
+    /// side, zero allocation inside the step loop).
+    pub fn simulate_with_ws(
+        &self,
+        init: InitialCondition,
+        opts: &SimOptions,
+        ws: &mut SimWorkspace,
     ) -> Result<PomRun, OdeError> {
         let y0 = init.phases(self.n());
         let omega = self.omega();
@@ -204,18 +260,19 @@ impl Pom {
                 if let Some(h) = h_cap {
                     solver = solver.h_max(h);
                 }
-                let sol = solver.integrate(self, 0.0, &y0, opts.t_end)?;
+                let (sol, _) = solver.integrate_with(self, 0.0, &y0, opts.t_end, ws.ode())?;
                 sol.resample(opts.n_samples)?
             }
             SolverChoice::FixedRk4 { h } => {
                 if self.has_delays() {
                     let n_steps = (opts.t_end / h).ceil() as usize;
                     let every = (n_steps / opts.n_samples).max(1);
-                    let (traj, _) = DdeRk4::new(h)?.record_every(every).integrate(
+                    let (traj, _) = DdeRk4::new(h)?.record_every(every).integrate_with(
                         self,
                         0.0,
                         InitialHistory::Constant(y0),
                         opts.t_end,
+                        ws.ode(),
                     )?;
                     traj
                 } else {
@@ -223,7 +280,7 @@ impl Pom {
                     let every = (n_steps / opts.n_samples).max(1);
                     FixedStepSolver::new(Rk4, h)?
                         .record_every(every)
-                        .integrate(self, 0.0, &y0, opts.t_end)?
+                        .integrate_with(self, 0.0, &y0, opts.t_end, ws.ode())?
                 }
             }
             SolverChoice::Auto => unreachable!("resolved above"),

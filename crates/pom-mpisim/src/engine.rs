@@ -249,7 +249,9 @@ impl<'a> Engine<'a> {
         let n_sockets = sim.placement.n_sockets();
         Engine {
             sim,
-            heap: BinaryHeap::new(),
+            // Outstanding events are O(ranks) at any instant (each rank
+            // has at most a handful in flight); size the containers once.
+            heap: BinaryHeap::with_capacity(8 * n),
             seq: 0,
             states: (0..n)
                 .map(|_| RankState {
@@ -268,9 +270,9 @@ impl<'a> Engine<'a> {
             sockets: (0..n_sockets)
                 .map(|_| SocketFluid::new(sim.placement.spec().mem_bw_per_socket))
                 .collect(),
-            arrived: HashSet::new(),
-            recv_posted: HashMap::new(),
-            pending_rdv_send: HashMap::new(),
+            arrived: HashSet::with_capacity(4 * n),
+            recv_posted: HashMap::with_capacity(4 * n),
+            pending_rdv_send: HashMap::with_capacity(4 * n),
             barrier: HashMap::new(),
             finished: 0,
             makespan: 0.0,
@@ -470,8 +472,12 @@ impl<'a> Engine<'a> {
             }
         }
 
-        // Enter Waitall: collect outstanding receives.
-        let mut pending_recv = HashSet::new();
+        // Enter Waitall: collect outstanding receives. The rank's own set
+        // is empty here (drained while it was waiting last iteration), so
+        // recycling it reuses one allocation for the whole run instead of
+        // allocating a set per rank per iteration.
+        let mut pending_recv = std::mem::take(&mut self.states[rank].pending_recv);
+        debug_assert!(pending_recv.is_empty());
         for j in self.sim.program.recv_partners(rank) {
             let key = MsgKey {
                 src: j as u32,

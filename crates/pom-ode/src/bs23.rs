@@ -10,6 +10,7 @@
 
 use crate::error::OdeError;
 use crate::trajectory::Trajectory;
+use crate::workspace::Workspace;
 use crate::OdeSystem;
 
 // Butcher tableau (Bogacki & Shampine 1989).
@@ -95,12 +96,30 @@ impl Bs23 {
     }
 
     /// Integrate and record every accepted step into a [`Trajectory`].
+    ///
+    /// Thin wrapper over [`Bs23::integrate_with`] that allocates a fresh
+    /// [`Workspace`] per call.
     pub fn integrate(
         &self,
         sys: &dyn OdeSystem,
         t0: f64,
         y0: &[f64],
         t_end: f64,
+    ) -> Result<(Trajectory, Bs23Stats), OdeError> {
+        self.integrate_with(sys, t0, y0, t_end, &mut Workspace::new())
+    }
+
+    /// Integrate with caller-provided scratch memory and a monomorphized
+    /// right-hand side; the step loop is allocation-free (the recorded
+    /// trajectory grows amortized). Bitwise identical to
+    /// [`Bs23::integrate`] regardless of workspace reuse.
+    pub fn integrate_with<S: OdeSystem + ?Sized>(
+        &self,
+        sys: &S,
+        t0: f64,
+        y0: &[f64],
+        t_end: f64,
+        ws: &mut Workspace,
     ) -> Result<(Trajectory, Bs23Stats), OdeError> {
         for (name, v) in [("rtol", self.rtol), ("atol", self.atol)] {
             if !(v.is_finite() && v > 0.0) {
@@ -126,18 +145,16 @@ impl Bs23 {
         let mut traj = Trajectory::new(n);
         traj.push(t0, y0)?;
 
-        let mut t = t0;
-        let mut y = y0.to_vec();
-        let mut k1 = vec![0.0; n];
-        let mut k2 = vec![0.0; n];
-        let mut k3 = vec![0.0; n];
-        let mut k4 = vec![0.0; n];
-        let mut y_stage = vec![0.0; n];
-        let mut y_new = vec![0.0; n];
+        let (stage, drive) = ws.split();
+        let [mut k1, k2, k3, mut k4, y_stage, mut y_new] = stage.slices::<6>(n);
+        let [mut y] = drive.slices::<1>(n);
 
-        sys.eval(t, &y, &mut k1);
+        let mut t = t0;
+        y.copy_from_slice(y0);
+
+        sys.eval(t, y, k1);
         stats.n_eval += 1;
-        check_finite(t, &k1)?;
+        check_finite(t, k1)?;
 
         // Crude but effective initial step from the first derivative.
         let y_scale = y.iter().map(|v| v.abs()).fold(1.0f64, f64::max);
@@ -164,17 +181,17 @@ impl Bs23 {
             for i in 0..n {
                 y_stage[i] = y[i] + h * A21 * k1[i];
             }
-            sys.eval(t + C2 * h, &y_stage, &mut k2);
+            sys.eval(t + C2 * h, y_stage, k2);
             for i in 0..n {
                 y_stage[i] = y[i] + h * A32 * k2[i];
             }
-            sys.eval(t + C3 * h, &y_stage, &mut k3);
+            sys.eval(t + C3 * h, y_stage, k3);
             for i in 0..n {
                 y_new[i] = y[i] + h * (B1 * k1[i] + B2 * k2[i] + B3 * k3[i]);
             }
-            sys.eval(t + h, &y_new, &mut k4);
+            sys.eval(t + h, y_new, k4);
             stats.n_eval += 3;
-            check_finite(t, &k4)?;
+            check_finite(t, k4)?;
 
             let mut err_sq = 0.0;
             for i in 0..n {
@@ -187,8 +204,8 @@ impl Bs23 {
             if err <= 1.0 {
                 t += h;
                 std::mem::swap(&mut y, &mut y_new);
-                std::mem::swap(&mut k1, &mut k4); // FSAL
-                traj.push(t, &y)?;
+                std::mem::swap(&mut k1, &mut k4); // FSAL: swap the slice handles
+                traj.push_trusted(t, y);
                 stats.n_accepted += 1;
             } else {
                 stats.n_rejected += 1;

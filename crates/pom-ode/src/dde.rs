@@ -18,6 +18,7 @@
 
 use crate::error::OdeError;
 use crate::trajectory::Trajectory;
+use crate::workspace::Workspace;
 
 /// Read access to the (interpolated) past of a solution.
 pub trait PhaseHistory {
@@ -39,6 +40,10 @@ pub trait DdeSystem {
     fn dim(&self) -> usize;
 
     /// Evaluate the derivative given the current state and history access.
+    ///
+    /// As with [`crate::OdeSystem::eval`], `dydt` is not zeroed on entry
+    /// (the driver reuses [`crate::Workspace`] scratch): implementations
+    /// must assign every component and must not read `dydt`.
     fn eval(&self, t: f64, y: &[f64], hist: &dyn PhaseHistory, dydt: &mut [f64]);
 }
 
@@ -94,6 +99,14 @@ impl HistoryBuffer {
             states: y0.to_vec(),
             derivs: f0.to_vec(),
         }
+    }
+
+    /// Reserve room for `additional` future knots (one per step), so the
+    /// integration loop never reallocates the history storage.
+    pub fn reserve(&mut self, additional: usize) {
+        self.times.reserve(additional);
+        self.states.reserve(additional * self.dim);
+        self.derivs.reserve(additional * self.dim);
     }
 
     /// Append a knot; `t` must be strictly after the last knot.
@@ -203,12 +216,33 @@ impl DdeRk4 {
     /// [`InitialHistory::Constant`] simply the stored vector). Returns the
     /// recorded trajectory together with the full history buffer (usable
     /// for post-hoc interpolation at arbitrary times).
+    ///
+    /// Thin wrapper over [`DdeRk4::integrate_with`] that allocates a fresh
+    /// [`Workspace`] per call.
     pub fn integrate(
         &self,
         sys: &dyn DdeSystem,
         t0: f64,
         initial: InitialHistory,
         t_end: f64,
+    ) -> Result<(Trajectory, HistoryBuffer), OdeError> {
+        self.integrate_with(sys, t0, initial, t_end, &mut Workspace::new())
+    }
+
+    /// Integrate with caller-provided scratch memory and a monomorphized
+    /// right-hand side.
+    ///
+    /// The stage buffers come from the workspace and the history buffer /
+    /// trajectory reserve their full capacity up front, so the step loop
+    /// performs no allocation beyond the returned solution data. Bitwise
+    /// identical to [`DdeRk4::integrate`] regardless of workspace reuse.
+    pub fn integrate_with<S: DdeSystem + ?Sized>(
+        &self,
+        sys: &S,
+        t0: f64,
+        initial: InitialHistory,
+        t_end: f64,
+        ws: &mut Workspace,
     ) -> Result<(Trajectory, HistoryBuffer), OdeError> {
         let n = sys.dim();
         if let Some(d) = initial.dim() {
@@ -225,34 +259,32 @@ impl DdeRk4 {
             return Err(OdeError::EmptySpan { t0, t_end });
         }
 
-        let y0: Vec<f64> = (0..n).map(|i| initial.sample(t0, i)).collect();
+        let span = t_end - t0;
+        let n_steps = (span / self.h).ceil().max(1.0) as usize;
+
+        let (stage, drive) = ws.split();
+        let [k2, k3, k4, ytmp] = stage.slices::<4>(n);
+        let [mut y, mut y_new, mut k1, mut f_new] = drive.slices::<4>(n);
+
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi = initial.sample(t0, i);
+        }
 
         // Bootstrap: f0 uses the (pre-t0) history only.
         let boot = BootstrapHistory {
             initial: &initial,
             t0,
-            y0: &y0,
+            y0: &*y,
         };
-        let mut f0 = vec![0.0; n];
-        sys.eval(t0, &y0, &boot, &mut f0);
-        check_finite(t0, &f0)?;
+        sys.eval(t0, y, &boot, k1);
+        check_finite(t0, k1)?;
 
-        let mut buffer = HistoryBuffer::new(t0, &y0, &f0, initial);
-
-        let span = t_end - t0;
-        let n_steps = (span / self.h).ceil().max(1.0) as usize;
+        let mut buffer = HistoryBuffer::new(t0, y, k1, initial);
+        buffer.reserve(n_steps);
 
         let mut traj = Trajectory::with_capacity(n, n_steps / self.record_every + 2);
-        traj.push(t0, &y0)?;
+        traj.push(t0, y)?;
 
-        let mut y = y0;
-        let mut k1 = f0;
-        let mut k2 = vec![0.0; n];
-        let mut k3 = vec![0.0; n];
-        let mut k4 = vec![0.0; n];
-        let mut ytmp = vec![0.0; n];
-        let mut y_new = vec![0.0; n];
-        let mut f_new = vec![0.0; n];
         let mut t = t0;
 
         for step_idx in 1..=n_steps {
@@ -268,31 +300,31 @@ impl DdeRk4 {
             for i in 0..n {
                 ytmp[i] = y[i] + 0.5 * h * k1[i];
             }
-            sys.eval(t + 0.5 * h, &ytmp, &buffer, &mut k2);
+            sys.eval(t + 0.5 * h, ytmp, &buffer, k2);
             for i in 0..n {
                 ytmp[i] = y[i] + 0.5 * h * k2[i];
             }
-            sys.eval(t + 0.5 * h, &ytmp, &buffer, &mut k3);
+            sys.eval(t + 0.5 * h, ytmp, &buffer, k3);
             for i in 0..n {
                 ytmp[i] = y[i] + h * k3[i];
             }
-            sys.eval(t + h, &ytmp, &buffer, &mut k4);
+            sys.eval(t + h, ytmp, &buffer, k4);
             for i in 0..n {
                 y_new[i] = y[i] + (h / 6.0) * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
             }
-            check_finite(t, &y_new)?;
+            check_finite(t, y_new)?;
 
             t = t_target;
             // Knot derivative for the Hermite interpolant.
-            sys.eval(t, &y_new, &buffer, &mut f_new);
-            check_finite(t, &f_new)?;
-            buffer.push(t, &y_new, &f_new);
+            sys.eval(t, y_new, &buffer, f_new);
+            check_finite(t, f_new)?;
+            buffer.push(t, y_new, f_new);
 
             std::mem::swap(&mut y, &mut y_new);
             std::mem::swap(&mut k1, &mut f_new);
 
             if step_idx % self.record_every == 0 || step_idx == n_steps {
-                traj.push(t, &y)?;
+                traj.push_trusted(t, y);
             }
         }
 

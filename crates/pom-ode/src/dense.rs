@@ -23,16 +23,36 @@ use crate::trajectory::Trajectory;
 pub struct DenseSegment {
     t0: f64,
     h: f64,
-    /// Five interpolation coefficient vectors, each of length `dim`.
-    rcont: [Vec<f64>; 5],
+    dim: usize,
+    /// The five interpolation coefficient vectors `c1..c5`, stored
+    /// coefficient-major in one flat allocation of length `5 * dim`
+    /// (`c_k[i]` lives at `k * dim + i`). One allocation per accepted
+    /// step instead of five, and contiguous for evaluation.
+    rcont: Vec<f64>,
 }
 
 impl DenseSegment {
     /// Build a segment from precomputed interpolation coefficients.
     pub fn new(t0: f64, h: f64, rcont: [Vec<f64>; 5]) -> Self {
-        debug_assert!(h > 0.0);
         debug_assert!(rcont.iter().all(|c| c.len() == rcont[0].len()));
-        Self { t0, h, rcont }
+        let dim = rcont[0].len();
+        let mut flat = Vec::with_capacity(5 * dim);
+        for c in &rcont {
+            flat.extend_from_slice(c);
+        }
+        Self::from_flat(t0, h, dim, flat)
+    }
+
+    /// Build a segment from coefficient-major flat storage (`c_k[i]` at
+    /// `k * dim + i`, `k = 0..5`) — the allocation-lean constructor the
+    /// solver hot path uses.
+    ///
+    /// # Panics
+    /// Panics if `rcont.len() != 5 * dim`.
+    pub fn from_flat(t0: f64, h: f64, dim: usize, rcont: Vec<f64>) -> Self {
+        assert_eq!(rcont.len(), 5 * dim, "need 5 coefficient rows of {dim}");
+        debug_assert!(h > 0.0);
+        Self { t0, h, dim, rcont }
     }
 
     /// Start of the covered interval.
@@ -52,7 +72,7 @@ impl DenseSegment {
 
     /// State dimension.
     pub fn dim(&self) -> usize {
-        self.rcont[0].len()
+        self.dim
     }
 
     /// Evaluate the interpolant at `t`, writing into `out`.
@@ -62,9 +82,13 @@ impl DenseSegment {
     pub fn eval_into(&self, t: f64, out: &mut [f64]) {
         let theta = (t - self.t0) / self.h;
         let theta1 = 1.0 - theta;
-        let [c1, c2, c3, c4, c5] = &self.rcont;
-        for i in 0..out.len() {
-            out[i] = c1[i] + theta * (c2[i] + theta1 * (c3[i] + theta * (c4[i] + theta1 * c5[i])));
+        let n = self.dim;
+        let c = &self.rcont;
+        for (i, o) in out.iter_mut().enumerate().take(n) {
+            *o = c[i]
+                + theta
+                    * (c[n + i]
+                        + theta1 * (c[2 * n + i] + theta * (c[3 * n + i] + theta1 * c[4 * n + i])));
         }
     }
 
@@ -79,8 +103,10 @@ impl DenseSegment {
     pub fn eval_component(&self, t: f64, i: usize) -> f64 {
         let theta = (t - self.t0) / self.h;
         let theta1 = 1.0 - theta;
-        let [c1, c2, c3, c4, c5] = &self.rcont;
-        c1[i] + theta * (c2[i] + theta1 * (c3[i] + theta * (c4[i] + theta1 * c5[i])))
+        let n = self.dim;
+        let c = &self.rcont;
+        c[i] + theta
+            * (c[n + i] + theta1 * (c[2 * n + i] + theta * (c[3 * n + i] + theta1 * c[4 * n + i])))
     }
 }
 

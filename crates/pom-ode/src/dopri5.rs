@@ -16,6 +16,7 @@
 
 use crate::dense::{DenseSegment, DenseSolution};
 use crate::error::OdeError;
+use crate::workspace::Workspace;
 use crate::OdeSystem;
 
 // --- Butcher tableau (RK5(4)7M, Dormand & Prince 1980) ---
@@ -178,12 +179,34 @@ impl Dopri5 {
 
     /// Integrate `sys` from `(t0, y0)` to `t_end`, returning the dense
     /// solution (sampleable anywhere in the span) and work counters.
+    ///
+    /// Thin wrapper over [`Dopri5::integrate_with`] that allocates a fresh
+    /// [`Workspace`] per call.
     pub fn integrate_with_stats(
         &self,
         sys: &dyn OdeSystem,
         t0: f64,
         y0: &[f64],
         t_end: f64,
+    ) -> Result<(DenseSolution, SolverStats), OdeError> {
+        self.integrate_with(sys, t0, y0, t_end, &mut Workspace::new())
+    }
+
+    /// Integrate with caller-provided scratch memory and a monomorphized
+    /// right-hand side — the fast path.
+    ///
+    /// The step loop itself is allocation-free; the only per-step
+    /// allocation left is the dense-output segment pushed for each
+    /// *accepted* step, which is the product of the integration (one flat
+    /// coefficient vector per segment). Results are bitwise identical to
+    /// [`Dopri5::integrate_with_stats`] regardless of workspace reuse.
+    pub fn integrate_with<S: OdeSystem + ?Sized>(
+        &self,
+        sys: &S,
+        t0: f64,
+        y0: &[f64],
+        t_end: f64,
+        ws: &mut Workspace,
     ) -> Result<(DenseSolution, SolverStats), OdeError> {
         self.validate()?;
         let n = sys.dim();
@@ -203,27 +226,22 @@ impl Dopri5 {
         let h_max = self.h_max.unwrap_or(span).min(span);
         let mut stats = SolverStats::default();
 
-        let mut t = t0;
-        let mut y = y0.to_vec();
-        let mut k1 = vec![0.0; n];
-        let mut k2 = vec![0.0; n];
-        let mut k3 = vec![0.0; n];
-        let mut k4 = vec![0.0; n];
-        let mut k5 = vec![0.0; n];
-        let mut k6 = vec![0.0; n];
-        let mut k7 = vec![0.0; n];
-        let mut y_stage = vec![0.0; n];
-        let mut y_new = vec![0.0; n];
+        let (stage, drive) = ws.split();
+        let [mut k1, k2, k3, k4, k5, k6, mut k7, y_stage, mut y_new] = stage.slices::<9>(n);
+        let [mut y, probe_y, probe_f] = drive.slices::<3>(n);
 
-        sys.eval(t, &y, &mut k1);
+        let mut t = t0;
+        y.copy_from_slice(y0);
+
+        sys.eval(t, y, k1);
         stats.n_eval += 1;
-        check_finite(t, &k1)?;
+        check_finite(t, k1)?;
 
         let mut h = match self.h0 {
             Some(h0) => h0.min(h_max),
             None => {
-                let h = self.hinit(sys, t, &y, &k1, h_max, &mut stats)?;
-                check_finite(t, &k1)?;
+                let h = self.hinit(sys, t, y, k1, h_max, probe_y, probe_f, &mut stats)?;
+                check_finite(t, k1)?;
                 h
             }
         };
@@ -255,31 +273,31 @@ impl Dopri5 {
             for i in 0..n {
                 y_stage[i] = y[i] + h * A21 * k1[i];
             }
-            sys.eval(t + C2 * h, &y_stage, &mut k2);
+            sys.eval(t + C2 * h, y_stage, k2);
             for i in 0..n {
                 y_stage[i] = y[i] + h * (A31 * k1[i] + A32 * k2[i]);
             }
-            sys.eval(t + C3 * h, &y_stage, &mut k3);
+            sys.eval(t + C3 * h, y_stage, k3);
             for i in 0..n {
                 y_stage[i] = y[i] + h * (A41 * k1[i] + A42 * k2[i] + A43 * k3[i]);
             }
-            sys.eval(t + C4 * h, &y_stage, &mut k4);
+            sys.eval(t + C4 * h, y_stage, k4);
             for i in 0..n {
                 y_stage[i] = y[i] + h * (A51 * k1[i] + A52 * k2[i] + A53 * k3[i] + A54 * k4[i]);
             }
-            sys.eval(t + C5 * h, &y_stage, &mut k5);
+            sys.eval(t + C5 * h, y_stage, k5);
             for i in 0..n {
                 y_stage[i] = y[i]
                     + h * (A61 * k1[i] + A62 * k2[i] + A63 * k3[i] + A64 * k4[i] + A65 * k5[i]);
             }
-            sys.eval(t + h, &y_stage, &mut k6);
+            sys.eval(t + h, y_stage, k6);
             for i in 0..n {
                 y_new[i] = y[i]
                     + h * (A71 * k1[i] + A73 * k3[i] + A74 * k4[i] + A75 * k5[i] + A76 * k6[i]);
             }
-            sys.eval(t + h, &y_new, &mut k7);
+            sys.eval(t + h, y_new, k7);
             stats.n_eval += 6;
-            check_finite(t, &k7)?;
+            check_finite(t, k7)?;
 
             // --- error norm ---
             let mut err_sq = 0.0;
@@ -297,21 +315,18 @@ impl Dopri5 {
             let h_new = h / fac;
 
             if err <= 1.0 {
-                // Accept: build the dense-output segment for [t, t+h].
+                // Accept: build the dense-output segment for [t, t+h] —
+                // one flat 5×n coefficient vector, the segment's storage.
                 fac_old = err.max(1e-4);
-                let mut c1 = vec![0.0; n];
-                let mut c2 = vec![0.0; n];
-                let mut c3 = vec![0.0; n];
-                let mut c4 = vec![0.0; n];
-                let mut c5 = vec![0.0; n];
+                let mut rcont = vec![0.0; 5 * n];
                 for i in 0..n {
                     let ydiff = y_new[i] - y[i];
                     let bspl = h * k1[i] - ydiff;
-                    c1[i] = y[i];
-                    c2[i] = ydiff;
-                    c3[i] = bspl;
-                    c4[i] = ydiff - h * k7[i] - bspl;
-                    c5[i] = h
+                    rcont[i] = y[i];
+                    rcont[n + i] = ydiff;
+                    rcont[2 * n + i] = bspl;
+                    rcont[3 * n + i] = ydiff - h * k7[i] - bspl;
+                    rcont[4 * n + i] = h
                         * (D1 * k1[i]
                             + D3 * k3[i]
                             + D4 * k4[i]
@@ -319,11 +334,11 @@ impl Dopri5 {
                             + D6 * k6[i]
                             + D7 * k7[i]);
                 }
-                segments.push(DenseSegment::new(t, h, [c1, c2, c3, c4, c5]));
+                segments.push(DenseSegment::from_flat(t, h, n, rcont));
 
                 t += h;
                 std::mem::swap(&mut y, &mut y_new);
-                std::mem::swap(&mut k1, &mut k7); // FSAL
+                std::mem::swap(&mut k1, &mut k7); // FSAL: swap the slice handles
                 stats.n_accepted += 1;
 
                 h = if last_rejected { h_new.min(h) } else { h_new }.min(h_max);
@@ -335,8 +350,25 @@ impl Dopri5 {
             }
         }
 
-        let sol = DenseSolution::new(n, t0, t_end, y0.to_vec(), y, segments);
+        let sol = DenseSolution::new(n, t0, t_end, y0.to_vec(), y.to_vec(), segments);
         Ok((sol, stats))
+    }
+
+    /// Integrate an ensemble of initial conditions over the same span,
+    /// reusing one workspace; returns one dense solution per member (in
+    /// input order). The first error aborts the batch.
+    pub fn integrate_many<S: OdeSystem + ?Sized>(
+        &self,
+        sys: &S,
+        t0: f64,
+        inits: &[Vec<f64>],
+        t_end: f64,
+        ws: &mut Workspace,
+    ) -> Result<Vec<DenseSolution>, OdeError> {
+        inits
+            .iter()
+            .map(|y0| self.integrate_with(sys, t0, y0, t_end, ws).map(|(s, _)| s))
+            .collect()
     }
 
     /// Integrate, discarding the statistics.
@@ -353,14 +385,18 @@ impl Dopri5 {
 
     /// Hairer's automatic initial-step heuristic: pick h so that an Euler
     /// step stays small relative to the solution scale, refined by a
-    /// second-derivative estimate.
-    fn hinit(
+    /// second-derivative estimate. `probe_y`/`probe_f` are scratch for the
+    /// Euler probe.
+    #[allow(clippy::too_many_arguments)]
+    fn hinit<S: OdeSystem + ?Sized>(
         &self,
-        sys: &dyn OdeSystem,
+        sys: &S,
         t0: f64,
         y0: &[f64],
         f0: &[f64],
         h_max: f64,
+        probe_y: &mut [f64],
+        probe_f: &mut [f64],
         stats: &mut SolverStats,
     ) -> Result<f64, OdeError> {
         let n = y0.len();
@@ -379,16 +415,17 @@ impl Dopri5 {
         h = h.min(h_max);
 
         // Explicit Euler probe for a second-derivative estimate.
-        let y1: Vec<f64> = y0.iter().zip(f0).map(|(&y, &f)| y + h * f).collect();
-        let mut f1 = vec![0.0; n];
-        sys.eval(t0 + h, &y1, &mut f1);
+        for i in 0..n {
+            probe_y[i] = y0[i] + h * f0[i];
+        }
+        sys.eval(t0 + h, probe_y, probe_f);
         stats.n_eval += 1;
-        check_finite(t0 + h, &f1)?;
+        check_finite(t0 + h, probe_f)?;
 
         let mut der2 = 0.0;
         for i in 0..n {
             let sk = self.atol + self.rtol * y0[i].abs();
-            let d = (f1[i] - f0[i]) / sk;
+            let d = (probe_f[i] - f0[i]) / sk;
             der2 += d * d;
         }
         let der2 = der2.sqrt() / h;

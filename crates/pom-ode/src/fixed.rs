@@ -8,15 +8,31 @@
 
 use crate::error::OdeError;
 use crate::trajectory::Trajectory;
+use crate::workspace::{ScratchPool, Workspace};
 use crate::OdeSystem;
 
 /// A single-step method advancing `y(t) → y(t + h)`.
+///
+/// The method is generic over the system (`S: OdeSystem + ?Sized`), so a
+/// concrete system monomorphizes the stage loop (no virtual dispatch on
+/// the hot path) while `&dyn OdeSystem` still works where type erasure is
+/// convenient. Stage buffers come from the caller's [`ScratchPool`]; a
+/// step performs no heap allocation.
 pub trait Stepper {
     /// Advance the state by one step of size `h`.
     ///
     /// Writes the new state into `y_out` (which must not alias `y`) and
-    /// returns the number of RHS evaluations performed.
-    fn step(&self, sys: &dyn OdeSystem, t: f64, y: &[f64], h: f64, y_out: &mut [f64]) -> usize;
+    /// returns the number of RHS evaluations performed. Stage scratch is
+    /// borrowed from `scratch`.
+    fn step<S: OdeSystem + ?Sized>(
+        &self,
+        sys: &S,
+        t: f64,
+        y: &[f64],
+        h: f64,
+        y_out: &mut [f64],
+        scratch: &mut ScratchPool,
+    ) -> usize;
 
     /// Classical convergence order of the method.
     fn order(&self) -> usize;
@@ -30,10 +46,18 @@ pub trait Stepper {
 pub struct Euler;
 
 impl Stepper for Euler {
-    fn step(&self, sys: &dyn OdeSystem, t: f64, y: &[f64], h: f64, y_out: &mut [f64]) -> usize {
+    fn step<S: OdeSystem + ?Sized>(
+        &self,
+        sys: &S,
+        t: f64,
+        y: &[f64],
+        h: f64,
+        y_out: &mut [f64],
+        scratch: &mut ScratchPool,
+    ) -> usize {
         let n = y.len();
-        let mut k = vec![0.0; n];
-        sys.eval(t, y, &mut k);
+        let [k] = scratch.slices::<1>(n);
+        sys.eval(t, y, k);
         for i in 0..n {
             y_out[i] = y[i] + h * k[i];
         }
@@ -54,16 +78,22 @@ impl Stepper for Euler {
 pub struct Heun;
 
 impl Stepper for Heun {
-    fn step(&self, sys: &dyn OdeSystem, t: f64, y: &[f64], h: f64, y_out: &mut [f64]) -> usize {
+    fn step<S: OdeSystem + ?Sized>(
+        &self,
+        sys: &S,
+        t: f64,
+        y: &[f64],
+        h: f64,
+        y_out: &mut [f64],
+        scratch: &mut ScratchPool,
+    ) -> usize {
         let n = y.len();
-        let mut k1 = vec![0.0; n];
-        let mut k2 = vec![0.0; n];
-        let mut ytmp = vec![0.0; n];
-        sys.eval(t, y, &mut k1);
+        let [k1, k2, ytmp] = scratch.slices::<3>(n);
+        sys.eval(t, y, k1);
         for i in 0..n {
             ytmp[i] = y[i] + h * k1[i];
         }
-        sys.eval(t + h, &ytmp, &mut k2);
+        sys.eval(t + h, ytmp, k2);
         for i in 0..n {
             y_out[i] = y[i] + 0.5 * h * (k1[i] + k2[i]);
         }
@@ -84,27 +114,31 @@ impl Stepper for Heun {
 pub struct Rk4;
 
 impl Stepper for Rk4 {
-    fn step(&self, sys: &dyn OdeSystem, t: f64, y: &[f64], h: f64, y_out: &mut [f64]) -> usize {
+    fn step<S: OdeSystem + ?Sized>(
+        &self,
+        sys: &S,
+        t: f64,
+        y: &[f64],
+        h: f64,
+        y_out: &mut [f64],
+        scratch: &mut ScratchPool,
+    ) -> usize {
         let n = y.len();
-        let mut k1 = vec![0.0; n];
-        let mut k2 = vec![0.0; n];
-        let mut k3 = vec![0.0; n];
-        let mut k4 = vec![0.0; n];
-        let mut ytmp = vec![0.0; n];
+        let [k1, k2, k3, k4, ytmp] = scratch.slices::<5>(n);
 
-        sys.eval(t, y, &mut k1);
+        sys.eval(t, y, k1);
         for i in 0..n {
             ytmp[i] = y[i] + 0.5 * h * k1[i];
         }
-        sys.eval(t + 0.5 * h, &ytmp, &mut k2);
+        sys.eval(t + 0.5 * h, ytmp, k2);
         for i in 0..n {
             ytmp[i] = y[i] + 0.5 * h * k2[i];
         }
-        sys.eval(t + 0.5 * h, &ytmp, &mut k3);
+        sys.eval(t + 0.5 * h, ytmp, k3);
         for i in 0..n {
             ytmp[i] = y[i] + h * k3[i];
         }
-        sys.eval(t + h, &ytmp, &mut k4);
+        sys.eval(t + h, ytmp, k4);
         for i in 0..n {
             y_out[i] = y[i] + (h / 6.0) * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
         }
@@ -160,12 +194,35 @@ impl<S: Stepper> FixedStepSolver<S> {
     /// Integrate from `t0` to `t_end` (the last step is shortened to land
     /// exactly on `t_end`). Returns the recorded trajectory, whose first
     /// sample is `(t0, y0)` and last sample is `(t_end, y(t_end))`.
+    ///
+    /// Thin wrapper over [`FixedStepSolver::integrate_with`] that allocates
+    /// a fresh [`Workspace`]; hot loops (sweeps, ensembles) should hold one
+    /// workspace and call the `_with` variant directly.
     pub fn integrate(
         &self,
         sys: &dyn OdeSystem,
         t0: f64,
         y0: &[f64],
         t_end: f64,
+    ) -> Result<Trajectory, OdeError> {
+        self.integrate_with(sys, t0, y0, t_end, &mut Workspace::new())
+    }
+
+    /// Integrate with caller-provided scratch memory and a monomorphized
+    /// right-hand side — the allocation-free fast path.
+    ///
+    /// After the workspace warms up (first step at this dimension), the
+    /// step loop performs no heap allocation; only the recorded
+    /// [`Trajectory`] owns memory, and its capacity is reserved up front.
+    /// Results are bitwise identical to [`FixedStepSolver::integrate`]
+    /// regardless of workspace reuse.
+    pub fn integrate_with<Sys: OdeSystem + ?Sized>(
+        &self,
+        sys: &Sys,
+        t0: f64,
+        y0: &[f64],
+        t_end: f64,
+        ws: &mut Workspace,
     ) -> Result<Trajectory, OdeError> {
         if y0.len() != sys.dim() {
             return Err(OdeError::DimensionMismatch {
@@ -186,8 +243,9 @@ impl<S: Stepper> FixedStepSolver<S> {
         let mut traj = Trajectory::with_capacity(n, n_steps / self.record_every + 2);
         traj.push(t0, y0)?;
 
-        let mut y = y0.to_vec();
-        let mut y_next = vec![0.0; n];
+        let (stage, drive) = ws.split();
+        let [mut y, mut y_next] = drive.slices::<2>(n);
+        y.copy_from_slice(y0);
         let mut t = t0;
 
         for step_idx in 1..=n_steps {
@@ -199,17 +257,43 @@ impl<S: Stepper> FixedStepSolver<S> {
                 t0 + span * (step_idx as f64 / n_steps as f64)
             };
             let h = t_target - t;
-            self.stepper.step(sys, t, &y, h, &mut y_next);
-            if let Some(bad) = y_next.iter().position(|v| !v.is_finite()) {
-                return Err(OdeError::NonFiniteDerivative { t, component: bad });
-            }
+            self.stepper.step(sys, t, y, h, y_next, stage);
             std::mem::swap(&mut y, &mut y_next);
             t = t_target;
             if step_idx % self.record_every == 0 || step_idx == n_steps {
-                traj.push(t, &y)?;
+                // Non-finite states are detected at record points only:
+                // once a component goes NaN/∞ it stays non-finite under
+                // the RK update `y' = y + h·Σb_i k_i`, so deferring the
+                // scan to the (always recorded) next sample loses no
+                // errors and keeps the per-step loop branch-light.
+                if let Some(bad) = y.iter().position(|v| !v.is_finite()) {
+                    return Err(OdeError::NonFiniteDerivative { t, component: bad });
+                }
+                traj.push_trusted(t, y);
             }
         }
         Ok(traj)
+    }
+
+    /// Integrate an ensemble of initial conditions over the same span,
+    /// reusing one workspace across all members.
+    ///
+    /// Returns one trajectory per initial condition, in input order;
+    /// each is bitwise identical to the corresponding sequential
+    /// [`FixedStepSolver::integrate`] call. The first error aborts the
+    /// batch.
+    pub fn integrate_many<Sys: OdeSystem + ?Sized>(
+        &self,
+        sys: &Sys,
+        t0: f64,
+        inits: &[Vec<f64>],
+        t_end: f64,
+        ws: &mut Workspace,
+    ) -> Result<Vec<Trajectory>, OdeError> {
+        inits
+            .iter()
+            .map(|y0| self.integrate_with(sys, t0, y0, t_end, ws))
+            .collect()
     }
 }
 

@@ -27,6 +27,19 @@
 //!   solvers.
 //! * [`events`] — post-hoc root finding on dense solutions (e.g. "when does
 //!   the order parameter cross 0.99?").
+//! * [`workspace`] — reusable scratch memory ([`Workspace`]) for the
+//!   allocation-free `integrate_with`/`integrate_many` fast paths.
+//!
+//! ## Performance model
+//!
+//! Every solver has two entry points. The classic one (`integrate`,
+//! `integrate_with_stats`) accepts `&dyn OdeSystem` and allocates a fresh
+//! workspace per call — convenient for one-off runs. The `_with` variants
+//! are generic over the system (monomorphized right-hand side, no virtual
+//! dispatch) and borrow a caller-held [`Workspace`], so the step loop is
+//! allocation-free; `integrate_many` amortizes one workspace over a whole
+//! ensemble of initial conditions. Both paths produce bitwise identical
+//! results (asserted by the property-test suite).
 //!
 //! ## Example
 //!
@@ -50,6 +63,7 @@ pub mod error;
 pub mod events;
 pub mod fixed;
 pub mod trajectory;
+pub mod workspace;
 
 pub use bs23::{Bs23, Bs23Stats};
 pub use dde::{DdeRk4, DdeSystem, PhaseHistory};
@@ -58,6 +72,7 @@ pub use dopri5::{Dopri5, SolverStats};
 pub use error::OdeError;
 pub use fixed::{Euler, FixedStepSolver, Heun, Rk4, Stepper};
 pub use trajectory::Trajectory;
+pub use workspace::{ScratchPool, Workspace};
 
 /// Right-hand side of a first-order ODE system `ẏ = f(t, y)`.
 ///
@@ -73,6 +88,11 @@ pub trait OdeSystem {
     /// Evaluate the derivative: write `f(t, y)` into `dydt`.
     ///
     /// `y` and `dydt` both have length [`OdeSystem::dim`].
+    ///
+    /// `dydt` is **not** zeroed on entry — solvers hand out reused scratch
+    /// buffers ([`Workspace`]) that hold stale values from earlier stages.
+    /// Implementations must assign every component (`d[i] = …`, never
+    /// `d[i] += …` on unwritten slots) and must not read `dydt`.
     fn eval(&self, t: f64, y: &[f64], dydt: &mut [f64]);
 }
 

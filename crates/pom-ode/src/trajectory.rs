@@ -102,6 +102,16 @@ impl Trajectory {
         Ok(())
     }
 
+    /// Append a sample whose invariants the caller upholds (`y.len() ==
+    /// dim`, `t` strictly increasing) — used by the solver hot loops,
+    /// which maintain both by construction. Checked in debug builds.
+    pub(crate) fn push_trusted(&mut self, t: f64, y: &[f64]) {
+        debug_assert_eq!(y.len(), self.dim);
+        debug_assert!(self.times.last().is_none_or(|&last| t > last));
+        self.times.push(t);
+        self.data.extend_from_slice(y);
+    }
+
     /// Iterate over `(t, state)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (f64, &[f64])> + '_ {
         self.times

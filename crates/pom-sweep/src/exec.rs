@@ -13,7 +13,9 @@ use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
-use crate::run::{run_point, PointRow};
+use pom_core::SimWorkspace;
+
+use crate::run::{run_point_ws, PointRow};
 use crate::sink::{CampaignSummary, ResultSink};
 use crate::spec::{CampaignSpec, SweepError};
 
@@ -81,12 +83,17 @@ pub fn run_campaign(
             let tx = tx.clone();
             let cursor = &cursor;
             let pending = &pending;
-            scope.spawn(move || loop {
-                let k = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(&index) = pending.get(k) else { break };
-                // A dropped receiver means the collector bailed; stop.
-                if tx.send(run_point(spec, index)).is_err() {
-                    break;
+            scope.spawn(move || {
+                // One workspace per worker: every point this thread
+                // executes reuses the same integrator scratch buffers.
+                let mut ws = SimWorkspace::new();
+                loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&index) = pending.get(k) else { break };
+                    // A dropped receiver means the collector bailed; stop.
+                    if tx.send(run_point_ws(spec, index, &mut ws)).is_err() {
+                        break;
+                    }
                 }
             });
         }

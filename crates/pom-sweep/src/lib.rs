@@ -78,7 +78,7 @@ pub mod spec;
 pub mod value;
 
 pub use exec::{run_campaign, RunOptions};
-pub use run::{run_point, PointRow};
+pub use run::{run_point, run_point_ws, PointRow};
 pub use sink::{
     header_json, scan_completed, CampaignSummary, CsvSink, JsonlSink, MemorySink, ResultSink,
     TeeSink,

@@ -1,7 +1,7 @@
 //! Executing one grid point and computing its observables.
 
 use pom_analysis::{model_wave_speed, sim_wave_speed};
-use pom_core::PomRun;
+use pom_core::{PomRun, SimWorkspace};
 use pom_mpisim::{SimTrace, Simulator};
 use pom_topology::{ClusterSpec, Placement};
 
@@ -26,10 +26,21 @@ pub struct PointRow {
 
 /// Resolve, run, and measure grid point `index`. Failures land in
 /// [`PointRow::error`] instead of aborting the campaign.
+///
+/// Allocates fresh scratch per call; the executor's workers hold one
+/// [`SimWorkspace`] each and call [`run_point_ws`] instead.
 pub fn run_point(spec: &CampaignSpec, index: usize) -> PointRow {
+    run_point_ws(spec, index, &mut SimWorkspace::new())
+}
+
+/// [`run_point`] with caller-provided scratch memory: every integration
+/// this point performs (perturbed run, baseline run) borrows `ws`, so a
+/// worker thread sweeping thousands of points reuses one set of stage
+/// buffers throughout. Workspace reuse never changes results.
+pub fn run_point_ws(spec: &CampaignSpec, index: usize, ws: &mut SimWorkspace) -> PointRow {
     let seed = spec.point_seed(index);
     let params = spec.assignments_at(index);
-    match execute(spec, index, seed) {
+    match execute(spec, index, seed, ws) {
         Ok(observables) => PointRow {
             index,
             seed,
@@ -47,10 +58,15 @@ pub fn run_point(spec: &CampaignSpec, index: usize) -> PointRow {
     }
 }
 
-fn execute(spec: &CampaignSpec, index: usize, seed: u64) -> Result<Vec<(String, f64)>, SweepError> {
+fn execute(
+    spec: &CampaignSpec,
+    index: usize,
+    seed: u64,
+    ws: &mut SimWorkspace,
+) -> Result<Vec<(String, f64)>, SweepError> {
     let scenario = spec.scenario_at(index)?;
     match scenario {
-        Scenario::Model(m) => model_observables(&m, &spec.observables, seed),
+        Scenario::Model(m) => model_observables(&m, &spec.observables, seed, ws),
         Scenario::MpiSim(m) => mpisim_observables(&m, &spec.observables, seed),
     }
 }
@@ -59,25 +75,26 @@ fn model_observables(
     s: &ModelScenario,
     wanted: &[Observable],
     seed: u64,
+    ws: &mut SimWorkspace,
 ) -> Result<Vec<(String, f64)>, SweepError> {
     let needs_baseline = wanted.iter().any(Observable::needs_baseline);
     let opts = s.sim_options();
     let init = s.initial_condition(seed);
 
-    let run = |with_inject: bool| -> Result<PomRun, SweepError> {
+    let run = |with_inject: bool, ws: &mut SimWorkspace| -> Result<PomRun, SweepError> {
         s.build(seed, with_inject)?
-            .simulate_with(init.clone(), &opts)
+            .simulate_with_ws(init.clone(), &opts, ws)
             .map_err(|e| SweepError::Run(e.to_string()))
     };
 
-    let perturbed = run(true)?;
+    let perturbed = run(true, ws)?;
     let wave = if needs_baseline {
         if s.inject.is_none() {
             return Err(SweepError::Spec(
                 "wave observables need an [inject] delay to launch the wave".to_string(),
             ));
         }
-        let baseline = run(false)?;
+        let baseline = run(false, ws)?;
         Some(model_wave_speed(
             &perturbed,
             &baseline,

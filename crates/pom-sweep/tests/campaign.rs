@@ -323,3 +323,30 @@ fn rows_stream_before_end() {
         .unwrap();
     assert!(probe.got_rows_before_end && probe.ended && probe.rows == 6);
 }
+
+#[test]
+fn workspace_reuse_matches_fresh_per_point() {
+    // The executor hands every worker one long-lived SimWorkspace; a
+    // point's results must not depend on what the workspace was used for
+    // before (different σ/coupling, hence different trajectories).
+    use pom_core::SimWorkspace;
+    use pom_sweep::{run_point, run_point_ws};
+
+    let campaign = Campaign::from_str(SPEC).unwrap();
+    let mut ws = SimWorkspace::new();
+    for index in 0..campaign.total_points() {
+        let fresh = run_point(&campaign.spec, index);
+        let reused = run_point_ws(&campaign.spec, index, &mut ws);
+        assert_eq!(fresh.index, reused.index);
+        assert_eq!(fresh.seed, reused.seed);
+        assert_eq!(fresh.error, reused.error);
+        for ((name_a, a), (name_b, b)) in fresh.observables.iter().zip(&reused.observables) {
+            assert_eq!(name_a, name_b);
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "observable {name_a} differs at point {index}"
+            );
+        }
+    }
+}
