@@ -8,7 +8,8 @@ use std::fmt::Write as _;
 
 use pom_analysis::fig2_verdict;
 use pom_core::{
-    fig2_params, Fig2Panel, InitialCondition, Normalization, PomBuilder, Potential, SimOptions,
+    fig2_params, Fig2Panel, InitialCondition, Normalization, PomBuilder, Potential, RhsKernel,
+    SimOptions,
 };
 use pom_kernels::{scaling_curve, Kernel, SocketSpec};
 use pom_noise::{DelayEvent, OneOffDelays, WhiteJitter};
@@ -93,8 +94,11 @@ pub fn help() -> String {
      \x20 fig2         panel=a|b|c|d                  one Fig. 2 corner case, model + simulator\n\
      \x20 simulate     [n=40 potential=tanh|desync|sin sigma=3 tcomp=0.9 tcomm=0.1\n\
      \x20               distances=-1,1 coupling=… t_end=120 init=sync|spread|wavefront\n\
-     \x20               seed=7 noise=0 delay_rank=… delay_at=… delay_len=…]\n\
+     \x20               seed=7 noise=0 delay_rank=… delay_at=… delay_len=…\n\
+     \x20               kernel=exact|sincos rhs-threads=1]\n\
      \x20                                             parameterized model run with result views\n\
+     \x20                                             (kernel= picks the RHS fast path, rhs-threads=\n\
+     \x20                                             splits one large-N run across cores; 0 = all)\n\
      \x20 sweep        <spec.toml> [threads=0 out=… format=jsonl|csv resume=0|1]\n\
      \x20                                             run a declarative scenario campaign on all\n\
      \x20                                             cores, streaming one result row per point\n\
@@ -291,11 +295,29 @@ pub fn cmd_simulate(cfg: &Config) -> Result<String, CliError> {
         }
     };
 
+    let kernel_name = cfg.str_or("kernel", "exact");
+    let kernel = RhsKernel::from_name(&kernel_name).ok_or_else(|| {
+        CliError::Config(ConfigError::BadValue {
+            key: "kernel".into(),
+            value: kernel_name.clone(),
+            expected: "exact or sincos",
+        })
+    })?;
+    // Accept the sweep-spec spelling too: a user copying `rhs_threads`
+    // from a TOML spec must not get a silent serial run.
+    let rhs_threads = if cfg.get("rhs-threads").is_some() {
+        cfg.usize_or("rhs-threads", 1)?
+    } else {
+        cfg.usize_or("rhs_threads", 1)?
+    };
+
     let mut b = PomBuilder::new(n)
         .topology(topology)
         .potential(potential)
         .compute_time(tcomp)
         .comm_time(tcomm)
+        .kernel(kernel)
+        .rhs_threads(rhs_threads)
         .normalization(match cfg.str_or("norm", "degree").as_str() {
             "n" => Normalization::ByN,
             _ => Normalization::ByDegree,
@@ -363,10 +385,14 @@ pub fn cmd_simulate(cfg: &Config) -> Result<String, CliError> {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "# POM run: N = {n}, potential = {}, κ = {:.2}, v_p = {:.3}, t_end = {t_end}",
+        "# POM run: N = {n}, potential = {}, κ = {:.2}, v_p = {:.3}, t_end = {t_end}, \
+         kernel = {} ({} rhs thread{})",
         model.potential().name(),
         model.params().kappa,
-        model.params().coupling()
+        model.params().coupling(),
+        model.kernel().name(),
+        model.rhs_threads(),
+        if model.rhs_threads() == 1 { "" } else { "s" }
     );
     let _ = writeln!(
         out,
@@ -839,6 +865,40 @@ mod tests {
     fn simulate_rejects_bad_potential() {
         let e = run_cli(["simulate", "potential=quux"]).unwrap_err();
         assert!(e.to_string().contains("tanh"));
+    }
+
+    #[test]
+    fn simulate_kernel_knobs() {
+        // The split kernel reproduces the tanh-free sin dynamics within
+        // the printed precision; the header reports the selection.
+        let out = run_cli([
+            "simulate",
+            "n=12",
+            "potential=desync",
+            "sigma=1.5",
+            "topology=chain",
+            "coupling=6",
+            "t_end=50",
+            "init=spread",
+            "amplitude=0.1",
+            "kernel=sincos",
+            "rhs-threads=2",
+        ])
+        .unwrap();
+        assert!(out.contains("kernel = sincos (2 rhs threads)"), "{out}");
+        // The sweep-spec spelling must not silently fall back to serial.
+        let out = run_cli([
+            "simulate",
+            "n=8",
+            "potential=tanh",
+            "coupling=4",
+            "t_end=10",
+            "rhs_threads=3",
+        ])
+        .unwrap();
+        assert!(out.contains("(3 rhs threads)"), "{out}");
+        let e = run_cli(["simulate", "kernel=quux"]).unwrap_err();
+        assert!(e.to_string().contains("sincos"), "{e}");
     }
 
     #[test]

@@ -3,9 +3,11 @@
 use std::fmt;
 use std::sync::Arc;
 
+use pom_kernels::par::ChunkPool;
 use pom_noise::{InteractionNoise, LocalNoise, NoDelay, NoNoise};
 use pom_topology::Topology;
 
+use crate::kernel::RhsKernel;
 use crate::model::{Normalization, Pom};
 use crate::params::{PomParams, Protocol};
 use crate::potential::Potential;
@@ -75,6 +77,8 @@ pub struct PomBuilder {
     interaction_noise: Arc<dyn InteractionNoise>,
     normalization: Normalization,
     min_cycle_fraction: f64,
+    kernel: RhsKernel,
+    rhs_threads: usize,
 }
 
 impl PomBuilder {
@@ -96,6 +100,8 @@ impl PomBuilder {
             interaction_noise: Arc::new(NoDelay),
             normalization: Normalization::ByN,
             min_cycle_fraction: 1e-3,
+            kernel: RhsKernel::Exact,
+            rhs_threads: 1,
         }
     }
 
@@ -161,6 +167,26 @@ impl PomBuilder {
         self
     }
 
+    /// Right-hand-side kernel selection (default: [`RhsKernel::Exact`],
+    /// the bitwise-reference path; see [`RhsKernel`] for the accuracy
+    /// policy of the fast path).
+    pub fn kernel(mut self, kernel: RhsKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Threads a *single* RHS evaluation fans out over (default 1 =
+    /// serial; 0 = all available cores). Complements — and composes with —
+    /// the campaign-level parallelism of `pom-sweep`: use it when one
+    /// large-`N` run must scale across cores. Chunking is by disjoint
+    /// oscillator ranges, so results are bitwise identical for every
+    /// thread count; below ~2k oscillators the evaluation stays inline
+    /// because the fork–join hand-off would dominate.
+    pub fn rhs_threads(mut self, threads: usize) -> Self {
+        self.rhs_threads = threads;
+        self
+    }
+
     /// Validate and build.
     pub fn build(self) -> Result<Pom, PomError> {
         if self.n == 0 {
@@ -210,6 +236,16 @@ impl PomBuilder {
         let mut params = PomParams::new(self.n, self.t_comp, self.t_comm, self.protocol, kappa);
         params.coupling_override = self.coupling_override;
         let min_cycle = self.min_cycle_fraction * params.cycle_time();
+        let threads = if self.rhs_threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.rhs_threads
+        };
+        // Only spawn pool threads for models that can ever dispatch to
+        // them; below the inline threshold a pool would be pure OS-thread
+        // churn (sweeps build one model per grid point).
+        let pool_eligible = threads > 1 && self.n >= crate::model::MIN_PAR_ROWS;
+        let stencil = topology.ring_stencil();
         let mut pom = Pom {
             params,
             topology,
@@ -219,6 +255,11 @@ impl PomBuilder {
             normalization: self.normalization,
             min_cycle,
             coupling_cache: Vec::new(),
+            kernel: self.kernel,
+            rhs_threads: threads,
+            stencil,
+            pool: pool_eligible.then(|| ChunkPool::new(threads)),
+            split_scratch: Default::default(),
         };
         pom.coupling_cache = (0..pom.params.n)
             .map(|i| pom.compute_coupling_scale(i))

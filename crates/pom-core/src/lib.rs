@@ -59,6 +59,7 @@
 pub mod builder;
 pub mod continuum;
 pub mod initial;
+pub mod kernel;
 pub mod model;
 pub mod observables;
 pub mod params;
@@ -70,6 +71,7 @@ pub mod stability;
 pub use builder::{PomBuilder, PomError};
 pub use continuum::{front_speed_estimate, transport_coefficients, TransportCoefficients};
 pub use initial::InitialCondition;
+pub use kernel::RhsKernel;
 pub use model::{Normalization, Pom};
 pub use observables::{
     adjacent_differences, lagger_normalized, order_parameter, phase_spread, winding_number,

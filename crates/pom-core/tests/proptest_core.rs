@@ -4,8 +4,9 @@
 use pom_core::{
     adjacent_differences, lagger_normalized, order_parameter, phase_spread, stability,
     transport_coefficients, winding_number, InitialCondition, Normalization, PomBuilder, Potential,
-    SimOptions,
+    RhsKernel, SimOptions,
 };
+use pom_ode::OdeSystem;
 use pom_topology::Topology;
 use proptest::prelude::*;
 
@@ -144,5 +145,141 @@ proptest! {
         let c2 = transport_coefficients(pot, 2.0 * s, &[-2, -1, 1], delta);
         prop_assert!((c2.drift - 2.0 * c1.drift).abs() < 1e-9);
         prop_assert!((c2.diffusion - 2.0 * c1.diffusion).abs() < 1e-9);
+    }
+
+    /// `SinCosSplit` matches `Exact` within 1e-12 max-abs on the raw RHS,
+    /// over random phase states, potentials and topology families — both
+    /// the ring-stencil fast path and the CSR fallback.
+    #[test]
+    fn split_kernel_matches_exact_within_policy(
+        pot in potential_strategy(),
+        n in 4usize..48,
+        ring in any::<bool>(),
+        vp in 0.5f64..4.0,
+        seed in any::<u64>(),
+    ) {
+        let topology = if ring {
+            Topology::ring(n, &[-2, -1, 1])
+        } else {
+            Topology::chain(n, &[-2, -1, 1, 3])
+        };
+        let build = |kernel: RhsKernel| {
+            PomBuilder::new(n)
+                .topology(topology.clone())
+                .potential(pot)
+                .compute_time(0.9)
+                .comm_time(0.1)
+                .coupling(vp)
+                .normalization(Normalization::ByDegree)
+                .kernel(kernel)
+                .build()
+                .unwrap()
+        };
+        let exact = build(RhsKernel::Exact);
+        let split = build(RhsKernel::SinCosSplit);
+        // Random phases covering several revolutions (hits both the sine
+        // branch and the saturated |x| ≥ σ branch of the desync potential).
+        let mut rng = seed;
+        let theta: Vec<f64> = (0..n)
+            .map(|_| {
+                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((rng >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 40.0
+            })
+            .collect();
+        let mut d_exact = vec![0.0; n];
+        let mut d_split = vec![0.0; n];
+        OdeSystem::eval(&exact, 0.0, &theta, &mut d_exact);
+        OdeSystem::eval(&split, 0.0, &theta, &mut d_split);
+        let max_err = d_exact
+            .iter()
+            .zip(&d_split)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        prop_assert!(max_err < 1e-12, "max |exact − split| = {max_err:e}");
+    }
+}
+
+/// Evaluate the RHS of `model` once on a deterministic pseudo-random state.
+fn eval_once(model: &pom_core::Pom, n: usize) -> Vec<f64> {
+    let theta: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7137).sin() * 3.0).collect();
+    let mut dtheta = vec![0.0; n];
+    OdeSystem::eval(model, 0.0, &theta, &mut dtheta);
+    dtheta
+}
+
+/// Intra-run parallelism must be invisible: chunked rows perform the same
+/// per-row arithmetic, so `rhs_threads` never changes a single bit — for
+/// the exact kernel *and* the split kernel. (n = 4096 exceeds the
+/// pool's minimum row count, so the threaded path really runs.)
+#[test]
+fn rhs_threads_bitwise_invariant() {
+    let n = 4096;
+    for kernel in [RhsKernel::Exact, RhsKernel::SinCosSplit] {
+        let build = |threads: usize| {
+            PomBuilder::new(n)
+                .topology(Topology::ring(n, &[-1, 1]))
+                .potential(Potential::desync(3.0))
+                .compute_time(0.9)
+                .comm_time(0.1)
+                .coupling(4.0)
+                .normalization(Normalization::ByDegree)
+                .kernel(kernel)
+                .rhs_threads(threads)
+                .build()
+                .unwrap()
+        };
+        let serial = eval_once(&build(1), n);
+        for threads in [2, 3, 5] {
+            let par = eval_once(&build(threads), n);
+            assert!(
+                serial
+                    .iter()
+                    .zip(&par)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "{kernel:?} diverged at rhs_threads = {threads}"
+            );
+        }
+    }
+}
+
+/// The DDE path fans rows across the pool too; delays must not change
+/// under intra-run parallelism.
+#[test]
+fn dde_rhs_threads_bitwise_invariant() {
+    use pom_core::SolverChoice;
+    let n = 3000;
+    let run = |threads: usize| {
+        let model = PomBuilder::new(n)
+            .topology(Topology::ring(n, &[-1, 1]))
+            .potential(Potential::Tanh)
+            .compute_time(1.0)
+            .comm_time(0.0)
+            .coupling(4.0)
+            .interaction_noise(pom_noise::ConstantDelay::new(0.05))
+            .rhs_threads(threads)
+            .build()
+            .unwrap();
+        assert!(model.has_delays());
+        model
+            .simulate_with(
+                InitialCondition::RandomSpread {
+                    amplitude: 0.4,
+                    seed: 11,
+                },
+                &SimOptions::new(0.5)
+                    .samples(5)
+                    .solver(SolverChoice::FixedRk4 { h: 0.05 }),
+            )
+            .unwrap()
+    };
+    let a = run(1);
+    let b = run(4);
+    let (ta, tb) = (a.trajectory(), b.trajectory());
+    for k in 0..ta.len() {
+        let (sa, sb) = (ta.state(k), tb.state(k));
+        assert!(
+            sa.iter().zip(sb).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "DDE trajectories diverged at sample {k}"
+        );
     }
 }

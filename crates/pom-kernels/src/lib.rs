@@ -23,11 +23,19 @@
 //! The kernels are also *implemented* as real loops ([`exec`]) so tests can
 //! sanity-check the relative in-core costs the model assumes.
 
+//! The crate also hosts the repository's intra-run parallelism primitive,
+//! [`par::ChunkPool`] — a dependency-free fork–join pool used by the
+//! oscillator model's right-hand-side kernels to split one large-`N`
+//! evaluation across cores (it lives here, in the foundation layer,
+//! because it knows nothing about oscillators).
+
 pub mod contention;
 pub mod exec;
 pub mod kernel;
+pub mod par;
 pub mod scaling;
 
 pub use contention::{share_bandwidth, BandwidthShare};
 pub use kernel::{Kernel, SocketSpec};
+pub use par::{ChunkPool, DisjointSliceMut};
 pub use scaling::{saturation_point, scaling_curve, ScalingPoint};

@@ -1,0 +1,437 @@
+//! A hand-rolled fork–join pool for chunked data-parallel loops.
+//!
+//! The oscillator-model right-hand side is evaluated four times per RK4
+//! step, millions of steps per run; at continuum-scale `N` (10⁴–10⁶
+//! oscillators) a single evaluation is itself worth parallelizing. Spawning
+//! scoped threads *per evaluation* would cost more than the work, so
+//! [`ChunkPool`] keeps a fixed set of workers parked on a condvar and
+//! hands them one job at a time: split `0..n_items` into one contiguous
+//! range per participant and run a caller closure on each range
+//! concurrently. The calling thread participates (it takes slot 0), so a
+//! pool of `t` threads spawns `t − 1` workers.
+//!
+//! The design mirrors the `pom-sweep` campaign executor (plain `std`
+//! threads, mutex + condvar, no external dependencies) scaled down to
+//! microsecond-sized jobs: one notify-all to start, one counter to finish,
+//! no per-item channel traffic.
+//!
+//! Chunk boundaries depend only on `(n_items, threads)`, never on timing,
+//! so any split-by-rows computation that is deterministic per row is
+//! deterministic under the pool.
+//!
+//! ```
+//! use pom_kernels::par::{ChunkPool, DisjointSliceMut};
+//!
+//! let pool = ChunkPool::new(2);
+//! let mut out = vec![0.0f64; 1000];
+//! let shared = DisjointSliceMut::new(&mut out);
+//! pool.run(1000, &|_slot, range| {
+//!     // SAFETY: `run` hands each slot a disjoint range of `0..n_items`.
+//!     let chunk = unsafe { shared.range_mut(range.clone()) };
+//!     for (k, v) in chunk.iter_mut().enumerate() {
+//!         *v = (range.start + k) as f64;
+//!     }
+//! });
+//! assert!(out.iter().enumerate().all(|(i, &v)| v == i as f64));
+//! ```
+
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Type-erased job descriptor handed from [`ChunkPool::run`] to workers.
+///
+/// The closure pointer's lifetime is erased; soundness rests on `run` not
+/// returning until every worker has finished with the job (see the
+/// `remaining` accounting below).
+#[derive(Clone, Copy)]
+struct Job {
+    f: *const (dyn Fn(usize, Range<usize>) + Sync),
+    n_items: usize,
+    slots: usize,
+}
+
+// SAFETY: the raw closure pointer is only dereferenced by workers between
+// job pickup and their `remaining` decrement, and `run` blocks until
+// `remaining == 0` — the referent outlives every dereference.
+unsafe impl Send for Job {}
+
+struct State {
+    /// Monotonic job counter; a worker runs each epoch exactly once.
+    epoch: u64,
+    job: Option<Job>,
+    /// Workers still running the current epoch's chunk.
+    remaining: usize,
+    /// Set when a worker's chunk panicked; `run` re-panics on the caller.
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signals workers: new job posted (or shutdown).
+    work: Condvar,
+    /// Signals the caller: all workers done with the current job.
+    done: Condvar,
+}
+
+/// Fixed pool of parked worker threads executing chunked loops.
+///
+/// Create once (it spawns `threads − 1` OS threads) and call
+/// [`ChunkPool::run`] as often as needed; dropping the pool joins the
+/// workers. With `threads <= 1` the pool spawns nothing and `run` executes
+/// the whole range inline.
+pub struct ChunkPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    /// Serializes concurrent [`ChunkPool::run`] callers: the pool is held
+    /// through `&self` by types that are themselves `Sync` (a model's RHS
+    /// runs through `&self`), so two threads may legally call `run` at
+    /// once — the second simply waits for the first job to drain instead
+    /// of corrupting the job slot.
+    run_gate: Mutex<()>,
+}
+
+impl std::fmt::Debug for ChunkPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkPool")
+            .field("threads", &self.threads())
+            .finish()
+    }
+}
+
+/// The contiguous range of slot `slot` when `0..n_items` is split into
+/// `slots` near-equal chunks (earlier slots take the remainder).
+fn chunk_range(slot: usize, slots: usize, n_items: usize) -> Range<usize> {
+    let base = n_items / slots;
+    let rem = n_items % slots;
+    let start = slot * base + slot.min(rem);
+    let len = base + usize::from(slot < rem);
+    start..start + len
+}
+
+impl ChunkPool {
+    /// Build a pool executing jobs on `threads` participants (the caller
+    /// plus `threads − 1` spawned workers).
+    pub fn new(threads: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let workers = (1..threads.max(1))
+            .map(|slot| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared, slot))
+            })
+            .collect();
+        Self {
+            shared,
+            workers,
+            run_gate: Mutex::new(()),
+        }
+    }
+
+    /// Total participants (caller + workers).
+    pub fn threads(&self) -> usize {
+        self.workers.len() + 1
+    }
+
+    /// Execute `f(slot, range)` once per participant, with the ranges
+    /// forming a disjoint cover of `0..n_items` (a slot's range may be
+    /// empty when `n_items < threads`). Blocks until every participant has
+    /// finished; panics from any chunk propagate to the caller.
+    ///
+    /// Safe to call from several threads at once: concurrent calls are
+    /// serialized (each job runs alone on the pool).
+    pub fn run(&self, n_items: usize, f: &(dyn Fn(usize, Range<usize>) + Sync)) {
+        let slots = self.threads();
+        if slots == 1 || n_items == 0 {
+            f(0, 0..n_items);
+            return;
+        }
+        // One job at a time. A poisoned gate (a previous caller panicked
+        // after its job fully drained — see the unwind handling below) is
+        // recovered, not propagated: the pool state is consistent.
+        let _gate = match self.run_gate.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        {
+            let mut st = self.shared.state.lock().expect("pool mutex");
+            st.epoch += 1;
+            // SAFETY: pure lifetime erasure (`&'a dyn …` → `*const dyn …`);
+            // the wait on `remaining` below keeps the referent alive for
+            // every dereference.
+            let f: *const (dyn Fn(usize, Range<usize>) + Sync) = unsafe { std::mem::transmute(f) };
+            st.job = Some(Job { f, n_items, slots });
+            st.remaining = self.workers.len();
+            st.panicked = false;
+            self.shared.work.notify_all();
+        }
+        // The caller takes slot 0. Run it under catch_unwind so that even
+        // if this chunk panics we still wait for the workers (whose borrow
+        // of `f` must not outlive this frame) before resuming the panic.
+        let mine = catch_unwind(AssertUnwindSafe(|| f(0, chunk_range(0, slots, n_items))));
+        let panicked = {
+            let mut st = self.shared.state.lock().expect("pool mutex");
+            while st.remaining > 0 {
+                st = self.shared.done.wait(st).expect("pool mutex");
+            }
+            st.job = None;
+            st.panicked
+        };
+        match mine {
+            Err(payload) => resume_unwind(payload),
+            Ok(()) if panicked => panic!("ChunkPool worker chunk panicked"),
+            Ok(()) => {}
+        }
+    }
+}
+
+impl Drop for ChunkPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool mutex");
+            st.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, slot: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("pool mutex");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen {
+                    if let Some(job) = st.job {
+                        seen = st.epoch;
+                        break job;
+                    }
+                }
+                st = shared.work.wait(st).expect("pool mutex");
+            }
+        };
+        // SAFETY: `run` blocks until `remaining` reaches zero, which
+        // happens only after this call returns — the closure is alive.
+        let f = unsafe { &*job.f };
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            f(slot, chunk_range(slot, job.slots, job.n_items))
+        }));
+        let mut st = shared.state.lock().expect("pool mutex");
+        if result.is_err() {
+            st.panicked = true;
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.done.notify_one();
+        }
+    }
+}
+
+/// A mutable slice shareable across the pool's participants, on the
+/// caller's promise that concurrently accessed ranges are disjoint.
+///
+/// [`ChunkPool::run`] guarantees the ranges it hands out are disjoint, so a
+/// chunk closure may safely reborrow its own range:
+/// `unsafe { shared.range_mut(range) }`.
+pub struct DisjointSliceMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: access is restricted to disjoint ranges (the contract of
+// `range_mut`), so concurrent use from multiple threads cannot alias.
+unsafe impl<T: Send> Send for DisjointSliceMut<'_, T> {}
+unsafe impl<T: Send> Sync for DisjointSliceMut<'_, T> {}
+
+impl<'a, T> DisjointSliceMut<'a, T> {
+    /// Wrap a slice for disjoint-range sharing.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        Self {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Length of the wrapped slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the wrapped slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reborrow `range` of the underlying slice mutably.
+    ///
+    /// # Safety
+    /// No two live borrows obtained from this wrapper (on any thread) may
+    /// overlap, and `range` must lie within `0..self.len()`. Ranges handed
+    /// out by [`ChunkPool::run`] satisfy the disjointness requirement.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn range_mut(&self, range: Range<usize>) -> &mut [T] {
+        debug_assert!(range.start <= range.end && range.end <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn chunk_ranges_cover_disjointly() {
+        for &(slots, n) in &[(1usize, 7usize), (3, 10), (4, 3), (5, 0), (2, 100)] {
+            let mut covered = vec![0u32; n];
+            let mut prev_end = 0;
+            for s in 0..slots {
+                let r = chunk_range(s, slots, n);
+                assert_eq!(r.start, prev_end, "slots {slots}, n {n}");
+                prev_end = r.end;
+                for i in r {
+                    covered[i] += 1;
+                }
+            }
+            assert_eq!(prev_end, n);
+            assert!(covered.iter().all(|&c| c == 1));
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ChunkPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let mut out = vec![0usize; 17];
+        let shared = DisjointSliceMut::new(&mut out);
+        pool.run(17, &|slot, range| {
+            assert_eq!(slot, 0);
+            let chunk = unsafe { shared.range_mut(range.clone()) };
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = range.start + k;
+            }
+        });
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i));
+    }
+
+    #[test]
+    fn multi_thread_pool_covers_every_item_once() {
+        let pool = ChunkPool::new(4);
+        assert_eq!(pool.threads(), 4);
+        let n = 1003;
+        let mut out = vec![0u32; n];
+        let shared = DisjointSliceMut::new(&mut out);
+        // Repeated runs reuse the same parked workers.
+        for round in 0..50u32 {
+            pool.run(n, &|_slot, range| {
+                let chunk = unsafe { shared.range_mut(range) };
+                for v in chunk {
+                    *v += round + 1;
+                }
+            });
+        }
+        let expect: u32 = (1..=50).sum();
+        assert!(out.iter().all(|&v| v == expect), "some item missed a round");
+    }
+
+    #[test]
+    fn fewer_items_than_threads() {
+        let pool = ChunkPool::new(8);
+        let hits = AtomicUsize::new(0);
+        pool.run(3, &|_slot, range| {
+            hits.fetch_add(range.len(), Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+        pool.run(0, &|_slot, range| {
+            assert!(range.is_empty());
+        });
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool = ChunkPool::new(3);
+        let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(100, &|_slot, range| {
+                if range.contains(&99) {
+                    panic!("chunk failure");
+                }
+            });
+        }));
+        assert!(res.is_err(), "panic must propagate to the caller");
+        // The pool remains usable after a panicked job.
+        let hits = AtomicUsize::new(0);
+        pool.run(10, &|_slot, range| {
+            hits.fetch_add(range.len(), Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn concurrent_run_calls_are_serialized() {
+        // The pool is reachable through `&self` from `Sync` owners, so two
+        // threads may issue jobs at once; each job must still cover its
+        // own range exactly once.
+        let pool = ChunkPool::new(3);
+        let n = 4001;
+        std::thread::scope(|scope| {
+            let pool = &pool;
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(move || {
+                        for _ in 0..50 {
+                            let hits = AtomicUsize::new(0);
+                            pool.run(n, &|_slot, range| {
+                                hits.fetch_add(range.len(), Ordering::Relaxed);
+                            });
+                            assert_eq!(hits.load(Ordering::Relaxed), n);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn results_deterministic_across_thread_counts() {
+        let n = 257;
+        let compute = |threads: usize| -> Vec<f64> {
+            let pool = ChunkPool::new(threads);
+            let mut out = vec![0.0f64; n];
+            let shared = DisjointSliceMut::new(&mut out);
+            pool.run(n, &|_slot, range| {
+                let chunk = unsafe { shared.range_mut(range.clone()) };
+                for (k, v) in chunk.iter_mut().enumerate() {
+                    let i = range.start + k;
+                    *v = (i as f64 * 0.37).sin() * (i as f64).sqrt();
+                }
+            });
+            out
+        };
+        let one = compute(1);
+        for threads in [2, 3, 5] {
+            assert_eq!(one, compute(threads), "threads = {threads}");
+        }
+    }
+}

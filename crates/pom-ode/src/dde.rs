@@ -21,7 +21,12 @@ use crate::trajectory::Trajectory;
 use crate::workspace::Workspace;
 
 /// Read access to the (interpolated) past of a solution.
-pub trait PhaseHistory {
+///
+/// The `Sync` bound lets a right-hand side fan its per-component work out
+/// across threads (the model's chunked RHS executor reads history from
+/// every worker); all history sources here are immutable-once-written, so
+/// the bound costs implementations nothing.
+pub trait PhaseHistory: Sync {
     /// Value of component `i` at time `t` (may precede the start of the
     /// integration, in which case the initial history applies).
     fn sample(&self, t: f64, i: usize) -> f64;

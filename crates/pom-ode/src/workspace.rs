@@ -25,6 +25,12 @@
 //! Reuse never changes results: the property suite asserts bitwise
 //! identical trajectories between fresh and reused workspaces.
 //!
+//! The workspace covers the *stepper's* scratch only. Scratch that is
+//! private to a right-hand side (for example the sin/cos arrays of
+//! `pom-core`'s split RHS kernel) lives with the system, because
+//! [`crate::OdeSystem::eval`] runs through `&self` — the stepper neither
+//! knows nor cares how the RHS organizes its own memory.
+//!
 //! ```
 //! use pom_ode::{FixedStepSolver, FnSystem, Rk4, Workspace};
 //!

@@ -19,7 +19,9 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use pom_core::{InitialCondition, Normalization, Pom, PomBuilder, Potential, SimOptions};
+use pom_core::{
+    InitialCondition, Normalization, Pom, PomBuilder, Potential, RhsKernel, SimOptions,
+};
 use pom_kernels::Kernel;
 use pom_mpisim::{MpiProtocol, ProgramSpec, SimDelay, WorkSpec};
 use pom_noise::{DelayEvent, OneOffDelays, SumNoise, WhiteJitter};
@@ -477,6 +479,12 @@ pub struct ModelScenario {
     pub kappa: Option<f64>,
     /// Coupling normalization.
     pub normalization: Normalization,
+    /// RHS kernel selection (`exact` reference vs `sincos` fast path).
+    pub kernel: RhsKernel,
+    /// Intra-run RHS threads (1 = serial, 0 = all cores). Composes with
+    /// the campaign worker pool; keep at 1 unless points are so large
+    /// that one run must span cores.
+    pub rhs_threads: usize,
     /// Communication topology.
     pub topology: Topology,
     /// Initial condition kind (seed resolved per point).
@@ -536,7 +544,9 @@ impl ModelScenario {
             .potential(self.potential)
             .compute_time(self.tcomp)
             .comm_time(self.tcomm)
-            .normalization(self.normalization);
+            .normalization(self.normalization)
+            .kernel(self.kernel)
+            .rhs_threads(self.rhs_threads);
         if let Some(vp) = self.coupling {
             b = b.coupling(vp);
         }
@@ -785,6 +795,8 @@ fn model_from_value(tree: &Value) -> Result<ModelScenario, SweepError> {
                 "coupling",
                 "kappa",
                 "norm",
+                "kernel",
+                "rhs_threads",
             ],
             "model",
         )?;
@@ -810,6 +822,10 @@ fn model_from_value(tree: &Value) -> Result<ModelScenario, SweepError> {
         "n" => Normalization::ByN,
         other => return Err(spec_err(format!("model.norm `{other}` (degree|n)"))),
     };
+    let kernel_name = get_str(tree, "model.kernel", "exact");
+    let kernel = RhsKernel::from_name(kernel_name)
+        .ok_or_else(|| spec_err(format!("model.kernel `{kernel_name}` (exact|sincos)")))?;
+    let rhs_threads = get_usize(tree, "model.rhs_threads", 1)?;
 
     if let Some(t) = tree.get("topology").and_then(Value::as_table) {
         check_keys(
@@ -905,6 +921,8 @@ fn model_from_value(tree: &Value) -> Result<ModelScenario, SweepError> {
         coupling: get_opt_f64(tree, "model.coupling")?,
         kappa: get_opt_f64(tree, "model.kappa")?,
         normalization,
+        kernel,
+        rhs_threads,
         topology,
         init,
         noise_sigma: get_opt_f64(tree, "noise.sigma")?,
@@ -1107,6 +1125,46 @@ mod tests {
         };
         assert_eq!(s.distances, vec![-2, -1, 1]);
         assert_eq!(s.protocol, MpiProtocol::Rendezvous);
+    }
+
+    #[test]
+    fn kernel_and_rhs_threads_keys_resolve() {
+        let spec = CampaignSpec::parse(
+            r#"
+            [model]
+            n = 8
+            potential = "sin"
+            kernel = "sincos"
+            rhs_threads = 2
+            [sim]
+            t_end = 4.0
+            "#,
+        )
+        .unwrap();
+        let Scenario::Model(s) = spec.scenario_at(0).unwrap() else {
+            panic!("model")
+        };
+        assert_eq!(s.kernel, RhsKernel::SinCosSplit);
+        assert_eq!(s.rhs_threads, 2);
+        // Defaults: exact reference kernel, serial RHS.
+        let spec = CampaignSpec::parse("[model]\nn = 4").unwrap();
+        let Scenario::Model(s) = spec.scenario_at(0).unwrap() else {
+            panic!("model")
+        };
+        assert_eq!(s.kernel, RhsKernel::Exact);
+        assert_eq!(s.rhs_threads, 1);
+        // Unknown kernel names fail loudly.
+        let e = CampaignSpec::parse("[model]\nkernel = \"quux\"").unwrap_err();
+        assert!(e.to_string().contains("quux"), "{e}");
+        // The kernel is sweepable like any other scenario key.
+        let spec = CampaignSpec::parse(
+            "[model]\nn = 4\n[[axes]]\nkey = \"model.kernel\"\nvalues = [\"exact\", \"sincos\"]",
+        )
+        .unwrap();
+        let Scenario::Model(s) = spec.scenario_at(1).unwrap() else {
+            panic!("model")
+        };
+        assert_eq!(s.kernel, RhsKernel::SinCosSplit);
     }
 
     #[test]

@@ -325,6 +325,43 @@ fn rows_stream_before_end() {
 }
 
 #[test]
+fn example_specs_parse_and_resolve() {
+    // Every spec shipped under examples/specs/ must stay loadable and
+    // resolve its base scenario (this builds the full topology — for the
+    // large-N idle-wave spec that includes the 65536-rank ring and its
+    // kernel/thread knobs — without running any point).
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/specs");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&dir).expect("examples/specs exists") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("toml") {
+            continue;
+        }
+        seen += 1;
+        let campaign =
+            Campaign::from_file(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(campaign.total_points() >= 1, "{}", path.display());
+    }
+    assert!(
+        seen >= 2,
+        "expected the shipped example specs, found {seen}"
+    );
+}
+
+#[test]
+fn large_n_spec_selects_split_parallel_kernel() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/specs");
+    let campaign = Campaign::from_file(dir.join("idle_wave_large.toml")).unwrap();
+    let pom_sweep::Scenario::Model(s) = campaign.spec.scenario_at(0).unwrap() else {
+        panic!("model scenario expected");
+    };
+    assert_eq!(s.n, 65536);
+    assert_eq!(s.kernel, pom_core::RhsKernel::SinCosSplit);
+    assert_eq!(s.rhs_threads, 0, "0 = all cores");
+    assert!(s.topology.ring_stencil().is_some(), "stencil fast path");
+}
+
+#[test]
 fn workspace_reuse_matches_fresh_per_point() {
     // The executor hands every worker one long-lived SimWorkspace; a
     // point's results must not depend on what the workspace was used for

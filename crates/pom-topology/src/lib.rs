@@ -25,4 +25,4 @@ pub mod matrix;
 
 pub use cluster::{ClusterSpec, DistanceClass, NetworkSpec, Placement};
 pub use kappa::{kappa_for, WaitMode};
-pub use matrix::{Topology, TopologyKind};
+pub use matrix::{CsrView, RingStencil, Topology, TopologyKind};

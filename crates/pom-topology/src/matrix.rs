@@ -52,6 +52,91 @@ pub struct Topology {
     kind: TopologyKind,
 }
 
+/// Borrowed flat view of a [`Topology`]'s CSR storage (offsets + packed
+/// `u32` column indices).
+///
+/// The right-hand-side kernels walk every row of the matrix once per
+/// evaluation — millions of times per run. Handing them the two backing
+/// arrays directly lets a kernel hoist the row-pointer loads out of inner
+/// loops and slice the row range for chunked parallel execution, instead of
+/// calling [`Topology::neighbors`] per oscillator. Row `i` of the view is
+/// exactly `neighbors(i)`: same indices, same (ascending) order.
+#[derive(Debug, Clone, Copy)]
+pub struct CsrView<'a> {
+    n: usize,
+    row_ptr: &'a [u32],
+    col_idx: &'a [u32],
+}
+
+impl<'a> CsrView<'a> {
+    /// Number of rows (oscillators).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Row offsets, length `n + 1`.
+    pub fn row_ptr(&self) -> &'a [u32] {
+        self.row_ptr
+    }
+
+    /// Packed column indices, length `nnz`.
+    pub fn col_idx(&self) -> &'a [u32] {
+        self.col_idx
+    }
+
+    /// Columns of row `i` (identical slice to `Topology::neighbors(i)`).
+    #[inline]
+    pub fn row(&self, i: usize) -> &'a [u32] {
+        &self.col_idx[self.row_ptr[i] as usize..self.row_ptr[i + 1] as usize]
+    }
+}
+
+/// Index-free description of a periodic-ring topology: every row `i` is
+/// `{(i + o) mod n : o ∈ offsets}`.
+///
+/// For ring topologies the CSR index array carries no information beyond
+/// the (deduplicated, non-zero) forward offsets, so large-`N` kernels can
+/// compute neighbor indices on the fly — no index loads, no gather — and
+/// split the wrap-around rows from the contiguous bulk. Built via
+/// [`Topology::ring_stencil`]; the neighbor *set* per row is identical to
+/// [`Topology::neighbors`] (the iteration order differs: by offset, not by
+/// ascending index).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingStencil {
+    n: usize,
+    /// Forward modular offsets, sorted ascending, each in `1..n`.
+    offsets: Vec<u32>,
+}
+
+impl RingStencil {
+    /// Number of oscillators.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Sorted forward offsets (each in `1..n`).
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// Degree of every row (uniform by translational symmetry).
+    pub fn degree(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Neighbor of row `i` along `offset` (must come from
+    /// [`RingStencil::offsets`]).
+    #[inline]
+    pub fn neighbor(&self, i: usize, offset: u32) -> usize {
+        let j = i + offset as usize;
+        if j >= self.n {
+            j - self.n
+        } else {
+            j
+        }
+    }
+}
+
 impl fmt::Debug for Topology {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Topology")
@@ -216,6 +301,38 @@ impl Topology {
         let lo = self.row_ptr[i] as usize;
         let hi = self.row_ptr[i + 1] as usize;
         &self.col_idx[lo..hi]
+    }
+
+    /// Flat borrowed view of the CSR storage for hot-loop kernels.
+    pub fn csr(&self) -> CsrView<'_> {
+        CsrView {
+            n: self.n,
+            row_ptr: &self.row_ptr,
+            col_idx: &self.col_idx,
+        }
+    }
+
+    /// Index-free stencil description, available only for periodic rings
+    /// (the topology family where every row is a translate of row 0).
+    ///
+    /// Returns `None` for chains, grids, all-to-all and custom edge lists —
+    /// and for the degenerate `n == 1` ring (no neighbors at all).
+    pub fn ring_stencil(&self) -> Option<RingStencil> {
+        let TopologyKind::Ring { ref distances } = self.kind else {
+            return None;
+        };
+        let offsets: BTreeSet<u32> = distances
+            .iter()
+            .map(|&d| (d as i64).rem_euclid(self.n as i64) as u32)
+            .filter(|&o| o != 0)
+            .collect();
+        if offsets.is_empty() {
+            return None;
+        }
+        Some(RingStencil {
+            n: self.n,
+            offsets: offsets.into_iter().collect(),
+        })
     }
 
     /// Out-degree of rank `i`.
@@ -437,6 +554,54 @@ mod tests {
         assert!(t.is_connected());
         let t = Topology::all_to_all(1);
         assert_eq!(t.nnz(), 0);
+    }
+
+    #[test]
+    fn csr_view_rows_match_neighbors() {
+        let t = Topology::ring(9, &[-2, -1, 1]);
+        let v = t.csr();
+        assert_eq!(v.n(), 9);
+        assert_eq!(v.row_ptr().len(), 10);
+        assert_eq!(v.col_idx().len(), t.nnz());
+        for i in 0..9 {
+            assert_eq!(v.row(i), t.neighbors(i), "row {i}");
+        }
+    }
+
+    #[test]
+    fn ring_stencil_reproduces_neighbor_sets() {
+        let t = Topology::ring(10, &[-2, -1, 1]);
+        let s = t.ring_stencil().expect("ring has a stencil");
+        assert_eq!(s.n(), 10);
+        assert_eq!(s.offsets(), &[1, 8, 9]); // 1, −2 ≡ 8, −1 ≡ 9 (mod 10)
+        for i in 0..10 {
+            let mut via_stencil: Vec<u32> = s
+                .offsets()
+                .iter()
+                .map(|&o| s.neighbor(i, o) as u32)
+                .collect();
+            via_stencil.sort_unstable();
+            assert_eq!(via_stencil, t.neighbors(i), "row {i}");
+        }
+    }
+
+    #[test]
+    fn ring_stencil_dedups_congruent_distances() {
+        // On n = 4: −1 ≡ 3 and 3 are one offset; 4 ≡ 0 is dropped.
+        let t = Topology::ring(4, &[-1, 3, 4, 1]);
+        let s = t.ring_stencil().unwrap();
+        assert_eq!(s.offsets(), &[1, 3]);
+        assert_eq!(s.degree(), t.degree(0));
+    }
+
+    #[test]
+    fn non_ring_topologies_have_no_stencil() {
+        assert!(Topology::chain(6, &[-1, 1]).ring_stencil().is_none());
+        assert!(Topology::all_to_all(5).ring_stencil().is_none());
+        assert!(Topology::grid2d(3, 3, true).ring_stencil().is_none());
+        assert!(Topology::from_edges(4, &[(0, 1)]).ring_stencil().is_none());
+        // Degenerate ring: every distance congruent to 0.
+        assert!(Topology::ring(2, &[2, -2]).ring_stencil().is_none());
     }
 
     #[test]

@@ -92,4 +92,48 @@ proptest! {
             prop_assert!(t2.connected(i, j));
         }
     }
+
+    /// The flat CSR view is the identity on `neighbors(i)`: same slices,
+    /// same order, for every topology family.
+    #[test]
+    fn csr_view_identical_to_neighbors(n in 1usize..50, ds in distance_set()) {
+        for t in [Topology::ring(n, &ds), Topology::chain(n, &ds)] {
+            let v = t.csr();
+            prop_assert_eq!(v.n(), t.n());
+            let mut nnz = 0;
+            for i in 0..n {
+                prop_assert_eq!(v.row(i), t.neighbors(i), "row {}", i);
+                nnz += v.row(i).len();
+            }
+            prop_assert_eq!(nnz, t.nnz());
+        }
+    }
+
+    /// The ring stencil reproduces every row's neighbor *set* exactly
+    /// (iteration order differs, membership must not).
+    #[test]
+    fn ring_stencil_matches_neighbor_sets(n in 1usize..60, ds in distance_set()) {
+        let t = Topology::ring(n, &ds);
+        match t.ring_stencil() {
+            None => {
+                // Stencil only degenerates when the ring has no edges.
+                prop_assert_eq!(t.nnz(), 0);
+            }
+            Some(s) => {
+                prop_assert_eq!(s.n(), n);
+                // Offsets sorted, unique, in 1..n.
+                prop_assert!(s.offsets().windows(2).all(|w| w[0] < w[1]));
+                prop_assert!(s.offsets().iter().all(|&o| o >= 1 && (o as usize) < n));
+                for i in 0..n {
+                    let mut via: Vec<u32> = s
+                        .offsets()
+                        .iter()
+                        .map(|&o| s.neighbor(i, o) as u32)
+                        .collect();
+                    via.sort_unstable();
+                    prop_assert_eq!(via.as_slice(), t.neighbors(i), "row {}", i);
+                }
+            }
+        }
+    }
 }
