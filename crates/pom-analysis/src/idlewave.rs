@@ -10,6 +10,7 @@
 
 use pom_core::PomRun;
 use pom_mpisim::SimTrace;
+use pom_ode::Trajectory;
 
 use crate::stats::{linear_fit, LinFit};
 
@@ -24,31 +25,90 @@ pub struct WaveArrival {
     pub time: Option<f64>,
 }
 
+/// What the fit says about one propagation direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WaveVerdict {
+    /// A positive-slope fit: the front moved outward at `1/slope`
+    /// ranks per time unit.
+    Propagated(LinFit),
+    /// A fit exists but its slope is ≤ 0 — arrival times do not increase
+    /// with distance (simultaneous arrival, backward ordering, or a
+    /// threshold artifact). The front speed is not measurable from it;
+    /// the offending fit is carried for diagnosis.
+    Degenerate(LinFit),
+    /// Too few arrivals on this side to fit anything (the wave never got
+    /// there, or all arrivals were at one distance).
+    NotReached,
+}
+
+impl WaveVerdict {
+    /// The measured speed in ranks per time unit, if this direction
+    /// propagated.
+    pub fn speed(&self) -> Option<f64> {
+        match self {
+            WaveVerdict::Propagated(f) => Some(1.0 / f.slope),
+            _ => None,
+        }
+    }
+
+    /// `true` for [`WaveVerdict::Degenerate`] — a fit that exists but
+    /// cannot yield a speed. [`WaveSpeed::mean_speed`] skips these
+    /// silently; callers that must not confuse "no wave on this side"
+    /// with "unusable fit on this side" check this flag.
+    pub fn is_degenerate(&self) -> bool {
+        matches!(self, WaveVerdict::Degenerate(_))
+    }
+
+    fn from_fit(fit: Option<LinFit>) -> Self {
+        match fit {
+            None => WaveVerdict::NotReached,
+            Some(f) if f.slope > 0.0 => WaveVerdict::Propagated(f),
+            Some(f) => WaveVerdict::Degenerate(f),
+        }
+    }
+}
+
 /// Fitted wave speed in both directions from the source.
+///
+/// The underlying fits regress arrival time against rank distance, so
+/// `slope` is *time per rank*; speeds are the reciprocal `1/slope` (ranks
+/// per time unit). That reciprocal convention is what
+/// [`WaveSpeed::mean_speed`] averages: the arithmetic mean of the
+/// per-direction *speeds*, not of the slopes.
 #[derive(Debug, Clone, Copy)]
 pub struct WaveSpeed {
-    /// Speed away from the source towards higher ranks, ranks/second
-    /// (`None` if the wave never reached that side or the fit degenerated).
+    /// Fit away from the source towards higher ranks (`None` if the wave
+    /// never reached that side with ≥ 2 distinct distances).
     pub up: Option<LinFit>,
-    /// Speed towards lower ranks, ranks/second.
+    /// Fit towards lower ranks.
     pub down: Option<LinFit>,
 }
 
 impl WaveSpeed {
-    /// The mean absolute propagation speed over the available directions
-    /// (ranks per second).
+    /// Per-direction verdicts `(up, down)`: unlike the raw `Option<LinFit>`
+    /// fields these distinguish "the wave never reached that side"
+    /// ([`WaveVerdict::NotReached`]) from "a fit exists but is unusable"
+    /// ([`WaveVerdict::Degenerate`], slope ≤ 0).
+    pub fn verdicts(&self) -> (WaveVerdict, WaveVerdict) {
+        (
+            WaveVerdict::from_fit(self.up),
+            WaveVerdict::from_fit(self.down),
+        )
+    }
+
+    /// The mean propagation speed over the directions that propagated
+    /// (ranks per time unit): the arithmetic mean of the per-direction
+    /// reciprocal slopes `1/slope`.
+    ///
+    /// Directions that are [`WaveVerdict::NotReached`] *or*
+    /// [`WaveVerdict::Degenerate`] are excluded — a one-sided wave
+    /// legitimately reports the one usable side. `None` means **no**
+    /// direction yielded a usable positive-slope fit; inspect
+    /// [`WaveSpeed::verdicts`] to tell an absent wave from a degenerate
+    /// measurement.
     pub fn mean_speed(&self) -> Option<f64> {
-        let mut speeds = Vec::new();
-        if let Some(f) = self.up {
-            if f.slope > 0.0 {
-                speeds.push(1.0 / f.slope);
-            }
-        }
-        if let Some(f) = self.down {
-            if f.slope > 0.0 {
-                speeds.push(1.0 / f.slope);
-            }
-        }
+        let (up, down) = self.verdicts();
+        let speeds: Vec<f64> = [up.speed(), down.speed()].into_iter().flatten().collect();
         if speeds.is_empty() {
             None
         } else {
@@ -58,8 +118,13 @@ impl WaveSpeed {
 }
 
 /// Wave arrivals from a perturbed/baseline simulator trace pair: for each
-/// rank, the first iteration whose end is delayed by more than
-/// `threshold` seconds, and its (perturbed) end time.
+/// rank, the first iteration whose end is delayed by **at least**
+/// `threshold` seconds (inclusive `delta >= threshold`), and its
+/// (perturbed) end time.
+///
+/// Iteration ends are discrete events — every iteration is present in the
+/// trace, so there is no sampling stride to compensate and the reported
+/// time is the exact perturbed iteration end.
 pub fn sim_wave_arrivals(
     perturbed: &SimTrace,
     baseline: &SimTrace,
@@ -71,7 +136,7 @@ pub fn sim_wave_arrivals(
         .map(|r| {
             for k in 0..iters {
                 let delta = perturbed.rank(r).iter_end(k) - baseline.rank(r).iter_end(k);
-                if delta > threshold {
+                if delta >= threshold {
                     return WaveArrival {
                         rank: r,
                         iteration: Some(k),
@@ -88,32 +153,40 @@ pub fn sim_wave_arrivals(
         .collect()
 }
 
-/// Wave arrivals from a perturbed/baseline model run pair: for each
-/// oscillator, the first sampled time where the phases differ by more
-/// than `threshold` radians.
+/// Wave arrivals from a perturbed/baseline trajectory pair sharing one
+/// sampling grid: for each component, the time of the first threshold
+/// crossing of `|perturbed − baseline|`.
 ///
-/// Both runs must share the sampling grid (they do when produced with the
-/// same [`pom_core::SimOptions`]).
-pub fn model_wave_arrivals(
-    perturbed: &PomRun,
-    baseline: &PomRun,
+/// Threshold semantics are **inclusive**: a sample with
+/// `delta >= threshold` counts as crossed. The reported time is the
+/// *interpolated* crossing time, not the sample time: with a recording
+/// stride (`record_every > 1`, coarse `samples`) the first offending
+/// sample can postdate the true crossing by up to a whole stride, which
+/// systematically biased fitted wave speeds low; linear interpolation of
+/// `delta` between the bracketing samples removes the stride quantization
+/// (crossings inside the very first sample report that sample's time —
+/// there is nothing earlier to bracket with).
+pub fn trajectory_wave_arrivals(
+    perturbed: &Trajectory,
+    baseline: &Trajectory,
     threshold: f64,
 ) -> Vec<WaveArrival> {
-    let tp = perturbed.trajectory();
-    let tb = baseline.trajectory();
-    assert_eq!(tp.dim(), tb.dim());
-    let n_samples = tp.len().min(tb.len());
-    (0..tp.dim())
+    assert_eq!(perturbed.dim(), baseline.dim());
+    let n_samples = perturbed.len().min(baseline.len());
+    (0..perturbed.dim())
         .map(|i| {
+            let mut prev: Option<(f64, f64)> = None; // (t, delta) of k−1
             for k in 0..n_samples {
-                let delta = (tp.state(k)[i] - tb.state(k)[i]).abs();
-                if delta > threshold {
+                let t = perturbed.time(k);
+                let delta = (perturbed.state(k)[i] - baseline.state(k)[i]).abs();
+                if delta >= threshold {
                     return WaveArrival {
                         rank: i,
                         iteration: None,
-                        time: Some(tp.time(k)),
+                        time: Some(crossing_time(prev, t, delta, threshold)),
                     };
                 }
+                prev = Some((t, delta));
             }
             WaveArrival {
                 rank: i,
@@ -124,14 +197,74 @@ pub fn model_wave_arrivals(
         .collect()
 }
 
-/// Fit the front speed from arrivals: regress arrival time against rank
-/// distance from `source`, separately for ranks above and below the
-/// source (up to `max_distance` away, avoiding ring wraparound mixing).
+/// The one interpolation rule both arrival detectors (post-hoc
+/// [`trajectory_wave_arrivals`] and streaming
+/// [`crate::streaming::WaveFrontProbe`]) share: linear crossing of
+/// `threshold` between the previous sub-threshold sample `(t, delta)`
+/// and the first sample at or above it. Falls back to the crossing
+/// sample's own time when no earlier bracket exists (crossing in the
+/// very first sample) or `delta` did not rise. `d_prev < threshold <=
+/// delta` in the bracketed case, so the divisor is positive.
+pub(crate) fn crossing_time(prev: Option<(f64, f64)>, t: f64, delta: f64, threshold: f64) -> f64 {
+    match prev {
+        Some((t_prev, d_prev)) if delta > d_prev => {
+            t_prev + (threshold - d_prev) / (delta - d_prev) * (t - t_prev)
+        }
+        _ => t,
+    }
+}
+
+/// Wave arrivals from a perturbed/baseline model run pair
+/// (see [`trajectory_wave_arrivals`] for the crossing semantics).
 ///
-/// The returned fits have *slope = seconds per rank*; speed in
-/// ranks/second is `1/slope` ([`WaveSpeed::mean_speed`]).
-pub fn wave_speed_fit(arrivals: &[WaveArrival], source: usize, max_distance: usize) -> WaveSpeed {
+/// Both runs must share the sampling grid (they do when produced with the
+/// same [`pom_core::SimOptions`]).
+pub fn model_wave_arrivals(
+    perturbed: &PomRun,
+    baseline: &PomRun,
+    threshold: f64,
+) -> Vec<WaveArrival> {
+    trajectory_wave_arrivals(perturbed.trajectory(), baseline.trajectory(), threshold)
+}
+
+/// Rank-space geometry of the substrate the wave ran on, deciding how
+/// rank indices map to distances from the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WaveGeometry {
+    /// Open chain: distance is linear, `|rank − source|`; "up" means
+    /// higher ranks.
+    #[default]
+    Chain,
+    /// Periodic ring of `arrivals.len()` ranks: distance wraps
+    /// (`min(lin, n − lin)`, the [`pom_topology::Topology::rank_distance`]
+    /// convention) and "up" means the shorter way around is towards
+    /// increasing rank. Without this, arrivals that came the short way
+    /// across the wrap are binned at the long linear distance and poison
+    /// the fit.
+    Ring,
+}
+
+/// Fit the front speed from arrivals: regress arrival time against rank
+/// distance from `source`, separately for the two directions away from
+/// the source (up to `max_distance` away; on a ring, at most
+/// `⌊(n−1)/2⌋` — beyond that the two fronts meet and a direction is no
+/// longer well defined).
+///
+/// The returned fits have *slope = time per rank*; speed is the
+/// reciprocal (see [`WaveSpeed`] for the convention and
+/// [`WaveSpeed::verdicts`] for per-direction quality).
+pub fn wave_speed_fit_in(
+    arrivals: &[WaveArrival],
+    source: usize,
+    max_distance: usize,
+    geometry: WaveGeometry,
+) -> WaveSpeed {
     let n = arrivals.len();
+    let max_distance = match geometry {
+        WaveGeometry::Chain => max_distance,
+        // On a ring distances beyond ⌊(n−1)/2⌋ do not exist.
+        WaveGeometry::Ring => max_distance.min(n.saturating_sub(1) / 2),
+    };
     let mut up = Vec::new();
     let mut down = Vec::new();
     for a in arrivals {
@@ -139,17 +272,42 @@ pub fn wave_speed_fit(arrivals: &[WaveArrival], source: usize, max_distance: usi
         if a.rank == source {
             continue;
         }
-        if a.rank > source && a.rank - source <= max_distance {
-            up.push(((a.rank - source) as f64, t));
-        } else if a.rank < source && source - a.rank <= max_distance {
-            down.push(((source - a.rank) as f64, t));
+        let (dist, is_up) = match geometry {
+            WaveGeometry::Chain => (a.rank.abs_diff(source), a.rank > source),
+            WaveGeometry::Ring => {
+                let fwd = (a.rank + n - source) % n; // steps going upward
+                if fwd <= n - fwd {
+                    (fwd, true)
+                } else {
+                    (n - fwd, false)
+                }
+            }
+        };
+        if dist <= max_distance {
+            if is_up {
+                up.push((dist as f64, t));
+            } else {
+                down.push((dist as f64, t));
+            }
         }
     }
-    let _ = n;
     WaveSpeed {
         up: linear_fit(&up),
         down: linear_fit(&down),
     }
+}
+
+/// [`wave_speed_fit_in`] with [`WaveGeometry::Chain`] (linear rank
+/// distance, the historical behavior).
+///
+/// **Precondition** on periodic substrates: only valid while the wave
+/// cannot have wrapped, i.e. `source ± max_distance` stays inside
+/// `[0, n)` and the run is short enough that the far side was not
+/// reached the short way around — otherwise wrapped arrivals are binned
+/// at the long linear distance. Use [`wave_speed_fit_in`] with
+/// [`WaveGeometry::Ring`] on rings.
+pub fn wave_speed_fit(arrivals: &[WaveArrival], source: usize, max_distance: usize) -> WaveSpeed {
+    wave_speed_fit_in(arrivals, source, max_distance, WaveGeometry::Chain)
 }
 
 /// A complete wave measurement: per-rank arrivals plus the fitted speed.
@@ -162,7 +320,23 @@ pub struct MeasuredWave {
 }
 
 /// One-call model wave measurement: arrivals from a perturbed/baseline
-/// pair, fitted from `source` out to `max_distance` ranks.
+/// pair, fitted from `source` out to `max_distance` ranks with the given
+/// rank-space geometry.
+pub fn model_wave_speed_in(
+    perturbed: &PomRun,
+    baseline: &PomRun,
+    threshold: f64,
+    source: usize,
+    max_distance: usize,
+    geometry: WaveGeometry,
+) -> MeasuredWave {
+    let arrivals = model_wave_arrivals(perturbed, baseline, threshold);
+    let fit = wave_speed_fit_in(&arrivals, source, max_distance, geometry);
+    MeasuredWave { arrivals, fit }
+}
+
+/// [`model_wave_speed_in`] with [`WaveGeometry::Chain`] (see
+/// [`wave_speed_fit`] for the no-wrap precondition).
 pub fn model_wave_speed(
     perturbed: &PomRun,
     baseline: &PomRun,
@@ -170,12 +344,33 @@ pub fn model_wave_speed(
     source: usize,
     max_distance: usize,
 ) -> MeasuredWave {
-    let arrivals = model_wave_arrivals(perturbed, baseline, threshold);
-    let fit = wave_speed_fit(&arrivals, source, max_distance);
+    model_wave_speed_in(
+        perturbed,
+        baseline,
+        threshold,
+        source,
+        max_distance,
+        WaveGeometry::Chain,
+    )
+}
+
+/// One-call simulator wave measurement with explicit geometry (see
+/// [`model_wave_speed_in`]).
+pub fn sim_wave_speed_in(
+    perturbed: &SimTrace,
+    baseline: &SimTrace,
+    threshold: f64,
+    source: usize,
+    max_distance: usize,
+    geometry: WaveGeometry,
+) -> MeasuredWave {
+    let arrivals = sim_wave_arrivals(perturbed, baseline, threshold);
+    let fit = wave_speed_fit_in(&arrivals, source, max_distance, geometry);
     MeasuredWave { arrivals, fit }
 }
 
-/// One-call simulator wave measurement (see [`model_wave_speed`]).
+/// [`sim_wave_speed_in`] with [`WaveGeometry::Chain`] (see
+/// [`wave_speed_fit`] for the no-wrap precondition).
 pub fn sim_wave_speed(
     perturbed: &SimTrace,
     baseline: &SimTrace,
@@ -183,9 +378,14 @@ pub fn sim_wave_speed(
     source: usize,
     max_distance: usize,
 ) -> MeasuredWave {
-    let arrivals = sim_wave_arrivals(perturbed, baseline, threshold);
-    let fit = wave_speed_fit(&arrivals, source, max_distance);
-    MeasuredWave { arrivals, fit }
+    sim_wave_speed_in(
+        perturbed,
+        baseline,
+        threshold,
+        source,
+        max_distance,
+        WaveGeometry::Chain,
+    )
 }
 
 #[cfg(test)]
@@ -389,5 +589,204 @@ mod tests {
         assert!(arrivals.iter().all(|a| a.iteration.is_none()));
         let speed = wave_speed_fit(&arrivals, 4, 4);
         assert!(speed.mean_speed().is_none());
+        let (up, down) = speed.verdicts();
+        assert_eq!(up, WaveVerdict::NotReached);
+        assert_eq!(down, WaveVerdict::NotReached);
+    }
+
+    fn arrival(rank: usize, time: f64) -> WaveArrival {
+        WaveArrival {
+            rank,
+            iteration: None,
+            time: Some(time),
+        }
+    }
+
+    /// Regression (pre-PR: silently dropped): a direction whose fit has
+    /// slope ≤ 0 must be reported as Degenerate, not vanish — and the
+    /// other direction's speed must still be measurable.
+    #[test]
+    fn degenerate_direction_gets_a_verdict() {
+        // Up: simultaneous arrival (slope 0). Down: clean 1 rank/unit.
+        let arrivals = vec![
+            arrival(3, 2.0),
+            arrival(4, 1.0),
+            arrival(5, 0.0), // source
+            arrival(6, 3.0),
+            arrival(7, 3.0),
+            arrival(8, 3.0),
+        ];
+        let speed = wave_speed_fit(&arrivals, 5, 4);
+        let (up, down) = speed.verdicts();
+        assert!(up.is_degenerate(), "flat up fit must be Degenerate: {up:?}");
+        assert_eq!(up.speed(), None);
+        let WaveVerdict::Degenerate(f) = up else {
+            panic!("expected Degenerate, got {up:?}");
+        };
+        assert_eq!(f.slope, 0.0);
+        assert!(matches!(down, WaveVerdict::Propagated(_)));
+        // mean_speed documents: average over propagated directions only.
+        assert!((speed.mean_speed().unwrap() - 1.0).abs() < 1e-9);
+
+        // Backward ordering (negative slope) is degenerate too.
+        let backward = vec![arrival(6, 3.0), arrival(7, 2.0), arrival(8, 1.0)];
+        let speed = wave_speed_fit(&backward, 5, 4);
+        let (up, down) = speed.verdicts();
+        assert!(up.is_degenerate());
+        assert_eq!(down, WaveVerdict::NotReached);
+        assert!(speed.mean_speed().is_none());
+    }
+
+    /// Regression: a single-direction wave must report that side's speed
+    /// and NotReached (not a biased mean) for the other.
+    #[test]
+    fn single_direction_wave_verdicts() {
+        let arrivals = vec![arrival(6, 1.0), arrival(7, 2.0), arrival(8, 3.0)];
+        let speed = wave_speed_fit(&arrivals, 5, 4);
+        let (up, down) = speed.verdicts();
+        assert!(matches!(up, WaveVerdict::Propagated(_)));
+        assert_eq!(down, WaveVerdict::NotReached);
+        assert!((speed.mean_speed().unwrap() - 1.0).abs() < 1e-9);
+        assert!((up.speed().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    /// Regression (pre-PR: wrapped arrivals binned at the long linear
+    /// distance): on a periodic ring the fit must use wraparound
+    /// distance, or a source near the index boundary poisons the fit.
+    #[test]
+    fn ring_wrap_distances_fit_cleanly() {
+        // n = 10, source 8, 1 rank/unit both ways. Upward the front
+        // crosses the wrap: ranks 9, 0, 1, 2 at times 1, 2, 3, 4.
+        let mut arrivals: Vec<WaveArrival> = (0..10)
+            .map(|r| WaveArrival {
+                rank: r,
+                iteration: None,
+                time: None,
+            })
+            .collect();
+        arrivals[8] = arrival(8, 0.0); // source
+        for (rank, t) in [(9usize, 1.0), (0, 2.0), (1, 3.0), (2, 4.0)] {
+            arrivals[rank] = arrival(rank, t);
+        }
+        for (rank, t) in [(7usize, 1.0), (6, 2.0), (5, 3.0)] {
+            arrivals[rank] = arrival(rank, t);
+        }
+
+        let ring = wave_speed_fit_in(&arrivals, 8, 4, WaveGeometry::Ring);
+        let up = ring.up.expect("wrapped up side fits");
+        assert!((up.slope - 1.0).abs() < 1e-9, "slope {}", up.slope);
+        assert!(up.r2 > 0.999, "r² {}", up.r2);
+        let down = ring.down.expect("down side fits");
+        assert!((down.slope - 1.0).abs() < 1e-9);
+        assert!((ring.mean_speed().unwrap() - 1.0).abs() < 1e-9);
+
+        // The chain geometry on the same data shows the failure mode this
+        // fixes: ranks 0..2 land on the "down" side at linear distances
+        // 8, 7, 6 with *increasing* times → corrupted fit.
+        let chain = wave_speed_fit(&arrivals, 8, 8);
+        let chain_down = chain.down.expect("poisoned but present");
+        assert!(
+            chain_down.r2 < 0.7 || chain_down.slope < 0.0,
+            "linear-distance fit should be visibly poisoned: {chain_down:?}"
+        );
+    }
+
+    /// Ring geometry never admits distances beyond ⌊(n−1)/2⌋, whatever
+    /// `max_distance` says (the antipode has no unique direction).
+    #[test]
+    fn ring_caps_max_distance() {
+        let arrivals: Vec<WaveArrival> = (0..6).map(|r| arrival(r, r as f64)).collect();
+        let speed = wave_speed_fit_in(&arrivals, 0, 100, WaveGeometry::Ring);
+        for side in [speed.up, speed.down].into_iter().flatten() {
+            assert!(side.n <= 2, "≤ 2 ranks per side on n = 6: {side:?}");
+        }
+    }
+
+    /// Regression (pre-PR: strict `>` and sample-time reporting): the
+    /// threshold comparison is inclusive and the crossing time is
+    /// interpolated between the bracketing samples, so a coarse recording
+    /// stride does not quantize arrivals late.
+    #[test]
+    fn strided_arrivals_interpolate_the_crossing() {
+        use pom_ode::Trajectory;
+        // One component ramping at 1 rad/unit from t = 1: delta(t) =
+        // max(0, t − 1). Threshold 0.5 crosses at exactly t = 1.5.
+        let mk = |times: &[f64], ramp: bool| {
+            let mut tr = Trajectory::new(1);
+            for &t in times {
+                let v = if ramp { (t - 1.0).max(0.0) } else { 0.0 };
+                tr.push(t, &[v]).unwrap();
+            }
+            tr
+        };
+        // Fine grid: samples every 0.25.
+        let fine: Vec<f64> = (0..17).map(|k| k as f64 * 0.25).collect();
+        // Coarse grid (stride 4): samples every 1.0 — the first sample at
+        // delta ≥ 0.5 is t = 2.0, half a unit late.
+        let coarse: Vec<f64> = (0..5).map(|k| k as f64).collect();
+
+        for grid in [&fine, &coarse] {
+            let a = trajectory_wave_arrivals(&mk(grid, true), &mk(grid, false), 0.5);
+            let t = a[0].time.expect("crossed");
+            assert!(
+                (t - 1.5).abs() < 1e-12,
+                "grid step {} must interpolate to 1.5, got {t}",
+                grid[1] - grid[0]
+            );
+        }
+
+        // Inclusive threshold: delta exactly == threshold at a sample
+        // counts, and reports that sample's time.
+        let a = trajectory_wave_arrivals(&mk(&fine, true), &mk(&fine, false), 0.25);
+        assert!((a[0].time.unwrap() - 1.25).abs() < 1e-12);
+
+        // Never crossed → None.
+        let a = trajectory_wave_arrivals(&mk(&fine, true), &mk(&fine, false), 100.0);
+        assert_eq!(a[0].time, None);
+    }
+
+    /// The stride fix end-to-end: the same model run recorded at stride 1
+    /// and stride ~8 must agree on arrival times to within the fine step
+    /// (pre-PR the coarse run reported up to a whole coarse sample late).
+    #[test]
+    fn model_arrivals_stable_under_recording_stride() {
+        let n = 16;
+        let mk = |inject: bool, samples: usize| {
+            let mut b = PomBuilder::new(n)
+                .topology(Topology::ring(n, &[-1, 1]))
+                .potential(Potential::Tanh)
+                .compute_time(1.0)
+                .comm_time(0.0)
+                .coupling(2.0);
+            if inject {
+                b = b.local_noise(OneOffDelays::new(vec![DelayEvent {
+                    rank: 5,
+                    t_start: 2.0,
+                    duration: 2.0,
+                    extra: 1.0,
+                }]));
+            }
+            b.build()
+                .unwrap()
+                .simulate_with(
+                    InitialCondition::Synchronized,
+                    &pom_core::SimOptions::new(30.0)
+                        .samples(samples)
+                        .solver(pom_core::SolverChoice::FixedRk4 { h: 0.01 }),
+                )
+                .unwrap()
+        };
+        let fine = model_wave_arrivals(&mk(true, 3000), &mk(false, 3000), 0.05);
+        let coarse = model_wave_arrivals(&mk(true, 375), &mk(false, 375), 0.05);
+        for (f, c) in fine.iter().zip(&coarse) {
+            match (f.time, c.time) {
+                (Some(tf), Some(tc)) => assert!(
+                    (tf - tc).abs() < 0.05,
+                    "rank {}: fine {tf} vs coarse {tc}",
+                    f.rank
+                ),
+                (a, b) => assert_eq!(a.is_some(), b.is_some(), "rank {}", f.rank),
+            }
+        }
     }
 }

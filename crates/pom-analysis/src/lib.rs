@@ -25,12 +25,15 @@ pub mod desync;
 pub mod idlewave;
 pub mod spectral;
 pub mod stats;
+pub mod streaming;
 
 pub use compare::{fig2_verdict, Fig2Verdict};
 pub use desync::{model_residual_spread, residual_spread, socket_offsets, DesyncVerdict};
 pub use idlewave::{
-    model_wave_arrivals, model_wave_speed, sim_wave_arrivals, sim_wave_speed, wave_speed_fit,
-    MeasuredWave, WaveArrival, WaveSpeed,
+    model_wave_arrivals, model_wave_speed, model_wave_speed_in, sim_wave_arrivals, sim_wave_speed,
+    sim_wave_speed_in, trajectory_wave_arrivals, wave_speed_fit, wave_speed_fit_in, MeasuredWave,
+    WaveArrival, WaveGeometry, WaveSpeed, WaveVerdict,
 };
 pub use spectral::{dominant_mode, mode_fraction, mode_power};
 pub use stats::{linear_fit, mean, std_dev, LinFit};
+pub use streaming::{OrderParameterProbe, PhaseGapProbe, RunSummaryProbe, WaveFrontProbe, Welford};

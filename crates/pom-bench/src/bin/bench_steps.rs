@@ -17,14 +17,87 @@
 //! cargo run --release -p pom-bench --bin bench_steps -- smoke=1
 //! ```
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
+use pom_analysis::RunSummaryProbe;
 use pom_bench::rk4_step_legacy;
-use pom_core::{InitialCondition, Normalization, PomBuilder, Potential, RhsKernel, SimWorkspace};
+use pom_core::{
+    InitialCondition, Normalization, PomBuilder, Potential, RhsKernel, SimOptions, SimWorkspace,
+    SolverChoice,
+};
 use pom_ode::{OdeSystem, Rk4, Workspace};
 use pom_sweep::{run_point, run_point_ws, Campaign};
 use pom_topology::Topology;
+
+// --- Heap accounting -------------------------------------------------------
+// The streaming_observables section *asserts* the observed path's peak
+// memory is O(N); that needs real numbers, not reasoning. A counting
+// wrapper around the system allocator tracks live bytes and the
+// high-water mark; `peak_during` measures the extra peak one closure
+// adds. Overhead is two relaxed-ish atomics per (de)allocation — noise
+// for the timed sections, whose hot loops don't allocate at all.
+
+static LIVE_BYTES: AtomicUsize = AtomicUsize::new(0);
+static PEAK_BYTES: AtomicUsize = AtomicUsize::new(0);
+
+struct CountingAlloc;
+
+impl CountingAlloc {
+    fn on_alloc(size: usize) {
+        let live = LIVE_BYTES.fetch_add(size, Ordering::SeqCst) + size;
+        PEAK_BYTES.fetch_max(live, Ordering::SeqCst);
+    }
+    fn on_dealloc(size: usize) {
+        LIVE_BYTES.fetch_sub(size, Ordering::SeqCst);
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            Self::on_alloc(layout.size());
+        }
+        p
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc_zeroed(layout) };
+        if !p.is_null() {
+            Self::on_alloc(layout.size());
+        }
+        p
+    }
+    unsafe fn dealloc(&self, p: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(p, layout) };
+        Self::on_dealloc(layout.size());
+    }
+    unsafe fn realloc(&self, p: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let q = unsafe { System.realloc(p, layout, new_size) };
+        if !q.is_null() {
+            // Count the new block before releasing the old one: a moving
+            // realloc holds both simultaneously, and the peak must see it.
+            Self::on_alloc(new_size);
+            Self::on_dealloc(layout.size());
+        }
+        q
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Run `f` and report the extra heap peak it caused, in bytes, relative
+/// to the live heap at entry.
+fn peak_during<T>(f: impl FnOnce() -> T) -> (T, usize) {
+    let base = LIVE_BYTES.load(Ordering::SeqCst);
+    PEAK_BYTES.store(base, Ordering::SeqCst);
+    let out = f();
+    let peak = PEAK_BYTES.load(Ordering::SeqCst);
+    (out, peak.saturating_sub(base))
+}
 
 fn build_model(n: usize) -> pom_core::Pom {
     build_model_kernel(n, RhsKernel::Exact, 1)
@@ -373,6 +446,118 @@ fn main() {
             "      {{\"n\": {n}, \"steps\": {ksteps}, \"exact_steps_per_sec\": {e_sps:.0}, \"split_steps_per_sec\": {s_sps:.0}, \"split_parallel_steps_per_sec\": {p_sps:.0}, \"split_speedup\": {:.3}, \"split_parallel_speedup\": {:.3}}}{comma}",
             s_sps / e_sps,
             p_sps / e_sps
+        );
+    }
+    println!("    ]");
+    println!("  }},");
+
+    // --- Streaming observables: O(1)-memory long-horizon runs ------------
+    // The pipeline this PR adds: simulate_observed folds observables
+    // online (order parameter, adjacent gaps) and allocates NO per-step
+    // trajectory storage. The columns compare, at n ∈ {4096, 65536}:
+    //   * observed_peak_bytes — extra heap peak of the full observed run
+    //     (workspace + split scratch + probe), ASSERTED to stay O(N)
+    //     whatever the step count;
+    //   * trajectory_bytes_per_step — what the recording path pays per
+    //     retained sample (measured on a short recorded run, asserted
+    //     ≥ 8·n·0.9), i.e. what 10⁵ full-resolution steps would cost.
+    // Smoke mode shrinks the horizons; the assertions still gate.
+    println!("  \"streaming_observables\": {{");
+    println!("    \"model\": \"ring ±1, desync sigma=3, coupling 4, sincos kernel, rk4 h=0.02\",");
+    println!("    \"rows\": [");
+    let obs_sizes = [4096usize, 65536];
+    for (idx, &n) in obs_sizes.iter().enumerate() {
+        let h = 0.02;
+        // Long horizon: 1e5 steps at full scale (the acceptance bar for
+        // the n = 65536 regime), tiny in smoke mode.
+        let osteps = if smoke {
+            200
+        } else {
+            steps_override.unwrap_or(100_000)
+        };
+        let t_end = h * osteps as f64;
+        let opts = SimOptions::new(t_end).solver(SolverChoice::FixedRk4 { h });
+        let model = build_model_kernel(n, RhsKernel::SinCosSplit, 1);
+        let init = InitialCondition::RandomSpread {
+            amplitude: 0.3,
+            seed: 1,
+        };
+
+        // Observed run, cold workspace: the measured peak is everything
+        // the observable path ever holds at once.
+        let mut ws = SimWorkspace::new();
+        let mut probe = RunSummaryProbe::new();
+        let t0 = Instant::now();
+        let (summary, observed_peak) = peak_during(|| {
+            model
+                .simulate_observed_ws(init.clone(), &opts, &mut probe, &mut ws)
+                .expect("observed run")
+        });
+        let observed_secs = t0.elapsed().as_secs_f64();
+        assert_eq!(summary.n_steps(), osteps);
+        assert!(summary.final_order_parameter().is_finite());
+
+        // THE assertion: peak observable-path memory is O(N) — a few
+        // dozen length-n buffers (integrator workspace, sin/cos scratch,
+        // summary state), nothing proportional to the step count.
+        let budget = 64 * n * 8 + (1 << 20);
+        assert!(
+            observed_peak <= budget,
+            "observed path peak {observed_peak} B exceeds O(N) budget {budget} B at n = {n}"
+        );
+        // And it is genuinely step-count independent: doubling a (short)
+        // horizon must not move the peak. Short probes keep the full
+        // bench's wall time sane — the property is per-step independence,
+        // not horizon size.
+        let p_steps = osteps.min(500);
+        let peak_at = |steps: usize, ws: &mut SimWorkspace| {
+            let o = SimOptions::new(h * steps as f64).solver(SolverChoice::FixedRk4 { h });
+            let mut probe = RunSummaryProbe::new();
+            peak_during(|| {
+                model
+                    .simulate_observed_ws(init.clone(), &o, &mut probe, ws)
+                    .expect("observed probe run")
+            })
+            .1
+        };
+        let (p1, p2) = (peak_at(p_steps, &mut ws), peak_at(2 * p_steps, &mut ws));
+        // The actual independence assertion: the doubled horizon's peak
+        // must not exceed the single horizon's (small slack for allocator
+        // rounding). A per-step leak anywhere in the observed path fails
+        // here long before it would dent the O(N) budget above.
+        assert!(
+            p2 <= p1 + (64 << 10),
+            "doubled horizon moved the observed peak {p1} → {p2} B at n = {n}"
+        );
+
+        // Recording path, full-resolution samples, short horizon: its
+        // peak grows with every retained sample — the cost the observed
+        // path removes. (Kept short so the bench itself stays sane.)
+        let rec_steps = if smoke { 50 } else { 512 };
+        let rec_opts = SimOptions::new(h * rec_steps as f64)
+            .samples(rec_steps + 1)
+            .solver(SolverChoice::FixedRk4 { h });
+        let mut ws_rec = SimWorkspace::new();
+        let (run, rec_peak) = peak_during(|| {
+            model
+                .simulate_with_ws(init.clone(), &rec_opts, &mut ws_rec)
+                .expect("recorded run")
+        });
+        assert_eq!(run.trajectory().len(), rec_steps + 1);
+        let rec_bytes_per_step = rec_peak as f64 / rec_steps as f64;
+        assert!(
+            rec_bytes_per_step >= 8.0 * n as f64 * 0.9,
+            "recorded path must pay ≥ one state row per sample: {rec_bytes_per_step} B/step at n = {n}"
+        );
+
+        let comma = if idx + 1 == obs_sizes.len() { "" } else { "," };
+        println!(
+            "      {{\"n\": {n}, \"steps\": {osteps}, \"observed_peak_bytes\": {observed_peak}, \
+             \"observed_steps_per_sec\": {:.0}, \"trajectory_bytes_per_step\": {rec_bytes_per_step:.0}, \
+             \"projected_trajectory_bytes_at_steps\": {:.0}, \"memory_ratio\": {:.1}}}{comma}",
+            osteps as f64 / observed_secs,
+            rec_bytes_per_step * osteps as f64,
+            rec_bytes_per_step * osteps as f64 / observed_peak as f64,
         );
     }
     println!("    ]");

@@ -95,10 +95,12 @@ pub fn help() -> String {
      \x20 simulate     [n=40 potential=tanh|desync|sin sigma=3 tcomp=0.9 tcomm=0.1\n\
      \x20               distances=-1,1 coupling=… t_end=120 init=sync|spread|wavefront\n\
      \x20               seed=7 noise=0 delay_rank=… delay_at=… delay_len=…\n\
-     \x20               kernel=exact|sincos rhs-threads=1]\n\
+     \x20               kernel=exact|sincos rhs-threads=1 observe=0|1 record-every=1]\n\
      \x20                                             parameterized model run with result views\n\
      \x20                                             (kernel= picks the RHS fast path, rhs-threads=\n\
-     \x20                                             splits one large-N run across cores; 0 = all)\n\
+     \x20                                             splits one large-N run across cores; 0 = all;\n\
+     \x20                                             observe=1 streams observables online — O(N)\n\
+     \x20                                             memory at any span, record-every= decimates)\n\
      \x20 sweep        <spec.toml> [threads=0 out=… format=jsonl|csv resume=0|1]\n\
      \x20                                             run a declarative scenario campaign on all\n\
      \x20                                             cores, streaming one result row per point\n\
@@ -375,6 +377,14 @@ pub fn cmd_simulate(cfg: &Config) -> Result<String, CliError> {
             }))
         }
     };
+    // Streaming mode (`observe=1 [record-every=k]`): run the observer
+    // fast path instead of recording a trajectory — observables fold
+    // online, memory stays O(N) however long the span, and the report is
+    // the streamed summary (trajectory views don't exist here).
+    if cfg.get("observe").is_some_and(|v| v != "0") {
+        return simulate_observed_report(&model, init, t_end, cfg);
+    }
+
     let run = model
         .simulate_with(
             init,
@@ -394,6 +404,14 @@ pub fn cmd_simulate(cfg: &Config) -> Result<String, CliError> {
         model.rhs_threads(),
         if model.rhs_threads() == 1 { "" } else { "s" }
     );
+    // Mirror of the observed path's ignored-flag notes: decimation only
+    // exists on the streaming path.
+    if cfg.get("record-every").is_some() {
+        let _ = writeln!(
+            out,
+            "note: `record-every=` only applies with observe=1 and is ignored here"
+        );
+    }
     let _ = writeln!(
         out,
         "final order parameter r: {:.5}",
@@ -404,13 +422,11 @@ pub fn cmd_simulate(cfg: &Config) -> Result<String, CliError> {
         "final phase spread:      {:.5} rad",
         run.final_phase_spread()
     );
-    let gaps = run.final_adjacent_differences();
-    let mean_gap = if gaps.is_empty() {
-        0.0
-    } else {
-        gaps.iter().map(|g| g.abs()).sum::<f64>() / gaps.len() as f64
-    };
-    let _ = writeln!(out, "mean |adjacent gap|:     {mean_gap:.5} rad");
+    let _ = writeln!(
+        out,
+        "mean |adjacent gap|:     {:.5} rad",
+        run.mean_abs_adjacent_gap()
+    );
 
     match cfg.str_or("view", "order").as_str() {
         "circle" => {
@@ -440,6 +456,96 @@ pub fn cmd_simulate(cfg: &Config) -> Result<String, CliError> {
             ));
         }
     }
+    Ok(out)
+}
+
+/// The `simulate observe=1` report: integrate through the streaming
+/// observer fast path (no trajectory allocated) and print the online
+/// observables.
+fn simulate_observed_report(
+    model: &pom_core::Pom,
+    init: InitialCondition,
+    t_end: f64,
+    cfg: &Config,
+) -> Result<String, CliError> {
+    use pom_analysis::RunSummaryProbe;
+    use pom_core::ObserveEvery;
+
+    let every = cfg.usize_or("record-every", 1)?.max(1);
+    let mut probe = ObserveEvery::new(RunSummaryProbe::new(), every);
+    let summary = model
+        .simulate_observed(init, &SimOptions::new(t_end), &mut probe)
+        .map_err(|e| CliError::Run(e.to_string()))?;
+    let steps = probe.steps_seen();
+    let stats = probe.inner();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# POM observed run: N = {}, potential = {}, κ = {:.2}, v_p = {:.3}, t_end = {t_end}, \
+         kernel = {}",
+        model.n(),
+        model.potential().name(),
+        model.params().kappa,
+        model.params().coupling(),
+        model.kernel().name(),
+    );
+    // Trajectory-dependent flags have nothing to act on here; say so
+    // instead of silently dropping an explicit request.
+    for ignored in ["view", "samples"] {
+        if cfg.get(ignored).is_some() {
+            let _ = writeln!(
+                out,
+                "note: `{ignored}=` needs a recorded trajectory and is ignored under observe=1"
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "streamed: {steps} accepted steps, {} samples folded (record-every = {every}), \
+         no trajectory allocated",
+        stats.r.stats.count(),
+    );
+    let _ = writeln!(
+        out,
+        "\nfinal order parameter r: {:.5}",
+        summary.final_order_parameter()
+    );
+    let _ = writeln!(
+        out,
+        "final phase spread:      {:.5} rad",
+        summary.final_phase_spread()
+    );
+    let _ = writeln!(
+        out,
+        "mean |adjacent gap|:     {:.5} rad",
+        summary.mean_abs_adjacent_gap()
+    );
+    let _ = writeln!(
+        out,
+        "\nstreamed r(t):      mean {:.5}, min {:.5}, max {:.5}, σ {:.3e}",
+        stats.r.stats.mean(),
+        stats.r.stats.min(),
+        stats.r.stats.max(),
+        stats.r.stats.std_dev()
+    );
+    let _ = writeln!(
+        out,
+        "streamed mean gap:  mean {:.5}, max {:.5} rad",
+        stats.gaps.mean_gap.mean(),
+        stats.gaps.mean_gap.max()
+    );
+    let _ = writeln!(
+        out,
+        "streamed max gap:   peak {:.5} rad",
+        stats.gaps.max_gap.max()
+    );
+    let _ = writeln!(
+        out,
+        "streamed spread:    mean {:.5}, max {:.5} rad",
+        stats.gaps.spread.mean(),
+        stats.gaps.spread.max()
+    );
     Ok(out)
 }
 

@@ -2,11 +2,14 @@
 //! observables on the result.
 
 use pom_ode::dde::{DdeRk4, InitialHistory};
-use pom_ode::{Dopri5, FixedStepSolver, OdeError, Rk4, Trajectory, Workspace};
+use pom_ode::{Dopri5, FixedStepSolver, OdeError, Rk4, StepObserver, Trajectory, Workspace};
 
 use crate::initial::InitialCondition;
 use crate::model::Pom;
-use crate::observables::{adjacent_differences, lagger_normalized, order_parameter, phase_spread};
+use crate::observables::{
+    adjacent_differences, lagger_normalized, mean_abs_adjacent_difference, order_parameter,
+    phase_spread,
+};
 
 /// Reusable scratch memory for model runs.
 ///
@@ -162,12 +165,7 @@ impl PomRun {
     /// quantity the §5.2.2 sweep compares against `2σ/3` (0 for a single
     /// oscillator).
     pub fn mean_abs_adjacent_gap(&self) -> f64 {
-        let gaps = self.final_adjacent_differences();
-        if gaps.is_empty() {
-            0.0
-        } else {
-            gaps.iter().map(|g| g.abs()).sum::<f64>() / gaps.len() as f64
-        }
+        mean_abs_adjacent_difference(self.trajectory.last().expect("non-empty run"))
     }
 
     /// Time series of one oscillator's lagger-normalized phase.
@@ -175,6 +173,80 @@ impl PomRun {
         (0..self.trajectory.len())
             .map(|k| (self.trajectory.time(k), self.normalized_snapshot(k)[i]))
             .collect()
+    }
+}
+
+/// Result of an *observed* model run: O(N) summary data instead of a
+/// trajectory — the natural frequency, step counters, and the final
+/// state, with the final-sample observables as methods. Everything
+/// time-resolved lives in whatever [`StepObserver`] the caller attached.
+#[derive(Debug, Clone)]
+pub struct SimSummary {
+    omega: f64,
+    t_end: f64,
+    n_steps: usize,
+    final_state: Vec<f64>,
+}
+
+impl SimSummary {
+    /// Assemble a summary from externally held parts — for consumers that
+    /// already ran a recording path and want the same final-sample
+    /// observable methods on it (`n_steps` then counts whatever the
+    /// caller's driver counted, e.g. recorded samples).
+    pub fn from_final(omega: f64, t_end: f64, n_steps: usize, final_state: Vec<f64>) -> Self {
+        Self {
+            omega,
+            t_end,
+            n_steps,
+            final_state,
+        }
+    }
+
+    /// Natural angular frequency `ω` of the noise-free oscillator.
+    pub fn omega(&self) -> f64 {
+        self.omega
+    }
+
+    /// Time reached (== the requested span end).
+    pub fn t_end(&self) -> f64 {
+        self.t_end
+    }
+
+    /// Accepted integrator steps taken (== observer `observe_step`
+    /// callbacks delivered).
+    pub fn n_steps(&self) -> usize {
+        self.n_steps
+    }
+
+    /// Final phases `θ(t_end)`.
+    pub fn final_state(&self) -> &[f64] {
+        &self.final_state
+    }
+
+    /// Kuramoto order parameter `r` at `t_end`.
+    pub fn final_order_parameter(&self) -> f64 {
+        order_parameter(&self.final_state).0
+    }
+
+    /// Phase spread `max − min` at `t_end`.
+    pub fn final_phase_spread(&self) -> f64 {
+        phase_spread(&self.final_state)
+    }
+
+    /// Adjacent phase differences at `t_end` (wavefront slope).
+    pub fn final_adjacent_differences(&self) -> Vec<f64> {
+        adjacent_differences(&self.final_state)
+    }
+
+    /// Mean `|adjacent phase difference|` at `t_end` (0 for a single
+    /// oscillator) — matches [`PomRun::mean_abs_adjacent_gap`].
+    pub fn mean_abs_adjacent_gap(&self) -> f64 {
+        mean_abs_adjacent_difference(&self.final_state)
+    }
+
+    /// Lagger-normalized phases at `t_end` (the paper's standard view).
+    pub fn final_normalized(&self) -> Vec<f64> {
+        lagger_normalized(&self.final_state, self.omega, self.t_end)
     }
 }
 
@@ -224,35 +296,7 @@ impl Pom {
     ) -> Result<PomRun, OdeError> {
         let y0 = init.phases(self.n());
         let omega = self.omega();
-
-        let solver = match opts.solver {
-            SolverChoice::Auto => {
-                if self.has_delays() {
-                    // Resolve the cycle and the delay comfortably.
-                    let h = (self.params().cycle_time() / 100.0)
-                        .min(self.max_delay().max(f64::EPSILON) / 2.0)
-                        .min(opts.t_end / 10.0);
-                    SolverChoice::FixedRk4 { h }
-                } else {
-                    SolverChoice::Dopri5 {
-                        rtol: 1e-8,
-                        atol: 1e-10,
-                    }
-                }
-            }
-            other => other,
-        };
-
-        // Local noise makes the RHS discontinuous in t (one-off delay
-        // windows, daemon bursts). An adaptive solver coasting on a smooth
-        // stretch can grow its step far beyond a noise window and jump
-        // clean over it (all stage times landing outside), so cap the
-        // step at a fraction of the cycle whenever local noise is active.
-        let h_cap = if self.has_local_noise() {
-            Some(self.params().cycle_time() / 10.0)
-        } else {
-            None
-        };
+        let (solver, h_cap) = self.resolve_solver(opts);
 
         let trajectory = match solver {
             SolverChoice::Dopri5 { rtol, atol } => {
@@ -287,6 +331,152 @@ impl Pom {
         };
 
         Ok(PomRun { omega, trajectory })
+    }
+
+    /// Resolve [`SolverChoice::Auto`] and the local-noise step cap shared
+    /// by the recording and observed drivers.
+    fn resolve_solver(&self, opts: &SimOptions) -> (SolverChoice, Option<f64>) {
+        let solver = match opts.solver {
+            SolverChoice::Auto => {
+                if self.has_delays() {
+                    // Resolve the cycle and the delay comfortably.
+                    let h = (self.params().cycle_time() / 100.0)
+                        .min(self.max_delay().max(f64::EPSILON) / 2.0)
+                        .min(opts.t_end / 10.0);
+                    SolverChoice::FixedRk4 { h }
+                } else {
+                    SolverChoice::Dopri5 {
+                        rtol: 1e-8,
+                        atol: 1e-10,
+                    }
+                }
+            }
+            other => other,
+        };
+
+        // Local noise makes the RHS discontinuous in t (one-off delay
+        // windows, daemon bursts). An adaptive solver coasting on a smooth
+        // stretch can grow its step far beyond a noise window and jump
+        // clean over it (all stage times landing outside), so cap the
+        // step at a fraction of the cycle whenever local noise is active.
+        let h_cap = if self.has_local_noise() {
+            Some(self.params().cycle_time() / 10.0)
+        } else {
+            None
+        };
+        (solver, h_cap)
+    }
+
+    /// Integrate while streaming every accepted step to `obs`, returning
+    /// an O(N) [`SimSummary`] — **no trajectory is allocated**, which is
+    /// what makes million-step runs of 10⁵ oscillators memory-feasible.
+    ///
+    /// Solver selection and step control are exactly those of
+    /// [`Pom::simulate_with`] (same [`SolverChoice`] resolution, same
+    /// local-noise step cap): the integration takes the identical step
+    /// sequence and the returned final state is the integrator's raw
+    /// `y(t_end)` — bitwise identical to the fixed-step/DDE recording
+    /// paths' last sample and to the Dopri5 path's
+    /// [`pom_ode::DenseSolution::y_end`] (proptested). Note that a
+    /// *resampled* Dopri5 trajectory's last sample (what
+    /// [`PomRun::trajectory`] holds) evaluates the dense interpolant at
+    /// `t_end` instead and can differ from `y_end` in the last ULPs.
+    /// `opts.n_samples` is ignored
+    /// — the observer sees *every* accepted step, and callers wanting
+    /// decimation wrap their observer in [`pom_ode::ObserveEvery`]. With
+    /// interaction delays the method-of-steps history is pruned to the
+    /// model's maximum delay window, so memory stays O(N · τ_max/h)
+    /// instead of O(N · steps).
+    ///
+    /// Allocates fresh scratch; loops should hold a [`SimWorkspace`] and
+    /// call [`Pom::simulate_observed_ws`].
+    ///
+    /// ```
+    /// use pom_core::{InitialCondition, NoObserver, PomBuilder, Potential, SimOptions};
+    /// use pom_topology::Topology;
+    ///
+    /// let model = PomBuilder::new(16)
+    ///     .topology(Topology::ring(16, &[-1, 1]))
+    ///     .potential(Potential::Tanh)
+    ///     .compute_time(1.0)
+    ///     .comm_time(0.1)
+    ///     .coupling(8.0)
+    ///     .build()
+    ///     .unwrap();
+    /// // No trajectory is allocated — only the O(N) summary comes back.
+    /// let init = InitialCondition::RandomSpread { amplitude: 1.0, seed: 3 };
+    /// let summary = model
+    ///     .simulate_observed(init, &SimOptions::new(120.0), &mut NoObserver)
+    ///     .unwrap();
+    /// assert!(summary.final_order_parameter() > 0.999); // resynchronized
+    /// assert_eq!(summary.final_state().len(), 16);
+    /// ```
+    pub fn simulate_observed<O: StepObserver>(
+        &self,
+        init: InitialCondition,
+        opts: &SimOptions,
+        obs: &mut O,
+    ) -> Result<SimSummary, OdeError> {
+        self.simulate_observed_ws(init, opts, obs, &mut SimWorkspace::new())
+    }
+
+    /// [`Pom::simulate_observed`] with caller-provided scratch memory —
+    /// the allocation-lean fast path (the step loop allocates nothing;
+    /// the workspace and the O(N) summary are the only owned memory).
+    pub fn simulate_observed_ws<O: StepObserver>(
+        &self,
+        init: InitialCondition,
+        opts: &SimOptions,
+        obs: &mut O,
+        ws: &mut SimWorkspace,
+    ) -> Result<SimSummary, OdeError> {
+        let y0 = init.phases(self.n());
+        let omega = self.omega();
+        let (solver, h_cap) = self.resolve_solver(opts);
+
+        let (t_end, n_steps, final_state) = match solver {
+            SolverChoice::Dopri5 { rtol, atol } => {
+                let mut solver = Dopri5::new().rtol(rtol).atol(atol);
+                if let Some(h) = h_cap {
+                    solver = solver.h_max(h);
+                }
+                let (sum, _) =
+                    solver.integrate_observed(self, 0.0, &y0, opts.t_end, ws.ode(), obs)?;
+                (sum.t_end, sum.n_steps, sum.y_end)
+            }
+            SolverChoice::FixedRk4 { h } => {
+                if self.has_delays() {
+                    let sum = DdeRk4::new(h)?.integrate_observed(
+                        self,
+                        0.0,
+                        InitialHistory::Constant(y0),
+                        opts.t_end,
+                        self.max_delay(),
+                        ws.ode(),
+                        obs,
+                    )?;
+                    (sum.t_end, sum.n_steps, sum.y_end)
+                } else {
+                    let sum = FixedStepSolver::new(Rk4, h)?.integrate_observed(
+                        self,
+                        0.0,
+                        &y0,
+                        opts.t_end,
+                        ws.ode(),
+                        obs,
+                    )?;
+                    (sum.t_end, sum.n_steps, sum.y_end)
+                }
+            }
+            SolverChoice::Auto => unreachable!("resolved above"),
+        };
+
+        Ok(SimSummary {
+            omega,
+            t_end,
+            n_steps,
+            final_state,
+        })
     }
 }
 

@@ -9,6 +9,7 @@
 //! bench quantifies the trade-off.
 
 use crate::error::OdeError;
+use crate::observe::{ObservedSummary, StepObserver};
 use crate::trajectory::Trajectory;
 use crate::workspace::Workspace;
 use crate::OdeSystem;
@@ -215,6 +216,127 @@ impl Bs23 {
             h = (h * fac).min(h_max);
         }
         Ok((traj, stats))
+    }
+
+    /// Integrate without recording, streaming every accepted step to
+    /// `obs` — the O(N)-memory twin of [`Bs23::integrate_with`].
+    ///
+    /// Runs the identical step-control arithmetic (same stages, error
+    /// norm and I-controller), so the accepted step sequence and the
+    /// final state are bitwise identical to the recording path; only the
+    /// trajectory storage is gone. Rejected attempts are invisible to the
+    /// observer.
+    pub fn integrate_observed<S: OdeSystem + ?Sized, O: StepObserver>(
+        &self,
+        sys: &S,
+        t0: f64,
+        y0: &[f64],
+        t_end: f64,
+        ws: &mut Workspace,
+        obs: &mut O,
+    ) -> Result<(ObservedSummary, Bs23Stats), OdeError> {
+        for (name, v) in [("rtol", self.rtol), ("atol", self.atol)] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(OdeError::InvalidParameter { name, value: v });
+            }
+        }
+        let n = sys.dim();
+        if y0.len() != n {
+            return Err(OdeError::DimensionMismatch {
+                expected: n,
+                got: y0.len(),
+            });
+        }
+        // Deliberate negation: also rejects NaN endpoints.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(t_end > t0) {
+            return Err(OdeError::EmptySpan { t0, t_end });
+        }
+
+        let span = t_end - t0;
+        let h_max = self.h_max.unwrap_or(span).min(span);
+        let mut stats = Bs23Stats::default();
+
+        let (stage, drive) = ws.split();
+        let [mut k1, k2, k3, mut k4, y_stage, mut y_new] = stage.slices::<6>(n);
+        let [mut y] = drive.slices::<1>(n);
+
+        let mut t = t0;
+        y.copy_from_slice(y0);
+
+        sys.eval(t, y, k1);
+        stats.n_eval += 1;
+        check_finite(t, k1)?;
+
+        // Crude but effective initial step from the first derivative.
+        let y_scale = y.iter().map(|v| v.abs()).fold(1.0f64, f64::max);
+        let f_scale = k1.iter().map(|v| v.abs()).fold(1e-8f64, f64::max);
+        let mut h = (0.01 * y_scale / f_scale).min(h_max);
+
+        obs.begin(t0, y);
+        loop {
+            if t >= t_end {
+                break;
+            }
+            if stats.n_accepted + stats.n_rejected >= self.max_steps {
+                return Err(OdeError::TooManySteps {
+                    t_reached: t,
+                    max_steps: self.max_steps,
+                });
+            }
+            if t + 1.01 * h >= t_end {
+                h = t_end - t;
+            }
+            if h <= f64::EPSILON * t.abs().max(1.0) {
+                return Err(OdeError::StepSizeUnderflow { t, h });
+            }
+
+            for i in 0..n {
+                y_stage[i] = y[i] + h * A21 * k1[i];
+            }
+            sys.eval(t + C2 * h, y_stage, k2);
+            for i in 0..n {
+                y_stage[i] = y[i] + h * A32 * k2[i];
+            }
+            sys.eval(t + C3 * h, y_stage, k3);
+            for i in 0..n {
+                y_new[i] = y[i] + h * (B1 * k1[i] + B2 * k2[i] + B3 * k3[i]);
+            }
+            sys.eval(t + h, y_new, k4);
+            stats.n_eval += 3;
+            check_finite(t, k4)?;
+
+            let mut err_sq = 0.0;
+            for i in 0..n {
+                let e = h * (E1 * k1[i] + E2 * k2[i] + E3 * k3[i] + E4 * k4[i]);
+                let sc = self.atol + self.rtol * y[i].abs().max(y_new[i].abs());
+                err_sq += (e / sc) * (e / sc);
+            }
+            let err = (err_sq / n as f64).sqrt();
+
+            if err <= 1.0 {
+                t += h;
+                std::mem::swap(&mut y, &mut y_new);
+                std::mem::swap(&mut k1, &mut k4); // FSAL: swap the slice handles
+                stats.n_accepted += 1;
+                obs.observe_step(t, y);
+            } else {
+                stats.n_rejected += 1;
+            }
+            // I-controller on the 3rd-order error (exponent 1/3).
+            let fac = (SAFETY * err.powf(-1.0 / 3.0)).clamp(FAC_MIN, FAC_MAX);
+            h = (h * fac).min(h_max);
+        }
+        obs.finish(t, y);
+        Ok((
+            ObservedSummary {
+                t_end: t,
+                n_steps: stats.n_accepted,
+                n_eval: stats.n_eval,
+                y_end: y.to_vec(),
+            },
+            stats,
+        ))
     }
 }
 

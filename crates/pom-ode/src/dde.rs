@@ -17,6 +17,7 @@
 //!   ODE — covered by a regression test).
 
 use crate::error::OdeError;
+use crate::observe::{ObservedSummary, StepObserver};
 use crate::trajectory::Trajectory;
 use crate::workspace::Workspace;
 
@@ -114,6 +115,31 @@ impl HistoryBuffer {
         self.derivs.reserve(additional * self.dim);
     }
 
+    /// Drop knots no lookup can reach anymore: everything strictly before
+    /// the last knot at or before `t_keep` (one knot at or before the
+    /// horizon is retained so interpolation at `t_keep` itself still
+    /// brackets). Used by the observed fast path to hold history memory
+    /// at O(delay window) instead of O(whole run).
+    ///
+    /// The drain is batched (only fires once ≥ 64 prunable knots have
+    /// accumulated), so the amortized per-step cost is O(1) and peak
+    /// memory is the window plus a constant.
+    pub fn prune_before(&mut self, t_keep: f64) {
+        // First knot strictly after the horizon; knots [0, p) are ≤ t_keep.
+        let p = self.times.partition_point(|&tk| tk <= t_keep);
+        let drop = p.saturating_sub(1);
+        if drop >= 64 {
+            self.times.drain(..drop);
+            self.states.drain(..drop * self.dim);
+            self.derivs.drain(..drop * self.dim);
+        }
+    }
+
+    /// Oldest retained knot time (`t0` unless pruned).
+    pub fn t_oldest(&self) -> f64 {
+        self.times[0]
+    }
+
     /// Append a knot; `t` must be strictly after the last knot.
     pub fn push(&mut self, t: f64, y: &[f64], f: &[f64]) {
         debug_assert!(t > *self.times.last().unwrap());
@@ -168,7 +194,10 @@ impl HistoryBuffer {
 impl PhaseHistory for HistoryBuffer {
     fn sample(&self, t: f64, i: usize) -> f64 {
         if t <= self.t0 {
-            if t == self.t0 {
+            // After pruning the first retained knot may postdate t0; the
+            // (unpruned) t0 knot state then lives only in the initial
+            // history, which integrate_observed keeps consistent.
+            if t == self.t0 && self.times[0] == self.t0 {
                 return self.knot_state(0, i);
             }
             return self.initial.sample(t, i);
@@ -179,6 +208,17 @@ impl PhaseHistory for HistoryBuffer {
             // evaluations when the delay is smaller than the step).
             let k = self.times.len() - 1;
             return self.knot_state(k, i) + (t - latest) * self.knot_deriv(k, i);
+        }
+        if t < self.times[0] {
+            // Below the retained window: only reachable when a pruned
+            // buffer is queried deeper than the window it was promised
+            // (`integrate_observed`'s history_window contract).
+            debug_assert!(
+                false,
+                "history lookup at t = {t} below pruned horizon {}",
+                self.times[0]
+            );
+            return self.knot_state(0, i);
         }
         // Find the knot interval [t_k, t_{k+1}] containing t.
         let hi = self.times.partition_point(|&tk| tk <= t);
@@ -334,6 +374,127 @@ impl DdeRk4 {
         }
 
         Ok((traj, buffer))
+    }
+
+    /// Integrate without recording a trajectory and with the history
+    /// buffer pruned to a sliding window, streaming every step to `obs` —
+    /// the O(N · window/h)-memory fast path for long-horizon delay runs.
+    ///
+    /// `history_window` must be at least the largest delay the system
+    /// ever looks back (`τ_max`); lookups reach `t − τ_max` while the
+    /// buffer retains `[t − history_window, t]` (plus one bracketing
+    /// knot). Too small a window is caught by a debug assertion and
+    /// silently clamps to the oldest retained knot in release builds.
+    ///
+    /// The step arithmetic is identical to [`DdeRk4::integrate_with`], so
+    /// states are bitwise identical to that path whenever the window
+    /// covers every lookup (asserted by the property suite).
+    #[allow(clippy::too_many_arguments)]
+    pub fn integrate_observed<S: DdeSystem + ?Sized, O: StepObserver>(
+        &self,
+        sys: &S,
+        t0: f64,
+        initial: InitialHistory,
+        t_end: f64,
+        history_window: f64,
+        ws: &mut Workspace,
+        obs: &mut O,
+    ) -> Result<ObservedSummary, OdeError> {
+        let n = sys.dim();
+        if let Some(d) = initial.dim() {
+            if d != n {
+                return Err(OdeError::DimensionMismatch {
+                    expected: n,
+                    got: d,
+                });
+            }
+        }
+        if !(history_window.is_finite() && history_window >= 0.0) {
+            return Err(OdeError::InvalidParameter {
+                name: "history_window",
+                value: history_window,
+            });
+        }
+        // Deliberate negation: also rejects NaN endpoints.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(t_end > t0) {
+            return Err(OdeError::EmptySpan { t0, t_end });
+        }
+
+        let span = t_end - t0;
+        let n_steps = (span / self.h).ceil().max(1.0) as usize;
+
+        let (stage, drive) = ws.split();
+        let [k2, k3, k4, ytmp] = stage.slices::<4>(n);
+        let [mut y, mut y_new, mut k1, mut f_new] = drive.slices::<4>(n);
+
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi = initial.sample(t0, i);
+        }
+
+        let boot = BootstrapHistory {
+            initial: &initial,
+            t0,
+            y0: &*y,
+        };
+        sys.eval(t0, y, &boot, k1);
+        check_finite(t0, k1)?;
+        let mut n_eval = 1;
+
+        let mut buffer = HistoryBuffer::new(t0, y, k1, initial);
+        // Reserve the window's worth of knots, not the whole run's.
+        buffer.reserve(((history_window / self.h).ceil() as usize + 66).min(n_steps + 1));
+
+        let mut t = t0;
+        obs.begin(t0, y);
+
+        for step_idx in 1..=n_steps {
+            let t_target = if step_idx == n_steps {
+                t_end
+            } else {
+                t0 + span * (step_idx as f64 / n_steps as f64)
+            };
+            let h = t_target - t;
+
+            // k1 = f(t, y) carried from the previous step's f_new.
+            for i in 0..n {
+                ytmp[i] = y[i] + 0.5 * h * k1[i];
+            }
+            sys.eval(t + 0.5 * h, ytmp, &buffer, k2);
+            for i in 0..n {
+                ytmp[i] = y[i] + 0.5 * h * k2[i];
+            }
+            sys.eval(t + 0.5 * h, ytmp, &buffer, k3);
+            for i in 0..n {
+                ytmp[i] = y[i] + h * k3[i];
+            }
+            sys.eval(t + h, ytmp, &buffer, k4);
+            for i in 0..n {
+                y_new[i] = y[i] + (h / 6.0) * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+            }
+            check_finite(t, y_new)?;
+
+            t = t_target;
+            sys.eval(t, y_new, &buffer, f_new);
+            n_eval += 4; // k2, k3, k4, f_new (k1 is carried over)
+            check_finite(t, f_new)?;
+            buffer.push(t, y_new, f_new);
+            // All future lookups reach back at most `history_window` from
+            // the current front; older knots can go.
+            buffer.prune_before(t - history_window);
+
+            std::mem::swap(&mut y, &mut y_new);
+            std::mem::swap(&mut k1, &mut f_new);
+            obs.observe_step(t, y);
+        }
+        obs.finish(t, y);
+
+        Ok(ObservedSummary {
+            t_end: t,
+            n_steps,
+            n_eval,
+            y_end: y.to_vec(),
+        })
     }
 }
 
@@ -512,6 +673,34 @@ mod tests {
             .integrate(&LagDecay, 0.0, InitialHistory::Constant(vec![1.0]), 1.0)
             .unwrap();
         assert!((traj.times().last().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prune_drops_old_knots_and_keeps_a_bracket() {
+        let mut buf = HistoryBuffer::new(0.0, &[0.0], &[1.0], InitialHistory::Constant(vec![0.0]));
+        // y(t) = t with ẏ = 1: Hermite reproduces it exactly everywhere.
+        for k in 1..=300 {
+            let t = k as f64 * 0.1;
+            buf.push(t, &[t], &[1.0]);
+        }
+        assert_eq!(buf.t_oldest(), 0.0);
+        buf.prune_before(20.0);
+        // The batched drain fired (well past the 64-knot hysteresis):
+        // old knots are gone, one bracketing knot at or before the
+        // horizon survives.
+        assert!(buf.t_oldest() > 0.0);
+        assert!(buf.t_oldest() <= 20.0);
+        assert!(buf.len() < 301);
+        // Samples inside the retained window are untouched.
+        for &t in &[20.0, 20.05, 25.3, 29.99] {
+            assert!((buf.sample(t, 0) - t).abs() < 1e-12, "t = {t}");
+        }
+        // Before t0 the initial history still answers (knot 0 is gone).
+        assert_eq!(buf.sample(-1.0, 0), 0.0);
+        // Pruning below the hysteresis threshold is a no-op.
+        let len = buf.len();
+        buf.prune_before(20.5);
+        assert_eq!(buf.len(), len);
     }
 
     #[test]

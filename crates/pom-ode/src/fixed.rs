@@ -7,6 +7,7 @@
 //! test suite hard numerical ground truth.
 
 use crate::error::OdeError;
+use crate::observe::{ObservedSummary, StepObserver};
 use crate::trajectory::Trajectory;
 use crate::workspace::{ScratchPool, Workspace};
 use crate::OdeSystem;
@@ -273,6 +274,75 @@ impl<S: Stepper> FixedStepSolver<S> {
             }
         }
         Ok(traj)
+    }
+
+    /// Integrate without recording a trajectory, streaming every step to
+    /// `obs` instead — the O(N)-memory fast path for long-horizon runs.
+    ///
+    /// The step loop is the same index-recomputed driver as
+    /// [`FixedStepSolver::integrate_with`] (same step sequence, same
+    /// arithmetic), so the final state is bitwise identical to that
+    /// path's last recorded sample; only the per-sample storage is gone.
+    /// The observer sees *every* step regardless of
+    /// [`FixedStepSolver::record_every`] (decimate with
+    /// [`crate::ObserveEvery`]). Non-finite states are detected at every
+    /// observed step, since the observer reads the state anyway.
+    pub fn integrate_observed<Sys: OdeSystem + ?Sized, O: StepObserver>(
+        &self,
+        sys: &Sys,
+        t0: f64,
+        y0: &[f64],
+        t_end: f64,
+        ws: &mut Workspace,
+        obs: &mut O,
+    ) -> Result<ObservedSummary, OdeError> {
+        if y0.len() != sys.dim() {
+            return Err(OdeError::DimensionMismatch {
+                expected: sys.dim(),
+                got: y0.len(),
+            });
+        }
+        // Deliberate negation: also rejects NaN endpoints.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(t_end > t0) {
+            return Err(OdeError::EmptySpan { t0, t_end });
+        }
+
+        let n = sys.dim();
+        let span = t_end - t0;
+        let n_steps = (span / self.h).ceil().max(1.0) as usize;
+
+        let (stage, drive) = ws.split();
+        let [mut y, mut y_next] = drive.slices::<2>(n);
+        y.copy_from_slice(y0);
+        let mut t = t0;
+        let mut n_eval = 0;
+
+        obs.begin(t0, y);
+        for step_idx in 1..=n_steps {
+            // Same rounding-stable target-time recomputation as the
+            // recording driver: identical step sequence by construction.
+            let t_target = if step_idx == n_steps {
+                t_end
+            } else {
+                t0 + span * (step_idx as f64 / n_steps as f64)
+            };
+            let h = t_target - t;
+            n_eval += self.stepper.step(sys, t, y, h, y_next, stage);
+            std::mem::swap(&mut y, &mut y_next);
+            t = t_target;
+            if let Some(bad) = y.iter().position(|v| !v.is_finite()) {
+                return Err(OdeError::NonFiniteDerivative { t, component: bad });
+            }
+            obs.observe_step(t, y);
+        }
+        obs.finish(t, y);
+        Ok(ObservedSummary {
+            t_end: t,
+            n_steps,
+            n_eval,
+            y_end: y.to_vec(),
+        })
     }
 
     /// Integrate an ensemble of initial conditions over the same span,

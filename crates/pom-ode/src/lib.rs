@@ -27,6 +27,9 @@
 //!   solvers.
 //! * [`events`] — post-hoc root finding on dense solutions (e.g. "when does
 //!   the order parameter cross 0.99?").
+//! * [`observe`] — streaming step observers ([`StepObserver`]) and the
+//!   `integrate_observed` entry points' shared types: online observables
+//!   over long-horizon runs with **no** per-step trajectory storage.
 //! * [`workspace`] — reusable scratch memory ([`Workspace`]) for the
 //!   allocation-free `integrate_with`/`integrate_many` fast paths.
 //!
@@ -62,6 +65,7 @@ pub mod dopri5;
 pub mod error;
 pub mod events;
 pub mod fixed;
+pub mod observe;
 pub mod trajectory;
 pub mod workspace;
 
@@ -71,6 +75,7 @@ pub use dense::{DenseSegment, DenseSolution};
 pub use dopri5::{Dopri5, SolverStats};
 pub use error::OdeError;
 pub use fixed::{Euler, FixedStepSolver, Heun, Rk4, Stepper};
+pub use observe::{NoObserver, ObserveEvery, ObservedSummary, StepObserver};
 pub use trajectory::Trajectory;
 pub use workspace::{ScratchPool, Workspace};
 

@@ -1,0 +1,236 @@
+//! Streaming step observers: online observables without a stored trajectory.
+//!
+//! Every solver in this crate can *record* its solution into a
+//! [`crate::Trajectory`] — but a recorded run of `N` oscillators over `S`
+//! steps owns `S × N` doubles, which makes long-horizon large-`N` runs
+//! (the idle-wave and desynchronization measurements at `n = 65536`)
+//! memory-bound on storage the analysis layer immediately reduces to a
+//! handful of scalars. A [`StepObserver`] inverts that: the solver hands
+//! each accepted step to the observer *as it happens*, the observer folds
+//! it into O(N) (usually O(1)) state, and nothing per-step is kept.
+//!
+//! The observed entry points (`integrate_observed` on
+//! [`crate::FixedStepSolver`], [`crate::Dopri5`], [`crate::Bs23`] and
+//! [`crate::DdeRk4`]) are separate functions from the recording paths: the
+//! classic `integrate`/`integrate_with` loops are untouched, so the
+//! no-observer paths remain bitwise identical to previous releases (the
+//! property suite asserts the observed paths against them). Observers are
+//! monomorphized (`O: StepObserver`), so a [`NoObserver`] compiles to the
+//! bare step loop.
+//!
+//! ## Call protocol
+//!
+//! For one integration the solver calls, in order:
+//!
+//! 1. [`StepObserver::begin`] once, with the initial state `(t0, y0)`;
+//! 2. [`StepObserver::observe_step`] after every *accepted* step, with the
+//!    post-step time and state (fixed-step solvers: every step; adaptive
+//!    solvers: every accepted step — rejected attempts are invisible);
+//! 3. [`StepObserver::finish`] once, with the final state at `t_end`. The
+//!    final state has always also been delivered through `observe_step`
+//!    (it is an accepted step), so `finish` marks completion rather than
+//!    delivering new data.
+//!
+//! Decimation composes via [`ObserveEvery`], which forwards every `k`-th
+//! step plus the final one under the same no-duplicate convention as the
+//! solvers' `record_every` trajectory knob.
+
+/// Receives accepted solver steps as they happen.
+///
+/// State lives in the observer (`&mut self`); implementations should keep
+/// it O(N) or smaller — storing every sample would defeat the purpose
+/// (use the recording `integrate` paths for that).
+pub trait StepObserver {
+    /// Called once before the first step with the initial state.
+    fn begin(&mut self, _t0: f64, _y0: &[f64]) {}
+
+    /// Called after every accepted step with the new time and state.
+    fn observe_step(&mut self, t: f64, y: &[f64]);
+
+    /// Called once after the last step. `(t_end, y_end)` repeats the final
+    /// `observe_step` sample; override to flush/seal derived state.
+    fn finish(&mut self, _t_end: f64, _y_end: &[f64]) {}
+}
+
+/// The do-nothing observer: monomorphizes the observed step loops down to
+/// the bare integration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoObserver;
+
+impl StepObserver for NoObserver {
+    #[inline(always)]
+    fn observe_step(&mut self, _t: f64, _y: &[f64]) {}
+}
+
+impl<O: StepObserver + ?Sized> StepObserver for &mut O {
+    fn begin(&mut self, t0: f64, y0: &[f64]) {
+        (**self).begin(t0, y0)
+    }
+    fn observe_step(&mut self, t: f64, y: &[f64]) {
+        (**self).observe_step(t, y)
+    }
+    fn finish(&mut self, t_end: f64, y_end: &[f64]) {
+        (**self).finish(t_end, y_end)
+    }
+}
+
+/// Decimating adapter: forwards `begin`, every `k`-th accepted step, and
+/// the final state.
+///
+/// Follows the solvers' `record_every` convention exactly: steps
+/// `k, 2k, 3k, …` are forwarded as they arrive, and the final step is
+/// forwarded from `finish` *only if* it was not already forwarded (so a
+/// span of `n` steps with `n % k == 0` delivers no duplicate final
+/// sample).
+#[derive(Debug)]
+pub struct ObserveEvery<O> {
+    inner: O,
+    every: usize,
+    seen: usize,
+    last_forwarded: bool,
+}
+
+impl<O: StepObserver> ObserveEvery<O> {
+    /// Forward every `k`-th step to `inner` (`k = 0` is treated as 1).
+    pub fn new(inner: O, k: usize) -> Self {
+        Self {
+            inner,
+            every: k.max(1),
+            seen: 0,
+            last_forwarded: false,
+        }
+    }
+
+    /// Recover the wrapped observer.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+
+    /// Access the wrapped observer.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// Number of accepted steps seen (forwarded or not).
+    pub fn steps_seen(&self) -> usize {
+        self.seen
+    }
+}
+
+impl<O: StepObserver> StepObserver for ObserveEvery<O> {
+    fn begin(&mut self, t0: f64, y0: &[f64]) {
+        self.seen = 0;
+        self.last_forwarded = false;
+        self.inner.begin(t0, y0);
+    }
+
+    fn observe_step(&mut self, t: f64, y: &[f64]) {
+        self.seen += 1;
+        if self.seen.is_multiple_of(self.every) {
+            self.inner.observe_step(t, y);
+            self.last_forwarded = true;
+        } else {
+            self.last_forwarded = false;
+        }
+    }
+
+    fn finish(&mut self, t_end: f64, y_end: &[f64]) {
+        if !self.last_forwarded && self.seen > 0 {
+            self.inner.observe_step(t_end, y_end);
+            self.last_forwarded = true;
+        }
+        self.inner.finish(t_end, y_end);
+    }
+}
+
+/// Test/debug observer that *does* store every forwarded sample — the
+/// ground truth the decimation and identity tests compare against.
+#[derive(Debug, Default, Clone)]
+pub struct CollectObserver {
+    /// Forwarded `(t, y)` samples, in arrival order (excludes `begin`).
+    pub samples: Vec<(f64, Vec<f64>)>,
+    /// The `begin` sample, if seen.
+    pub initial: Option<(f64, Vec<f64>)>,
+    /// Whether `finish` has been called.
+    pub finished: bool,
+}
+
+impl StepObserver for CollectObserver {
+    fn begin(&mut self, t0: f64, y0: &[f64]) {
+        self.initial = Some((t0, y0.to_vec()));
+    }
+    fn observe_step(&mut self, t: f64, y: &[f64]) {
+        self.samples.push((t, y.to_vec()));
+    }
+    fn finish(&mut self, _t_end: f64, _y_end: &[f64]) {
+        self.finished = true;
+    }
+}
+
+/// Outcome of an observed (non-recording) integration: the final state and
+/// step counters, O(N) total — the only per-run memory the observed fast
+/// paths allocate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservedSummary {
+    /// Time actually reached (== requested `t_end` on success).
+    pub t_end: f64,
+    /// Accepted steps taken.
+    pub n_steps: usize,
+    /// Right-hand-side evaluations performed.
+    pub n_eval: usize,
+    /// Final state `y(t_end)`.
+    pub y_end: Vec<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(obs: &mut impl StepObserver, n_steps: usize) {
+        obs.begin(0.0, &[0.0]);
+        for k in 1..=n_steps {
+            obs.observe_step(k as f64, &[k as f64]);
+        }
+        obs.finish(n_steps as f64, &[n_steps as f64]);
+    }
+
+    #[test]
+    fn observe_every_forwards_strided_plus_final() {
+        let mut obs = ObserveEvery::new(CollectObserver::default(), 4);
+        feed(&mut obs, 10);
+        let inner = obs.into_inner();
+        let times: Vec<f64> = inner.samples.iter().map(|s| s.0).collect();
+        assert_eq!(times, vec![4.0, 8.0, 10.0]);
+        assert!(inner.finished);
+    }
+
+    #[test]
+    fn observe_every_does_not_duplicate_exact_multiple() {
+        let mut obs = ObserveEvery::new(CollectObserver::default(), 5);
+        feed(&mut obs, 10);
+        let times: Vec<f64> = obs.into_inner().samples.iter().map(|s| s.0).collect();
+        assert_eq!(times, vec![5.0, 10.0], "10 % 5 == 0: no duplicate final");
+    }
+
+    #[test]
+    fn observe_every_zero_behaves_as_one() {
+        let mut obs = ObserveEvery::new(CollectObserver::default(), 0);
+        feed(&mut obs, 3);
+        assert_eq!(obs.steps_seen(), 3);
+        assert_eq!(obs.inner().samples.len(), 3);
+    }
+
+    #[test]
+    fn no_observer_is_inert() {
+        let mut obs = NoObserver;
+        feed(&mut obs, 5); // must simply not panic
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        let mut inner = CollectObserver::default();
+        feed(&mut &mut inner, 2);
+        assert_eq!(inner.samples.len(), 2);
+        assert!(inner.finished);
+    }
+}

@@ -1,7 +1,10 @@
 //! Property-based tests for the solver suite.
 
 use pom_ode::dde::{DdeRk4, DdeSystem, InitialHistory, PhaseHistory};
-use pom_ode::{Dopri5, Euler, FixedStepSolver, FnSystem, Heun, Rk4, Trajectory, Workspace};
+use pom_ode::observe::CollectObserver;
+use pom_ode::{
+    Bs23, Dopri5, Euler, FixedStepSolver, FnSystem, Heun, ObserveEvery, Rk4, Trajectory, Workspace,
+};
 use proptest::prelude::*;
 
 /// Linear scalar ODE ẏ = a·y has solution y₀·e^{a t}.
@@ -229,6 +232,201 @@ proptest! {
             .unwrap();
         prop_assert!(fresh == reused, "DDE workspace reuse changed the trajectory");
         prop_assert!(buf.len() > 1);
+    }
+}
+
+// --- Observed fast paths: no trajectory, bitwise identical states ---
+
+proptest! {
+    /// The fixed-step observed driver delivers exactly the samples the
+    /// recording driver stores (record_every = 1), bitwise, and its
+    /// summary repeats the final sample.
+    #[test]
+    fn fixed_observed_matches_recorded_samples(
+        a in -2.0f64..2.0,
+        y0 in 0.1f64..10.0,
+        t_end in 0.5f64..4.0,
+        h in 0.01f64..0.2,
+    ) {
+        let sys = linear_sys(a);
+        let solver = FixedStepSolver::new(Rk4, h).unwrap();
+        let traj = solver.integrate(&sys, 0.0, &[y0], t_end).unwrap();
+        let mut ws = Workspace::new();
+        let mut obs = CollectObserver::default();
+        let sum = solver
+            .integrate_observed(&sys, 0.0, &[y0], t_end, &mut ws, &mut obs)
+            .unwrap();
+        // Initial sample via begin, each step via observe_step.
+        let (t0, ref s0) = obs.initial.clone().expect("begin called");
+        prop_assert_eq!(t0.to_bits(), traj.times()[0].to_bits());
+        prop_assert_eq!(s0[0].to_bits(), traj.state(0)[0].to_bits());
+        prop_assert_eq!(obs.samples.len() + 1, traj.len());
+        for (k, (t, s)) in obs.samples.iter().enumerate() {
+            prop_assert_eq!(t.to_bits(), traj.time(k + 1).to_bits());
+            prop_assert_eq!(s[0].to_bits(), traj.state(k + 1)[0].to_bits());
+        }
+        prop_assert!(obs.finished);
+        prop_assert_eq!(sum.y_end[0].to_bits(), traj.last().unwrap()[0].to_bits());
+        prop_assert_eq!(sum.n_steps, traj.len() - 1);
+    }
+
+    /// Dopri5's observed driver runs the identical step control: same
+    /// accepted steps, bitwise-identical final state, one observer sample
+    /// per dense segment.
+    #[test]
+    fn dopri5_observed_matches_dense_path(a in -1.5f64..1.5, y0 in 0.2f64..5.0, t_end in 0.5f64..4.0) {
+        let sys = linear_sys(a);
+        let solver = Dopri5::new().rtol(1e-7).atol(1e-9);
+        let (sol, stats) = solver.integrate_with_stats(&sys, 0.0, &[y0], t_end).unwrap();
+        let mut ws = Workspace::new();
+        let mut obs = CollectObserver::default();
+        let (sum, ostats) = solver
+            .integrate_observed(&sys, 0.0, &[y0], t_end, &mut ws, &mut obs)
+            .unwrap();
+        prop_assert_eq!(stats, ostats);
+        prop_assert_eq!(sum.y_end[0].to_bits(), sol.y_end()[0].to_bits());
+        prop_assert_eq!(obs.samples.len(), sol.n_segments());
+        // Each observed sample sits at a segment end with the state the
+        // recording path accepted there.
+        for (seg, (t, _)) in sol.segments().iter().zip(&obs.samples) {
+            prop_assert_eq!(seg.t1().to_bits(), t.to_bits());
+        }
+    }
+
+    /// Bs23's observed driver: same accepted samples as the recording
+    /// path, bitwise.
+    #[test]
+    fn bs23_observed_matches_recorded(a in -1.5f64..1.5, y0 in 0.2f64..5.0) {
+        let sys = linear_sys(a);
+        let solver = Bs23::new().rtol(1e-6).atol(1e-8);
+        let (traj, stats) = solver.integrate(&sys, 0.0, &[y0], 3.0).unwrap();
+        let mut ws = Workspace::new();
+        let mut obs = CollectObserver::default();
+        let (sum, ostats) = solver
+            .integrate_observed(&sys, 0.0, &[y0], 3.0, &mut ws, &mut obs)
+            .unwrap();
+        prop_assert_eq!(stats, ostats);
+        prop_assert_eq!(obs.samples.len() + 1, traj.len());
+        for (k, (t, s)) in obs.samples.iter().enumerate() {
+            prop_assert_eq!(t.to_bits(), traj.time(k + 1).to_bits());
+            prop_assert_eq!(s[0].to_bits(), traj.state(k + 1)[0].to_bits());
+        }
+        prop_assert_eq!(sum.y_end[0].to_bits(), traj.last().unwrap()[0].to_bits());
+    }
+
+    /// The DDE observed driver with a pruned history window covering the
+    /// delay is bitwise identical to the full-history recording path.
+    #[test]
+    fn dde_observed_pruned_matches_recorded(
+        a in -0.8f64..0.8,
+        tau in 0.2f64..0.8,
+        t_end in 2.0f64..6.0,
+    ) {
+        let sys = PropLag { a, tau };
+        let solver = DdeRk4::new(0.02).unwrap();
+        let (traj, _) = solver
+            .integrate(&sys, 0.0, InitialHistory::Constant(vec![1.0]), t_end)
+            .unwrap();
+        let mut ws = Workspace::new();
+        let mut obs = CollectObserver::default();
+        let sum = solver
+            .integrate_observed(
+                &sys,
+                0.0,
+                InitialHistory::Constant(vec![1.0]),
+                t_end,
+                tau, // window exactly the delay
+                &mut ws,
+                &mut obs,
+            )
+            .unwrap();
+        prop_assert_eq!(obs.samples.len() + 1, traj.len());
+        for (k, (t, s)) in obs.samples.iter().enumerate() {
+            prop_assert_eq!(t.to_bits(), traj.time(k + 1).to_bits());
+            prop_assert_eq!(s[0].to_bits(), traj.state(k + 1)[0].to_bits());
+        }
+        prop_assert_eq!(sum.y_end[0].to_bits(), traj.last().unwrap()[0].to_bits());
+    }
+}
+
+// --- record_every end conventions: ODE and DDE agree, no duplicates ---
+
+proptest! {
+    /// Satellite regression: the "final state is always recorded"
+    /// convention must not duplicate the last sample when the step count
+    /// is an exact multiple of `record_every`, the recorded grid must be
+    /// exactly {0, k, 2k, …, n_steps}, and the new ODE knob must agree
+    /// with the DDE convention sample-for-sample.
+    #[test]
+    fn record_every_conventions_agree(
+        a in -1.0f64..1.0,
+        h in 0.01f64..0.3,
+        t_end in 0.5f64..5.0,
+        k in 1usize..9,
+    ) {
+        let n_steps = (t_end / h).ceil().max(1.0) as usize;
+        let expected_len = 1 + n_steps / k + usize::from(!n_steps.is_multiple_of(k));
+
+        let sys = linear_sys(a);
+        let ode = FixedStepSolver::new(Rk4, h).unwrap().record_every(k)
+            .integrate(&sys, 0.0, &[1.0], t_end).unwrap();
+
+        struct OdeAsDde<F: Fn(f64, &[f64], &mut [f64])>(FnSystem<F>);
+        impl<F: Fn(f64, &[f64], &mut [f64])> DdeSystem for OdeAsDde<F> {
+            fn dim(&self) -> usize { 1 }
+            fn eval(&self, t: f64, y: &[f64], _h: &dyn PhaseHistory, d: &mut [f64]) {
+                use pom_ode::OdeSystem;
+                self.0.eval(t, y, d)
+            }
+        }
+        let (dde, _) = DdeRk4::new(h).unwrap().record_every(k)
+            .integrate(&OdeAsDde(linear_sys(a)), 0.0, InitialHistory::Constant(vec![1.0]), t_end)
+            .unwrap();
+
+        for traj in [&ode, &dde] {
+            prop_assert_eq!(traj.len(), expected_len,
+                "n_steps = {}, k = {}", n_steps, k);
+            // Strictly increasing times ⇒ no duplicated final sample.
+            for w in traj.times().windows(2) {
+                prop_assert!(w[0] < w[1], "duplicate/regressing sample: {:?}", w);
+            }
+            prop_assert_eq!(traj.times().last().unwrap().to_bits(), t_end.to_bits());
+        }
+        // Same convention ⇒ same grid, sample for sample.
+        prop_assert_eq!(ode.times().len(), dde.times().len());
+        for (a_t, b_t) in ode.times().iter().zip(dde.times()) {
+            prop_assert_eq!(a_t.to_bits(), b_t.to_bits());
+        }
+        // RK4 on an ODE and DdeRk4 ignoring its history run the same
+        // arithmetic: recorded states agree bitwise too.
+        for (a_s, b_s) in ode.iter().zip(dde.iter()) {
+            prop_assert_eq!(a_s.1[0].to_bits(), b_s.1[0].to_bits());
+        }
+    }
+
+    /// ObserveEvery follows the record_every convention exactly: the
+    /// decimated observer stream equals the decimated trajectory.
+    #[test]
+    fn observe_every_matches_record_every(
+        a in -1.0f64..1.0,
+        h in 0.01f64..0.3,
+        t_end in 0.5f64..5.0,
+        k in 1usize..9,
+    ) {
+        let sys = linear_sys(a);
+        let solver = FixedStepSolver::new(Rk4, h).unwrap();
+        let traj = solver.clone().record_every(k).integrate(&sys, 0.0, &[1.0], t_end).unwrap();
+        let mut ws = Workspace::new();
+        let mut obs = ObserveEvery::new(CollectObserver::default(), k);
+        solver.integrate_observed(&sys, 0.0, &[1.0], t_end, &mut ws, &mut obs).unwrap();
+        let collected = obs.into_inner();
+        // Trajectory: initial sample + decimated steps. Observer: begin +
+        // decimated steps. Same grid.
+        prop_assert_eq!(collected.samples.len() + 1, traj.len());
+        for (s, k_idx) in collected.samples.iter().zip(1..traj.len()) {
+            prop_assert_eq!(s.0.to_bits(), traj.time(k_idx).to_bits());
+            prop_assert_eq!(s.1[0].to_bits(), traj.state(k_idx)[0].to_bits());
+        }
     }
 }
 

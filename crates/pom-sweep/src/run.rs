@@ -1,9 +1,9 @@
 //! Executing one grid point and computing its observables.
 
-use pom_analysis::{model_wave_speed, sim_wave_speed};
-use pom_core::{PomRun, SimWorkspace};
+use pom_analysis::{model_wave_speed_in, sim_wave_speed_in, RunSummaryProbe, WaveGeometry};
+use pom_core::{NoObserver, PomRun, SimSummary, SimWorkspace};
 use pom_mpisim::{SimTrace, Simulator};
-use pom_topology::{ClusterSpec, Placement};
+use pom_topology::{ClusterSpec, Placement, TopologyKind};
 
 use crate::spec::{CampaignSpec, ModelScenario, MpiScenario, Observable, Scenario, SweepError};
 use crate::value::Value;
@@ -71,6 +71,16 @@ fn execute(
     }
 }
 
+/// Wave-fit geometry of a scenario topology: periodic rings use
+/// wraparound rank distance so a front crossing the index boundary is
+/// binned at its true (short-way) distance.
+fn wave_geometry(kind: &TopologyKind) -> WaveGeometry {
+    match kind {
+        TopologyKind::Ring { .. } => WaveGeometry::Ring,
+        _ => WaveGeometry::Chain,
+    }
+}
+
 fn model_observables(
     s: &ModelScenario,
     wanted: &[Observable],
@@ -81,46 +91,85 @@ fn model_observables(
     let opts = s.sim_options();
     let init = s.initial_condition(seed);
 
-    let run = |with_inject: bool, ws: &mut SimWorkspace| -> Result<PomRun, SweepError> {
-        s.build(seed, with_inject)?
-            .simulate_with_ws(init.clone(), &opts, ws)
-            .map_err(|e| SweepError::Run(e.to_string()))
-    };
-
-    let perturbed = run(true, ws)?;
-    let wave = if needs_baseline {
+    // Wave observables need the recorded perturbed/baseline trajectory
+    // pair; everything else streams through the observer fast path with
+    // no trajectory allocated (spec parsing rejects mixtures of wave and
+    // streaming-only columns). Values are bitwise-stable within a
+    // campaign — any thread count, any resume — which is the scope the
+    // engine guarantees; *across* specs, adding/removing wave columns
+    // switches recorded ↔ streamed execution, whose final states differ
+    // in the last ULPs under the adaptive solver (resampled dense
+    // interpolant vs raw y_end; see `Pom::simulate_observed`).
+    let (summary, probe, wave): (
+        SimSummary,
+        Option<RunSummaryProbe>,
+        Option<pom_analysis::MeasuredWave>,
+    ) = if needs_baseline {
         if s.inject.is_none() {
             return Err(SweepError::Spec(
                 "wave observables need an [inject] delay to launch the wave".to_string(),
             ));
         }
+        let run = |with_inject: bool, ws: &mut SimWorkspace| -> Result<PomRun, SweepError> {
+            s.build(seed, with_inject)?
+                .simulate_with_ws(init.clone(), &opts, ws)
+                .map_err(|e| SweepError::Run(e.to_string()))
+        };
+        let perturbed = run(true, ws)?;
         let baseline = run(false, ws)?;
-        Some(model_wave_speed(
+        let wave = model_wave_speed_in(
             &perturbed,
             &baseline,
             s.wave.threshold,
             s.wave_source(),
             s.wave_max_distance(),
-        ))
+            wave_geometry(s.topology.kind()),
+        );
+        let traj = perturbed.trajectory();
+        let summary = SimSummary::from_final(
+            perturbed.omega(),
+            traj.time(traj.len() - 1),
+            traj.len().saturating_sub(1),
+            traj.last().expect("non-empty run").to_vec(),
+        );
+        (summary, None, Some(wave))
+    } else if wanted.iter().any(Observable::needs_series) {
+        let mut probe = RunSummaryProbe::new();
+        let summary = s
+            .build(seed, true)?
+            .simulate_observed_ws(init, &opts, &mut probe, ws)
+            .map_err(|e| SweepError::Run(e.to_string()))?;
+        (summary, Some(probe), None)
     } else {
-        None
+        let summary = s
+            .build(seed, true)?
+            .simulate_observed_ws(init, &opts, &mut NoObserver, ws)
+            .map_err(|e| SweepError::Run(e.to_string()))?;
+        (summary, None, None)
     };
 
     wanted
         .iter()
         .map(|o| {
             let v = match o {
-                Observable::FinalOrderParameter => perturbed.final_order_parameter(),
-                Observable::FinalPhaseSpread => perturbed.final_phase_spread(),
-                Observable::MeanAbsGap => perturbed.mean_abs_adjacent_gap(),
+                Observable::FinalOrderParameter => summary.final_order_parameter(),
+                Observable::FinalPhaseSpread => summary.final_phase_spread(),
+                Observable::MeanAbsGap => summary.mean_abs_adjacent_gap(),
                 Observable::RelErrTwoThirds => {
                     let expect = s.potential.stable_pair_separation();
                     if expect > 0.0 {
-                        (perturbed.mean_abs_adjacent_gap() - expect).abs() / expect
+                        (summary.mean_abs_adjacent_gap() - expect).abs() / expect
                     } else {
                         f64::NAN
                     }
                 }
+                Observable::MeanOrderParameter => {
+                    probe.as_ref().map_or(f64::NAN, |p| p.r.stats.mean())
+                }
+                Observable::MinOrderParameter => {
+                    probe.as_ref().map_or(f64::NAN, |p| p.r.stats.min())
+                }
+                Observable::MaxAbsGap => probe.as_ref().map_or(f64::NAN, |p| p.gaps.max_gap.max()),
                 Observable::WaveSpeed => wave
                     .as_ref()
                     .and_then(|w| w.fit.mean_speed())
@@ -165,12 +214,14 @@ fn mpisim_observables(
             ));
         }
         let baseline = run(false)?;
-        Some(sim_wave_speed(
+        // The simulator's halo exchange wraps (`i + d mod N`): a ring.
+        Some(sim_wave_speed_in(
             &perturbed,
             &baseline,
             s.wave.threshold,
             s.wave_source(),
             s.wave_max_distance(),
+            WaveGeometry::Ring,
         ))
     } else {
         None
@@ -198,7 +249,10 @@ fn mpisim_observables(
                 Observable::FinalOrderParameter
                 | Observable::FinalPhaseSpread
                 | Observable::MeanAbsGap
-                | Observable::RelErrTwoThirds => {
+                | Observable::RelErrTwoThirds
+                | Observable::MeanOrderParameter
+                | Observable::MinOrderParameter
+                | Observable::MaxAbsGap => {
                     return Err(SweepError::Spec(format!(
                         "observable `{}` needs the model workload",
                         o.name()

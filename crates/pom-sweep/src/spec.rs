@@ -104,6 +104,15 @@ pub enum Observable {
     MeanAbsGap,
     /// `|gap − 2σ/3| / (2σ/3)` — the §5.2.2 law (model, desync potential).
     RelErrTwoThirds,
+    /// Mean Kuramoto `r` over every accepted integrator step (model,
+    /// streaming-only — folded online, never stored).
+    MeanOrderParameter,
+    /// Minimum Kuramoto `r` over the run (model, streaming-only): how far
+    /// from lockstep the system ever strayed.
+    MinOrderParameter,
+    /// Largest `|adjacent phase difference|` seen at any step (model,
+    /// streaming-only): the peak wavefront steepness.
+    MaxAbsGap,
     /// Idle-wave front speed from a perturbed/baseline pair (both
     /// substrates; ranks per model time unit, or ranks/second on the
     /// simulator).
@@ -124,6 +133,9 @@ impl Observable {
             "final_spread" | "final_phase_spread" => Observable::FinalPhaseSpread,
             "mean_abs_gap" => Observable::MeanAbsGap,
             "rel_err_two_thirds" => Observable::RelErrTwoThirds,
+            "mean_r" => Observable::MeanOrderParameter,
+            "min_r" => Observable::MinOrderParameter,
+            "max_gap" => Observable::MaxAbsGap,
             "wave_speed" => Observable::WaveSpeed,
             "wave_r2" => Observable::WaveR2,
             "makespan" => Observable::Makespan,
@@ -139,6 +151,9 @@ impl Observable {
             Observable::FinalPhaseSpread => "final_spread",
             Observable::MeanAbsGap => "mean_abs_gap",
             Observable::RelErrTwoThirds => "rel_err_two_thirds",
+            Observable::MeanOrderParameter => "mean_r",
+            Observable::MinOrderParameter => "min_r",
+            Observable::MaxAbsGap => "max_gap",
             Observable::WaveSpeed => "wave_speed",
             Observable::WaveR2 => "wave_r2",
             Observable::Makespan => "makespan",
@@ -149,6 +164,18 @@ impl Observable {
     /// Wave observables need a paired baseline (no-injection) run.
     pub fn needs_baseline(&self) -> bool {
         matches!(self, Observable::WaveSpeed | Observable::WaveR2)
+    }
+
+    /// Time-resolved observables only computable by the streaming
+    /// (observer) execution path — they summarize every integrator step,
+    /// which the trajectory path never materializes at full resolution.
+    /// Incompatible with [`Observable::needs_baseline`] observables in
+    /// one campaign (those force the recorded perturbed/baseline pair).
+    pub fn needs_series(&self) -> bool {
+        matches!(
+            self,
+            Observable::MeanOrderParameter | Observable::MinOrderParameter | Observable::MaxAbsGap
+        )
     }
 }
 
@@ -213,6 +240,23 @@ impl CampaignSpec {
         };
         if observables.is_empty() {
             return Err(spec_err("campaign.observables must not be empty"));
+        }
+        // Streaming-only observables run through the observer fast path
+        // (no trajectory); wave observables force the recorded
+        // perturbed/baseline pair. Mixing them in one campaign would make
+        // the streaming values depend on which other columns were
+        // requested — reject instead.
+        let series: Vec<&str> = observables
+            .iter()
+            .filter(|o| o.needs_series())
+            .map(|o| o.name())
+            .collect();
+        if !series.is_empty() && observables.iter().any(Observable::needs_baseline) {
+            return Err(spec_err(format!(
+                "streaming observables ({}) cannot be combined with wave observables \
+                 in one campaign; run them as separate campaigns",
+                series.join(", ")
+            )));
         }
 
         let axes = match root.get("axes") {

@@ -216,6 +216,140 @@ fn failed_points_are_reported_not_fatal() {
     assert!(err.contains("quux"), "{err}");
 }
 
+/// Streaming-only observables (`mean_r`, `min_r`, `max_gap`) ride the
+/// observer fast path: no trajectory is materialized, values summarize
+/// every integrator step.
+const STREAMING_SPEC: &str = r#"
+    [campaign]
+    name = "streamed"
+    seed = 11
+    observables = ["final_r", "mean_r", "min_r", "max_gap", "final_spread"]
+
+    [model]
+    n = 8
+    potential = "tanh"
+    coupling = 6.0
+
+    [init]
+    kind = "spread"
+    amplitude = 0.8
+
+    [sim]
+    t_end = 40.0
+
+    [[axes]]
+    key = "model.coupling"
+    values = [3.0, 6.0]
+
+    [[axes]]
+    key = "model.n"
+    values = [6, 8, 10]
+"#;
+
+#[test]
+fn streaming_observables_are_consistent() {
+    let campaign = Campaign::from_str(STREAMING_SPEC).unwrap();
+    let rows = campaign.run_collect(2).unwrap();
+    assert_eq!(rows.len(), 6);
+    for row in &rows {
+        assert!(row.error.is_none(), "{:?}", row.error);
+        let get = |name: &str| {
+            row.observables
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        let (final_r, mean_r, min_r, max_gap) =
+            (get("final_r"), get("mean_r"), get("min_r"), get("max_gap"));
+        // A tanh-coupled run resynchronizes: r climbs towards 1, so the
+        // streamed extremes must bracket the streamed mean and the final.
+        assert!(final_r > 0.99, "final_r {final_r}");
+        assert!(
+            min_r <= mean_r && mean_r <= 1.0 + 1e-12,
+            "min {min_r} mean {mean_r}"
+        );
+        assert!(min_r <= final_r, "min {min_r} vs final {final_r}");
+        assert!(min_r < 0.999, "a spread start is not yet synchronized");
+        // The peak gap can't be below the (tiny) final gap.
+        assert!(max_gap > 0.0 && max_gap.is_finite());
+    }
+}
+
+#[test]
+fn streaming_rows_identical_across_thread_counts() {
+    let campaign = Campaign::from_str(STREAMING_SPEC).unwrap();
+    let serial = campaign.run_jsonl_string(1).unwrap();
+    let parallel = campaign.run_jsonl_string(4).unwrap();
+    assert_eq!(serial, parallel);
+}
+
+/// Streaming observables cannot share a campaign with wave observables
+/// (the latter force the recorded trajectory pair, and the streamed
+/// values must not depend on which other columns were requested).
+#[test]
+fn streaming_plus_wave_is_rejected_at_parse() {
+    let err = Campaign::from_str(
+        r#"
+        [campaign]
+        observables = ["mean_r", "wave_speed"]
+        [model]
+        n = 8
+        [inject]
+        rank = 2
+        "#,
+    )
+    .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("mean_r") && msg.contains("wave"), "{msg}");
+}
+
+/// Satellite regression: a torn JSONL write *of a streamed summary row*
+/// must be re-run on resume, and the resumed file must be bitwise
+/// identical to a clean single-pass run at any thread count.
+#[test]
+fn resume_after_torn_summary_row_is_bitwise_clean() {
+    let campaign = Campaign::from_str(STREAMING_SPEC).unwrap();
+    let path = tmp_path("torn-summary");
+    let _ = std::fs::remove_file(&path);
+
+    // Reference: clean single-pass run (single-threaded).
+    campaign.run_jsonl_file(&path, 1, false).unwrap();
+    let clean = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(clean.lines().count(), 7);
+
+    for threads in [1usize, 3, 8] {
+        // Interrupt mid-write: header + 3 full rows + a summary row torn
+        // in the middle of its observables object.
+        let mut torn: Vec<&str> = clean.lines().take(4).collect();
+        let row4 = clean.lines().nth(4).unwrap();
+        let cut_at = row4.find("\"observables\"").expect("summary row") + 24;
+        let cut = &row4[..cut_at.min(row4.len() - 2)];
+        torn.push(cut);
+        std::fs::write(&path, torn.join("\n")).unwrap();
+
+        // The torn point (index 3) and everything after must re-run.
+        assert_eq!(campaign.missing_points(&path).unwrap(), vec![3, 4, 5]);
+        let summary = campaign.run_jsonl_file(&path, threads, true).unwrap();
+        assert_eq!(summary.skipped, 3);
+        assert_eq!(summary.executed, 3);
+
+        // Bitwise identical to the clean pass — modulo row order (resumed
+        // rows append after surviving ones) and the torn fragment, which
+        // stays in the file but is ignored by every scanner.
+        let resumed = std::fs::read_to_string(&path).unwrap();
+        let mut clean_lines: Vec<&str> = clean.lines().collect();
+        let mut resumed_lines: Vec<&str> = resumed.lines().filter(|l| *l != cut).collect();
+        clean_lines.sort_unstable();
+        resumed_lines.sort_unstable();
+        assert_eq!(
+            clean_lines, resumed_lines,
+            "threads = {threads}: resumed file must match the clean run bitwise"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
 #[test]
 fn wave_speed_campaign_measures_moving_front() {
     let campaign = Campaign::from_str(
