@@ -563,6 +563,14 @@ fn main() {
     println!("    ]");
     println!("  }},");
 
+    // --- The campaign daemon ---------------------------------------------
+    // Job throughput and submit-to-first-row latency through the full
+    // pom-serve stack (socket → HTTP parse → spec parse → spool write →
+    // scheduler → worker → flushed row → chunked stream back), at 1, 4
+    // and 8 concurrent clients. Each job is a single cheap point, so the
+    // columns measure daemon overhead, not integration time.
+    serve_bench(smoke);
+
     // Campaign throughput: fresh workspace per point vs one reused
     // workspace (what the executor's workers now do). Both already use
     // the allocation-free step loop — the per-step-allocation removal
@@ -601,4 +609,148 @@ fn main() {
         reused_pps / fresh_pps
     );
     println!("}}");
+}
+
+// --- pom-serve daemon bench -------------------------------------------------
+
+/// One-point campaign for the daemon bench: cheap enough (~100 µs) that
+/// submit-to-first-row latency is daemon overhead, not integration time.
+const SERVE_SPEC: &str = r#"
+    [campaign]
+    name = "serve-bench"
+    seed = 9
+    observables = ["final_r"]
+    [model]
+    n = 6
+    [sim]
+    t_end = 5.0
+    samples = 10
+    [[axes]]
+    key = "model.coupling"
+    values = [4.0]
+"#;
+
+/// Minimal blocking HTTP request against the embedded daemon; returns
+/// the raw response (status line, headers, body).
+fn serve_http(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to daemon");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("read response");
+    out
+}
+
+/// Submit one job and block until its first result row arrives on a
+/// `follow=1` stream; returns the submit→first-row latency in seconds.
+fn serve_one_job(addr: std::net::SocketAddr) -> f64 {
+    use std::io::{Read, Write};
+    let t0 = Instant::now();
+    let created = serve_http(addr, "POST", "/jobs", SERVE_SPEC);
+    assert!(
+        created.starts_with("HTTP/1.1 201"),
+        "submit failed: {created}"
+    );
+    let id_tag = "\"job\":\"";
+    let start = created.find(id_tag).expect("job id") + id_tag.len();
+    let end = created[start..].find('"').unwrap() + start;
+    let id = &created[start..end];
+
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect for stream");
+    write!(
+        stream,
+        "GET /jobs/{id}/rows?follow=1 HTTP/1.1\r\nHost: bench\r\nContent-Length: 0\r\n\r\n"
+    )
+    .expect("send stream request");
+    let mut seen = String::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        let n = stream.read(&mut buf).expect("read stream");
+        assert!(n > 0, "stream closed before the first row: {seen}");
+        seen.push_str(&String::from_utf8_lossy(&buf[..n]));
+        // The header line has no "point" key; the first row does.
+        if seen.contains("\"point\"") {
+            return t0.elapsed().as_secs_f64();
+        }
+    }
+}
+
+fn percentile_ms(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx] * 1e3
+}
+
+/// Jobs/sec and submit-to-first-row latency through the daemon at
+/// several client concurrencies. Emits the `"serve"` JSON section.
+fn serve_bench(smoke: bool) {
+    use pom_serve::{ServeConfig, Server, StopMode};
+
+    let spool = std::env::temp_dir().join(format!("pom-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spool);
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        spool: spool.clone(),
+        threads: 0,
+        max_jobs: 64,
+        handle_signals: false,
+    })
+    .expect("start daemon");
+    let addr = server.addr();
+
+    let clients_list: &[usize] = if smoke { &[1, 2] } else { &[1, 4, 8] };
+    let jobs_per_client = if smoke { 2 } else { 25 };
+
+    println!("  \"serve\": {{");
+    println!("    \"spec\": \"1-point campaign (n=6, t_end=5): latency is daemon overhead, not integration\",");
+    println!("    \"jobs_per_client\": {jobs_per_client},");
+    println!("    \"rows\": [");
+    let mut expected_jobs = 0usize;
+    for (idx, &clients) in clients_list.iter().enumerate() {
+        let t0 = Instant::now();
+        let handles: Vec<std::thread::JoinHandle<Vec<f64>>> = (0..clients)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    (0..jobs_per_client).map(|_| serve_one_job(addr)).collect()
+                })
+            })
+            .collect();
+        let mut latencies: Vec<f64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect();
+        let wall = t0.elapsed().as_secs_f64();
+        expected_jobs += clients * jobs_per_client;
+
+        latencies.sort_by(f64::total_cmp);
+        let jobs = latencies.len();
+        let comma = if idx + 1 == clients_list.len() {
+            ""
+        } else {
+            ","
+        };
+        println!(
+            "      {{\"clients\": {clients}, \"jobs\": {jobs}, \"jobs_per_sec\": {:.1}, \
+             \"submit_to_first_row_p50_ms\": {:.2}, \"submit_to_first_row_p99_ms\": {:.2}}}{comma}",
+            jobs as f64 / wall,
+            percentile_ms(&latencies, 50.0),
+            percentile_ms(&latencies, 99.0),
+        );
+    }
+    println!("    ]");
+    println!("  }},");
+
+    // Correctness gate: every submitted job must have drained to done
+    // with exactly its one row durable.
+    let summary = server.stop(StopMode::Drain);
+    assert_eq!(
+        summary.done, expected_jobs,
+        "daemon bench left jobs unfinished"
+    );
+    assert_eq!(summary.rows_written, expected_jobs);
+    let _ = std::fs::remove_dir_all(&spool);
 }

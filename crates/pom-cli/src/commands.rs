@@ -76,6 +76,7 @@ where
         "fig2" => cmd_fig2(&cfg),
         "simulate" => cmd_simulate(&cfg),
         "sweep" => cmd_sweep(&positional, &cfg),
+        "serve" => cmd_serve(&cfg),
         "wave-sweep" => cmd_wave_sweep(&cfg),
         "sigma-sweep" => cmd_sigma_sweep(&cfg),
         other => Err(CliError::UnknownCommand(other.to_string())),
@@ -104,6 +105,10 @@ pub fn help() -> String {
      \x20 sweep        <spec.toml> [threads=0 out=… format=jsonl|csv resume=0|1]\n\
      \x20                                             run a declarative scenario campaign on all\n\
      \x20                                             cores, streaming one result row per point\n\
+     \x20 serve        [addr=127.0.0.1:7700 spool=pom-spool threads=0 max-jobs=16]\n\
+     \x20                                             campaign daemon: submit specs over HTTP,\n\
+     \x20                                             poll status, stream JSONL rows, cancel,\n\
+     \x20                                             resume; crash-safe spool, SIGTERM drains\n\
      \x20 wave-sweep   [n=40 t_end=80]                idle-wave speed vs. coupling βκ (§5.1.1)\n\
      \x20 sigma-sweep  [n=24 t_end=300]               phase gap vs. interaction horizon σ (§5.2.2)\n\
      \x20 help                                        this text\n"
@@ -629,6 +634,36 @@ pub fn cmd_sweep(positional: &[String], cfg: &Config) -> Result<String, CliError
     Ok(out)
 }
 
+/// `pom serve`: run the campaign daemon until `POST /shutdown` or a
+/// termination signal, then drain and report.
+pub fn cmd_serve(cfg: &Config) -> Result<String, CliError> {
+    let config = pom_serve::ServeConfig {
+        addr: cfg.str_or("addr", "127.0.0.1:7700"),
+        spool: std::path::PathBuf::from(cfg.str_or("spool", "pom-spool")),
+        threads: cfg.usize_or("threads", 0)?,
+        max_jobs: cfg.usize_or("max-jobs", 16)?.max(1),
+        handle_signals: true,
+    };
+    let spool = config.spool.display().to_string();
+    let server = pom_serve::Server::start(config).map_err(|e| CliError::Run(e.to_string()))?;
+    // The daemon blocks until shutdown; announce readiness immediately
+    // instead of via the (post-shutdown) report string.
+    println!("pom serve: listening on http://{}", server.addr());
+    println!("pom serve: spool at {spool}; POST /shutdown or SIGTERM stops with a drain");
+    let s = server.join();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "# pom serve: drained and stopped");
+    let _ = writeln!(
+        out,
+        "jobs: {} total — {} done, {} incomplete (auto-resume on restart), \
+         {} cancelled, {} failed",
+        s.jobs, s.done, s.running, s.cancelled, s.failed
+    );
+    let _ = writeln!(out, "rows written: {}", s.rows_written);
+    Ok(out)
+}
+
 /// §5.1.1: idle-wave speed vs. coupling βκ in the model — a canned
 /// campaign on the sweep engine.
 pub fn cmd_wave_sweep(cfg: &Config) -> Result<String, CliError> {
@@ -767,6 +802,7 @@ mod tests {
             "fig2",
             "simulate",
             "sweep",
+            "serve",
             "wave-sweep",
             "sigma-sweep",
         ] {

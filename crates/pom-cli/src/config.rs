@@ -3,202 +3,41 @@
 //!
 //! Example: `pom simulate n=40 potential=desync sigma=3 tcomp=0.9
 //! tcomm=0.1 distances=-1,1 t_end=120 init=sync view=circle`.
+//!
+//! The actual parsing and typing live in [`pom_sweep::args`]: one shared
+//! typed-argument table serves the CLI, the `pom serve` daemon's HTTP
+//! query strings, and the serve options — so every surface accepts and
+//! rejects identical inputs (including the spec-file number grammar:
+//! `1.5e-3`, `1_000`). This module just re-exports it under the CLI's
+//! historical names.
 
-use std::collections::BTreeMap;
-use std::fmt;
-
-/// Configuration errors with the offending key for actionable messages.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ConfigError {
-    /// An argument was not of the form `key=value`.
-    Malformed(String),
-    /// A key appeared twice.
-    Duplicate(String),
-    /// A required key is missing.
-    Missing(&'static str),
-    /// A value failed to parse.
-    BadValue {
-        /// The key.
-        key: String,
-        /// The raw value.
-        value: String,
-        /// What was expected.
-        expected: &'static str,
-    },
-}
-
-impl fmt::Display for ConfigError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ConfigError::Malformed(arg) => write!(f, "`{arg}` is not of the form key=value"),
-            ConfigError::Duplicate(key) => write!(f, "key `{key}` given twice"),
-            ConfigError::Missing(key) => write!(f, "missing required key `{key}`"),
-            ConfigError::BadValue {
-                key,
-                value,
-                expected,
-            } => {
-                write!(f, "`{key}={value}`: expected {expected}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for ConfigError {}
-
-/// Parsed `key=value` arguments.
-#[derive(Debug, Clone, Default)]
-pub struct Config {
-    values: BTreeMap<String, String>,
-}
-
-impl Config {
-    /// Parse a list of `key=value` strings.
-    pub fn parse<I, S>(args: I) -> Result<Self, ConfigError>
-    where
-        I: IntoIterator<Item = S>,
-        S: AsRef<str>,
-    {
-        let mut values = BTreeMap::new();
-        for arg in args {
-            let arg = arg.as_ref();
-            let Some((k, v)) = arg.split_once('=') else {
-                return Err(ConfigError::Malformed(arg.to_string()));
-            };
-            if values
-                .insert(k.trim().to_string(), v.trim().to_string())
-                .is_some()
-            {
-                return Err(ConfigError::Duplicate(k.to_string()));
-            }
-        }
-        Ok(Self { values })
-    }
-
-    /// Raw lookup.
-    pub fn get(&self, key: &str) -> Option<&str> {
-        self.values.get(key).map(String::as_str)
-    }
-
-    /// All keys (for unknown-key diagnostics).
-    pub fn keys(&self) -> impl Iterator<Item = &str> {
-        self.values.keys().map(String::as_str)
-    }
-
-    /// `f64` with default.
-    pub fn f64_or(&self, key: &'static str, default: f64) -> Result<f64, ConfigError> {
-        match self.get(key) {
-            None => Ok(default),
-            Some(v) => v.parse().map_err(|_| ConfigError::BadValue {
-                key: key.into(),
-                value: v.into(),
-                expected: "a number",
-            }),
-        }
-    }
-
-    /// `usize` with default.
-    pub fn usize_or(&self, key: &'static str, default: usize) -> Result<usize, ConfigError> {
-        match self.get(key) {
-            None => Ok(default),
-            Some(v) => v.parse().map_err(|_| ConfigError::BadValue {
-                key: key.into(),
-                value: v.into(),
-                expected: "a non-negative integer",
-            }),
-        }
-    }
-
-    /// `u64` with default.
-    pub fn u64_or(&self, key: &'static str, default: u64) -> Result<u64, ConfigError> {
-        match self.get(key) {
-            None => Ok(default),
-            Some(v) => v.parse().map_err(|_| ConfigError::BadValue {
-                key: key.into(),
-                value: v.into(),
-                expected: "a non-negative integer",
-            }),
-        }
-    }
-
-    /// String with default.
-    pub fn str_or(&self, key: &str, default: &str) -> String {
-        self.get(key).unwrap_or(default).to_string()
-    }
-
-    /// Comma-separated signed integers (e.g. `distances=-2,-1,1`).
-    pub fn i32_list_or(&self, key: &'static str, default: &[i32]) -> Result<Vec<i32>, ConfigError> {
-        match self.get(key) {
-            None => Ok(default.to_vec()),
-            Some(v) => v
-                .split(',')
-                .map(|p| {
-                    p.trim().parse().map_err(|_| ConfigError::BadValue {
-                        key: key.into(),
-                        value: v.into(),
-                        expected: "comma-separated integers",
-                    })
-                })
-                .collect(),
-        }
-    }
-}
+pub use pom_sweep::args::{ArgError as ConfigError, TypedArgs as Config};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    // The typed accessors themselves are tested in `pom_sweep::args`;
+    // these pin the CLI-facing aliases and error surface.
+
     #[test]
-    fn parses_key_values() {
-        let c = Config::parse(["n=40", "sigma=3.0", "distances=-1,1"]).unwrap();
-        assert_eq!(c.get("n"), Some("40"));
+    fn aliases_parse_key_values() {
+        let c = Config::parse(["n=40", "sigma=3.0"]).unwrap();
         assert_eq!(c.usize_or("n", 0).unwrap(), 40);
         assert_eq!(c.f64_or("sigma", 0.0).unwrap(), 3.0);
-        assert_eq!(c.i32_list_or("distances", &[]).unwrap(), vec![-1, 1]);
     }
 
     #[test]
-    fn defaults_apply() {
-        let c = Config::parse(Vec::<String>::new()).unwrap();
-        assert_eq!(c.f64_or("tcomp", 0.9).unwrap(), 0.9);
-        assert_eq!(c.usize_or("n", 40).unwrap(), 40);
-        assert_eq!(c.str_or("potential", "tanh"), "tanh");
-        assert_eq!(c.i32_list_or("distances", &[-1, 1]).unwrap(), vec![-1, 1]);
-    }
-
-    #[test]
-    fn whitespace_tolerated() {
-        let c = Config::parse(["n = 7"]).unwrap();
-        assert_eq!(c.usize_or("n", 0).unwrap(), 7);
-    }
-
-    #[test]
-    fn errors_are_specific() {
+    fn error_alias_matches() {
         assert_eq!(
             Config::parse(["oops"]).unwrap_err(),
             ConfigError::Malformed("oops".into())
         );
-        assert_eq!(
-            Config::parse(["a=1", "a=2"]).unwrap_err(),
-            ConfigError::Duplicate("a".into())
-        );
-        let c = Config::parse(["n=abc"]).unwrap();
-        assert!(matches!(
-            c.usize_or("n", 0),
-            Err(ConfigError::BadValue { .. })
-        ));
-        let c = Config::parse(["distances=1,x"]).unwrap();
-        assert!(c.i32_list_or("distances", &[]).is_err());
-    }
-
-    #[test]
-    fn error_messages_name_the_key() {
         let e = ConfigError::BadValue {
             key: "sigma".into(),
             value: "x".into(),
             expected: "a number",
         };
         assert!(e.to_string().contains("sigma"));
-        assert!(ConfigError::Missing("n").to_string().contains('n'));
     }
 }

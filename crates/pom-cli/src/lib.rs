@@ -9,6 +9,7 @@
 //! | `scaling` | Fig. 1(b): per-socket bandwidth scaling of the three kernels |
 //! | `fig2` | one corner case of Fig. 2 on both substrates |
 //! | `simulate` | a fully parameterized oscillator-model run with the three result views |
+//! | `serve` | the campaign daemon: HTTP job API over the sweep engine |
 //! | `wave-sweep` | §5.1.1: idle-wave speed vs. coupling βκ |
 //! | `sigma-sweep` | §5.2.2: asymptotic phase gap vs. interaction horizon σ |
 //!

@@ -1,0 +1,209 @@
+//! HTTP route dispatch: maps requests onto [`JobManager`] operations.
+//!
+//! | Method & path            | Meaning                                           |
+//! |--------------------------|---------------------------------------------------|
+//! | `GET  /healthz`          | liveness probe                                    |
+//! | `POST /jobs`             | submit a campaign spec (TOML/JSON body) → `201`   |
+//! | `GET  /jobs`             | status of every job                               |
+//! | `GET  /jobs/{id}`        | status of one job                                 |
+//! | `GET  /jobs/{id}/rows`   | chunked JSONL result stream (`?follow=1` tails)   |
+//! | `POST /jobs/{id}/cancel` | stop scheduling the job, keep partial results     |
+//! | `POST /jobs/{id}/resume` | re-queue a cancelled job's missing points         |
+//! | `POST /shutdown`         | graceful daemon stop (drain in-flight, flush)     |
+//!
+//! Backpressure is explicit: a submit past the active-job bound answers
+//! `429 Too Many Requests`. Query strings are validated through the same
+//! [`TypedArgs`] layer the CLI uses, so `follow=yes` and `follow=2`
+//! succeed and fail identically in both front ends.
+
+use std::fs;
+use std::io::{self, Read as _};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use pom_sweep::value::write_json_str;
+use pom_sweep::TypedArgs;
+
+use crate::http::{self, Request, RequestError};
+use crate::job::{JobManager, JobOpError, SubmitError};
+
+/// Upper bound on one wait for new rows while tailing a stream; the
+/// manager's progress condvar wakes the stream much sooner when a row
+/// actually lands. The bound only caps how late the stream notices
+/// daemon shutdown.
+const FOLLOW_WAIT: Duration = Duration::from_millis(100);
+
+/// Render `{"error": msg}`.
+pub fn error_json(msg: &str) -> String {
+    let mut out = String::with_capacity(msg.len() + 12);
+    out.push_str("{\"error\":");
+    write_json_str(msg, &mut out);
+    out.push('}');
+    out
+}
+
+/// Serve one connection: read a request, dispatch it, answer, close.
+/// Transport errors are swallowed — the client is gone either way.
+pub fn handle_connection(mut stream: TcpStream, manager: &Arc<JobManager>, stopping: &AtomicBool) {
+    // The accepted socket can inherit the listener's non-blocking mode.
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_nodelay(true);
+    let req = match http::read_request(&mut stream) {
+        Ok(req) => req,
+        Err(RequestError::Closed) => return,
+        Err(RequestError::Io(_)) => return,
+        Err(RequestError::Bad(status, msg)) => {
+            let _ = http::respond_json(&mut stream, status, &error_json(&msg));
+            return;
+        }
+    };
+    let _ = route(&mut stream, &req, manager, stopping);
+}
+
+fn route(
+    stream: &mut TcpStream,
+    req: &Request,
+    manager: &Arc<JobManager>,
+    stopping: &AtomicBool,
+) -> io::Result<()> {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => http::respond_json(stream, 200, "{\"ok\":true}"),
+
+        ("POST", ["jobs"]) => submit(stream, req, manager),
+
+        ("GET", ["jobs"]) => {
+            let mut out = String::from("[");
+            for (i, status) in manager.list().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&status.to_json());
+            }
+            out.push(']');
+            http::respond_json(stream, 200, &out)
+        }
+
+        ("GET", ["jobs", id]) => match manager.status(id) {
+            Some(status) => http::respond_json(stream, 200, &status.to_json()),
+            None => not_found(stream, id),
+        },
+
+        ("GET", ["jobs", id, "rows"]) => stream_rows(stream, req, manager, id, stopping),
+
+        ("POST", ["jobs", id, "cancel"]) => job_op(stream, id, manager.cancel(id)),
+        ("POST", ["jobs", id, "resume"]) => job_op(stream, id, manager.resume(id)),
+
+        ("POST", ["shutdown"]) => {
+            stopping.store(true, Ordering::SeqCst);
+            http::respond_json(stream, 200, "{\"stopping\":true}")
+        }
+
+        (_, ["healthz" | "jobs" | "shutdown", ..]) => http::respond_json(
+            stream,
+            405,
+            &error_json(&format!("{} not allowed on {}", req.method, req.path)),
+        ),
+        _ => http::respond_json(
+            stream,
+            404,
+            &error_json(&format!("no route for {} {}", req.method, req.path)),
+        ),
+    }
+}
+
+fn not_found(stream: &mut TcpStream, id: &str) -> io::Result<()> {
+    http::respond_json(stream, 404, &error_json(&format!("no such job `{id}`")))
+}
+
+fn submit(stream: &mut TcpStream, req: &Request, manager: &Arc<JobManager>) -> io::Result<()> {
+    let Ok(body) = std::str::from_utf8(&req.body) else {
+        return http::respond_json(stream, 400, &error_json("spec body is not valid UTF-8"));
+    };
+    match manager.submit(body) {
+        Ok(status) => http::respond_json(stream, 201, &status.to_json()),
+        Err(e @ SubmitError::Spec(_)) => {
+            http::respond_json(stream, 400, &error_json(&e.to_string()))
+        }
+        Err(e @ SubmitError::QueueFull { .. }) => {
+            http::respond_json(stream, 429, &error_json(&e.to_string()))
+        }
+        Err(e @ SubmitError::Io(_)) => http::respond_json(stream, 500, &error_json(&e.to_string())),
+    }
+}
+
+fn job_op(
+    stream: &mut TcpStream,
+    id: &str,
+    result: Result<crate::job::JobStatus, JobOpError>,
+) -> io::Result<()> {
+    match result {
+        Ok(status) => http::respond_json(stream, 200, &status.to_json()),
+        Err(JobOpError::NotFound) => not_found(stream, id),
+        Err(e @ JobOpError::Conflict(_)) => {
+            http::respond_json(stream, 409, &error_json(&e.to_string()))
+        }
+        Err(e @ JobOpError::Io(_)) => http::respond_json(stream, 500, &error_json(&e.to_string())),
+    }
+}
+
+/// Stream a job's `results.jsonl` as chunked JSONL. With `follow=1` the
+/// stream tails the file until the job quiesces (done / cancelled with no
+/// in-flight points) or the daemon stops; rows flushed by the workers
+/// appear with at most one poll interval of latency.
+fn stream_rows(
+    stream: &mut TcpStream,
+    req: &Request,
+    manager: &Arc<JobManager>,
+    id: &str,
+    stopping: &AtomicBool,
+) -> io::Result<()> {
+    // Same typed-argument layer as the CLI: identical accept/reject.
+    let args = match TypedArgs::from_pairs(req.query.iter().map(|(k, v)| (k, v))) {
+        Ok(args) => args,
+        Err(e) => return http::respond_json(stream, 400, &error_json(&e.to_string())),
+    };
+    if let Some(unknown) = args.keys().find(|k| *k != "follow") {
+        return http::respond_json(
+            stream,
+            400,
+            &error_json(&format!("unknown query parameter `{unknown}`")),
+        );
+    }
+    let follow = match args.bool_or("follow", false) {
+        Ok(v) => v,
+        Err(e) => return http::respond_json(stream, 400, &error_json(&e.to_string())),
+    };
+
+    let Some(path) = manager.results_path(id) else {
+        return not_found(stream, id);
+    };
+    let mut file = match fs::File::open(&path) {
+        Ok(f) => f,
+        Err(e) => return http::respond_json(stream, 500, &error_json(&e.to_string())),
+    };
+
+    http::begin_chunked(stream, 200, "application/x-ndjson")?;
+    let mut buf = vec![0u8; 64 * 1024];
+    loop {
+        // Observe quiescence BEFORE the read: any row durable before this
+        // observation is visible to the read below, so no row can slip
+        // between "saw quiescent" and "saw EOF".
+        let done = manager.quiescent(id).unwrap_or(true) || stopping.load(Ordering::Relaxed);
+        let n = file.read(&mut buf)?;
+        if n > 0 {
+            http::write_chunk(stream, &buf[..n])?;
+            continue;
+        }
+        if done || !follow {
+            break;
+        }
+        manager.wait_progress(FOLLOW_WAIT);
+    }
+    http::end_chunked(stream)
+}

@@ -1,0 +1,201 @@
+//! A minimal hand-rolled HTTP/1.1 layer.
+//!
+//! The build environment has no registry access, so instead of an async
+//! stack this module implements exactly what the job API needs over
+//! `std::net`: blocking request parsing (request line, headers,
+//! `Content-Length` body), plain responses, and chunked transfer encoding
+//! for the row streams. One thread per connection; every response closes
+//! the connection (`Connection: close`), which keeps the state machine
+//! trivial and is plenty for a campaign-submission workload where the
+//! expensive part is the integration, not the socket.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted request body (campaign specs are small; a bound keeps
+/// a misbehaving client from ballooning the daemon).
+pub const MAX_BODY: usize = 16 * 1024 * 1024;
+
+/// Largest accepted request line / header line.
+const MAX_LINE: usize = 64 * 1024;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, `DELETE`, …
+    pub method: String,
+    /// Path without the query string (e.g. `/jobs/j1/rows`).
+    pub path: String,
+    /// Query pairs in arrival order, split on `&` and `=`. No
+    /// percent-decoding — the API's keys and values are all URL-safe.
+    pub query: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// Read error carrying the HTTP status the connection should answer with.
+#[derive(Debug)]
+pub enum RequestError {
+    /// Client closed without sending a request (not an error to report).
+    Closed,
+    /// Malformed request; respond with the given status + message.
+    Bad(u16, String),
+    /// Transport failure.
+    Io(io::Error),
+}
+
+impl From<io::Error> for RequestError {
+    fn from(e: io::Error) -> Self {
+        RequestError::Io(e)
+    }
+}
+
+fn read_crlf_line(r: &mut impl BufRead) -> Result<String, RequestError> {
+    let mut line = String::new();
+    let n = r
+        .by_ref()
+        .take(MAX_LINE as u64)
+        .read_line(&mut line)
+        .map_err(RequestError::Io)?;
+    if n == 0 {
+        return Err(RequestError::Closed);
+    }
+    if !line.ends_with('\n') {
+        return Err(RequestError::Bad(431, "header line too long".into()));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// Parse one request from the stream.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
+    let mut reader = BufReader::new(stream);
+    let request_line = read_crlf_line(&mut reader)?;
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(RequestError::Bad(
+            400,
+            format!("malformed request line `{request_line}`"),
+        ));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestError::Bad(505, format!("unsupported {version}")));
+    }
+
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q),
+        None => (target.to_string(), ""),
+    };
+    let query: Vec<(String, String)> = query_str
+        .split('&')
+        .filter(|s| !s.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (pair.to_string(), "1".to_string()),
+        })
+        .collect();
+
+    // Headers: only Content-Length matters to this API.
+    let mut content_length: usize = 0;
+    loop {
+        let line = read_crlf_line(&mut reader)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| RequestError::Bad(400, format!("bad Content-Length `{value}`")))?;
+            if content_length > MAX_BODY {
+                return Err(RequestError::Bad(
+                    413,
+                    format!("body of {content_length} bytes exceeds the {MAX_BODY} limit"),
+                ));
+            }
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(RequestError::Io)?;
+    Ok(Request {
+        method: method.to_string(),
+        path,
+        query,
+        body,
+    })
+}
+
+/// The standard reason phrase for the statuses this API uses.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Write a complete (non-chunked) response and flush.
+pub fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Write a JSON response.
+pub fn respond_json(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    respond(stream, status, "application/json", body)
+}
+
+/// Begin a chunked response (the row streams).
+pub fn begin_chunked(stream: &mut TcpStream, status: u16, content_type: &str) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+        reason(status)
+    )
+}
+
+/// Write one chunk (skips empty input: an empty chunk terminates the
+/// stream in the chunked encoding).
+pub fn write_chunk(stream: &mut TcpStream, data: &[u8]) -> io::Result<()> {
+    if data.is_empty() {
+        return Ok(());
+    }
+    write!(stream, "{:x}\r\n", data.len())?;
+    stream.write_all(data)?;
+    stream.write_all(b"\r\n")?;
+    stream.flush()
+}
+
+/// Terminate a chunked response.
+pub fn end_chunked(stream: &mut TcpStream) -> io::Result<()> {
+    stream.write_all(b"0\r\n\r\n")?;
+    stream.flush()
+}

@@ -1,0 +1,713 @@
+//! The multi-tenant job manager.
+//!
+//! One [`JobManager`] owns every campaign the daemon knows about and the
+//! scheduling state shared by the worker pool:
+//!
+//! * **Submission** parses the spec (the same TOML/JSON bodies the CLI
+//!   accepts, byte-for-byte), persists it to the spool, writes the JSONL
+//!   header, and enqueues the job's grid points. A bounded number of
+//!   *active* jobs gives explicit backpressure: submits beyond
+//!   [`JobManager::max_jobs`] are rejected (the API answers HTTP 429)
+//!   instead of queueing unboundedly.
+//! * **Fair scheduling**: active jobs sit in a round-robin ring; each
+//!   worker pull takes the ring's front job, claims its next pending
+//!   point, and rotates the job to the back. Concurrent campaigns
+//!   therefore interleave at *point* granularity — a huge sweep cannot
+//!   starve a small one — while each job's points are still claimed in
+//!   ascending index order, which keeps the in-order JSONL emission
+//!   window tight.
+//! * **Determinism**: a row depends only on `(spec, point index)` — the
+//!   per-point seed derives from the index — and rows are written strictly
+//!   in ascending pending order through a per-job reorder buffer. However
+//!   jobs interleave, whatever the worker count, and across any number of
+//!   cancel/crash/resume cycles, a job's `results.jsonl` is bitwise
+//!   identical to a single uninterrupted `pom sweep` run.
+//! * **Crash safety**: every row is flushed as one write before the
+//!   reorder window advances, so the file is always a valid prefix in
+//!   emission order. [`JobManager::open`] re-scans the spool and
+//!   auto-resumes incomplete jobs via the standard
+//!   [`pom_sweep::scan_completed`] machinery.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use pom_core::SimWorkspace;
+use pom_sweep::sink::header_json;
+use pom_sweep::value::write_json_str;
+use pom_sweep::{run_point_ws, scan_completed, CampaignSpec, PointRow};
+
+use crate::spool;
+
+/// Lifecycle of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Points pending or in flight; the scheduler may dispatch from it.
+    Running,
+    /// Every grid point has a durable row.
+    Done,
+    /// Cancelled by a client; keeps its partial results and may resume.
+    Cancelled,
+    /// Unrecoverable (result-file hash mismatch, sink I/O failure, …).
+    Failed,
+}
+
+impl JobState {
+    /// Lower-case wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Cancelled => "cancelled",
+            JobState::Failed => "failed",
+        }
+    }
+}
+
+/// A point-granular progress snapshot of one job.
+#[derive(Debug, Clone)]
+pub struct JobStatus {
+    /// Job id (`j1`, `j2`, …).
+    pub id: String,
+    /// Campaign name from the spec.
+    pub name: String,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Spec content hash (resume identity), 16 hex digits.
+    pub spec_hash: String,
+    /// Grid size.
+    pub total: usize,
+    /// Rows durable in `results.jsonl` (including prior sessions).
+    pub written: usize,
+    /// Durable rows carrying a point error.
+    pub errors: usize,
+    /// Points currently executing on workers.
+    pub in_flight: usize,
+    /// Points not yet durable (includes in-flight ones).
+    pub remaining: usize,
+    /// Failure reason, for [`JobState::Failed`].
+    pub reason: Option<String>,
+}
+
+impl JobStatus {
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(160);
+        out.push_str("{\"job\":");
+        write_json_str(&self.id, &mut out);
+        out.push_str(",\"name\":");
+        write_json_str(&self.name, &mut out);
+        out.push_str(",\"state\":");
+        write_json_str(self.state.as_str(), &mut out);
+        out.push_str(",\"spec_hash\":");
+        write_json_str(&self.spec_hash, &mut out);
+        let _ = write_num(&mut out, "points", self.total);
+        let _ = write_num(&mut out, "written", self.written);
+        let _ = write_num(&mut out, "errors", self.errors);
+        let _ = write_num(&mut out, "in_flight", self.in_flight);
+        let _ = write_num(&mut out, "remaining", self.remaining);
+        if let Some(r) = &self.reason {
+            out.push_str(",\"reason\":");
+            write_json_str(r, &mut out);
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn write_num(out: &mut String, key: &str, v: usize) -> std::fmt::Result {
+    use std::fmt::Write;
+    out.push(',');
+    write_json_str(key, out);
+    write!(out, ":{v}")
+}
+
+/// Why a submission was rejected.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The active-job bound is reached — explicit backpressure (HTTP 429).
+    QueueFull {
+        /// Jobs currently active.
+        active: usize,
+        /// The configured bound.
+        max: usize,
+    },
+    /// The spec failed to parse or validate (HTTP 400).
+    Spec(String),
+    /// Spool I/O failed (HTTP 500).
+    Io(io::Error),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { active, max } => write!(
+                f,
+                "job queue full: {active} active jobs at the max-jobs={max} bound; retry later"
+            ),
+            SubmitError::Spec(m) => write!(f, "invalid campaign spec: {m}"),
+            SubmitError::Io(e) => write!(f, "spool i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Why a cancel/resume request was rejected.
+#[derive(Debug)]
+pub enum JobOpError {
+    /// No such job (HTTP 404).
+    NotFound,
+    /// The operation does not apply in the job's current state (HTTP 409).
+    Conflict(String),
+    /// Spool I/O failed (HTTP 500).
+    Io(io::Error),
+}
+
+impl std::fmt::Display for JobOpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobOpError::NotFound => write!(f, "no such job"),
+            JobOpError::Conflict(m) => write!(f, "{m}"),
+            JobOpError::Io(e) => write!(f, "spool i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JobOpError {}
+
+/// How the daemon is being stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopMode {
+    /// Graceful: stop dispatching, finish in-flight points, flush rows.
+    Drain,
+    /// Simulated kill: discard in-flight results without writing them.
+    /// Durable state is exactly what a `SIGKILL` would have left behind.
+    Abort,
+}
+
+struct JobEntry {
+    spec: Arc<CampaignSpec>,
+    dir: PathBuf,
+    /// Open append handle while the job is active.
+    file: Option<fs::File>,
+    state: JobState,
+    reason: Option<String>,
+    total: usize,
+    /// Missing point indices at activation, ascending; the emission order.
+    pending: Vec<usize>,
+    /// Next index into `pending` to hand to a worker.
+    next_dispatch: usize,
+    /// Next index into `pending` to write (reorder window base).
+    emit_at: usize,
+    /// Completed rows waiting for their predecessors.
+    buffer: BTreeMap<usize, PointRow>,
+    in_flight: usize,
+    /// Rows durable in the file (including rows found by the rescan).
+    written: usize,
+    errors: usize,
+}
+
+impl JobEntry {
+    fn status(&self, id: &str) -> JobStatus {
+        JobStatus {
+            id: id.to_string(),
+            name: self.spec.name.clone(),
+            state: self.state,
+            spec_hash: format!("{:016x}", self.spec.spec_hash),
+            total: self.total,
+            written: self.written,
+            errors: self.errors,
+            in_flight: self.in_flight,
+            remaining: self.total - self.written,
+            reason: self.reason.clone(),
+        }
+    }
+
+    fn dispatchable(&self) -> bool {
+        self.state == JobState::Running && self.next_dispatch < self.pending.len()
+    }
+}
+
+struct ManagerState {
+    jobs: BTreeMap<String, JobEntry>,
+    /// Round-robin ring of jobs with dispatchable points.
+    ring: VecDeque<String>,
+    next_seq: u64,
+    stop: Option<StopMode>,
+}
+
+/// The shared job table + scheduler. See the module docs.
+pub struct JobManager {
+    state: Mutex<ManagerState>,
+    /// Signalled when dispatchable work appears or stop is requested.
+    work: Condvar,
+    /// Signalled on every durable row / state change (pollers, drains).
+    progress: Condvar,
+    spool: PathBuf,
+    /// Active-job bound for submission backpressure.
+    pub max_jobs: usize,
+}
+
+type Task = (String, Arc<CampaignSpec>, usize);
+
+impl JobManager {
+    /// Open (or create) a spool directory and recover its jobs: completed
+    /// jobs register as done, cancelled ones as resumable, and incomplete
+    /// ones re-enter the scheduler automatically with only their missing
+    /// points pending.
+    pub fn open(spool: impl AsRef<Path>, max_jobs: usize) -> io::Result<Arc<Self>> {
+        let spool = spool.as_ref().to_path_buf();
+        fs::create_dir_all(&spool)?;
+        let mut st = ManagerState {
+            jobs: BTreeMap::new(),
+            ring: VecDeque::new(),
+            next_seq: spool::next_seq(&spool)?,
+            stop: None,
+        };
+        for id in spool::scan_job_ids(&spool)? {
+            let dir = spool::job_dir(&spool, &id);
+            match Self::recover_job(&dir) {
+                Ok(entry) => {
+                    if entry.dispatchable() {
+                        st.ring.push_back(id.clone());
+                    }
+                    st.jobs.insert(id, entry);
+                }
+                Err(e) => {
+                    // An unreadable/unparsable spool entry is skipped, not
+                    // fatal: the daemon must come up with whatever state
+                    // survived.
+                    eprintln!("pom-serve: skipping spool entry {id}: {e}");
+                }
+            }
+        }
+        Ok(Arc::new(Self {
+            state: Mutex::new(st),
+            work: Condvar::new(),
+            progress: Condvar::new(),
+            spool,
+            max_jobs: max_jobs.max(1),
+        }))
+    }
+
+    /// Rebuild one job's in-memory entry from its spool directory.
+    fn recover_job(dir: &Path) -> Result<JobEntry, String> {
+        let spec_text = fs::read_to_string(dir.join(spool::SPEC_FILE))
+            .map_err(|e| format!("read spec: {e}"))?;
+        let spec =
+            Arc::new(CampaignSpec::parse(&spec_text).map_err(|e| format!("parse spec: {e}"))?);
+        let total = spec.total_points();
+        let results = dir.join(spool::RESULTS_FILE);
+        let cancelled = dir.join(spool::CANCELLED_MARKER).exists();
+
+        let mut entry = JobEntry {
+            spec: spec.clone(),
+            dir: dir.to_path_buf(),
+            file: None,
+            state: JobState::Running,
+            reason: None,
+            total,
+            pending: (0..total).collect(),
+            next_dispatch: 0,
+            emit_at: 0,
+            buffer: BTreeMap::new(),
+            in_flight: 0,
+            written: 0,
+            errors: 0,
+        };
+
+        if results.exists() {
+            let existing = fs::read_to_string(&results).map_err(|e| e.to_string())?;
+            match scan_completed(&existing, &spec) {
+                Ok(done) => {
+                    entry.pending = (0..total).filter(|i| !done.contains(i)).collect();
+                    entry.written = done.len();
+                    if entry.pending.is_empty() {
+                        entry.state = JobState::Done;
+                        return Ok(entry);
+                    }
+                    if cancelled {
+                        entry.state = JobState::Cancelled;
+                        return Ok(entry);
+                    }
+                    // Auto-resume: reopen the stream for appending. An
+                    // interrupt can tear mid-line; appended rows must
+                    // start on a fresh line (the torn fragment is already
+                    // ignored by the scanner).
+                    let mut file = fs::OpenOptions::new()
+                        .append(true)
+                        .open(&results)
+                        .map_err(|e| e.to_string())?;
+                    if !existing.is_empty() && !existing.ends_with('\n') {
+                        file.write_all(b"\n").map_err(|e| e.to_string())?;
+                    }
+                    entry.file = Some(file);
+                }
+                Err(e) => {
+                    // Hash mismatch or garbled header: keep the job
+                    // visible but refuse to touch the foreign file.
+                    entry.state = JobState::Failed;
+                    entry.reason = Some(e);
+                }
+            }
+        } else {
+            // Crash between spec write and results creation: fresh start.
+            if cancelled {
+                entry.state = JobState::Cancelled;
+                return Ok(entry);
+            }
+            entry.file = Some(Self::create_results(&results, &spec).map_err(|e| e.to_string())?);
+        }
+        Ok(entry)
+    }
+
+    fn create_results(path: &Path, spec: &CampaignSpec) -> io::Result<fs::File> {
+        let mut file = fs::File::create(path)?;
+        // Header first, durable immediately: a crash right after submit
+        // leaves a valid (0 rows completed) resume target.
+        file.write_all(format!("{}\n", header_json(spec)).as_bytes())?;
+        file.flush()?;
+        Ok(file)
+    }
+
+    /// Submit a campaign spec (TOML or JSON text, exactly the CLI's
+    /// format). Persists the job and enqueues its points.
+    pub fn submit(&self, spec_text: &str) -> Result<JobStatus, SubmitError> {
+        let spec =
+            Arc::new(CampaignSpec::parse(spec_text).map_err(|e| SubmitError::Spec(e.to_string()))?);
+
+        let mut st = self.lock();
+        let active = st
+            .jobs
+            .values()
+            .filter(|j| j.state == JobState::Running)
+            .count();
+        if active >= self.max_jobs {
+            return Err(SubmitError::QueueFull {
+                active,
+                max: self.max_jobs,
+            });
+        }
+        let id = spool::job_id(st.next_seq);
+        st.next_seq += 1;
+
+        let dir = spool::job_dir(&self.spool, &id);
+        fs::create_dir_all(&dir).map_err(SubmitError::Io)?;
+        fs::write(dir.join(spool::SPEC_FILE), spec_text).map_err(SubmitError::Io)?;
+        let file =
+            Self::create_results(&dir.join(spool::RESULTS_FILE), &spec).map_err(SubmitError::Io)?;
+
+        let total = spec.total_points();
+        let entry = JobEntry {
+            spec,
+            dir,
+            file: Some(file),
+            state: if total == 0 {
+                JobState::Done
+            } else {
+                JobState::Running
+            },
+            reason: None,
+            total,
+            pending: (0..total).collect(),
+            next_dispatch: 0,
+            emit_at: 0,
+            buffer: BTreeMap::new(),
+            in_flight: 0,
+            written: 0,
+            errors: 0,
+        };
+        let status = entry.status(&id);
+        if entry.dispatchable() {
+            st.ring.push_back(id.clone());
+        }
+        st.jobs.insert(id, entry);
+        drop(st);
+        self.work.notify_all();
+        Ok(status)
+    }
+
+    /// Point-granular status of one job.
+    pub fn status(&self, id: &str) -> Option<JobStatus> {
+        let st = self.lock();
+        st.jobs.get(id).map(|e| e.status(id))
+    }
+
+    /// Status of every known job, ascending by id sequence.
+    pub fn list(&self) -> Vec<JobStatus> {
+        let st = self.lock();
+        let mut out: Vec<JobStatus> = st.jobs.iter().map(|(id, e)| e.status(id)).collect();
+        out.sort_by_key(|s| spool::parse_job_id(&s.id).unwrap_or(u64::MAX));
+        out
+    }
+
+    /// Cancel a job: stop dispatching its points. In-flight points finish
+    /// and their rows still land if contiguous; the partial file stays a
+    /// valid resume target, marked by the `cancelled` spool file.
+    pub fn cancel(&self, id: &str) -> Result<JobStatus, JobOpError> {
+        let mut st = self.lock();
+        let entry = st.jobs.get_mut(id).ok_or(JobOpError::NotFound)?;
+        if entry.state == JobState::Running {
+            entry.state = JobState::Cancelled;
+            fs::write(entry.dir.join(spool::CANCELLED_MARKER), b"").map_err(JobOpError::Io)?;
+            let status = entry.status(id);
+            st.ring.retain(|r| r != id);
+            drop(st);
+            self.progress.notify_all();
+            return Ok(status);
+        }
+        Ok(entry.status(id))
+    }
+
+    /// Resume a cancelled job: re-queue every point that is not durable.
+    /// Rows computed but never written (past a reorder gap at cancel
+    /// time) simply re-run — deterministically, so the final file is
+    /// unaffected. No-op on running/done jobs.
+    pub fn resume(&self, id: &str) -> Result<JobStatus, JobOpError> {
+        let mut st = self.lock();
+        let entry = st.jobs.get_mut(id).ok_or(JobOpError::NotFound)?;
+        match entry.state {
+            JobState::Running | JobState::Done => Ok(entry.status(id)),
+            JobState::Failed => Err(JobOpError::Conflict(format!(
+                "job {id} failed and cannot resume: {}",
+                entry.reason.as_deref().unwrap_or("unknown")
+            ))),
+            JobState::Cancelled => {
+                if entry.in_flight > 0 {
+                    return Err(JobOpError::Conflict(format!(
+                        "job {id} still has {} in-flight points from before the cancel; retry shortly",
+                        entry.in_flight
+                    )));
+                }
+                // Unwritten tail re-runs from scratch.
+                entry.pending = entry.pending.split_off(entry.emit_at);
+                entry.next_dispatch = 0;
+                entry.emit_at = 0;
+                entry.buffer.clear();
+                if entry.file.is_none() {
+                    let results = entry.dir.join(spool::RESULTS_FILE);
+                    let existing = fs::read_to_string(&results).map_err(JobOpError::Io)?;
+                    let mut file = fs::OpenOptions::new()
+                        .append(true)
+                        .open(&results)
+                        .map_err(JobOpError::Io)?;
+                    if !existing.is_empty() && !existing.ends_with('\n') {
+                        file.write_all(b"\n").map_err(JobOpError::Io)?;
+                    }
+                    entry.file = Some(file);
+                }
+                let _ = fs::remove_file(entry.dir.join(spool::CANCELLED_MARKER));
+                entry.state = if entry.pending.is_empty() {
+                    JobState::Done
+                } else {
+                    JobState::Running
+                };
+                let status = entry.status(id);
+                if entry.dispatchable() {
+                    st.ring.push_back(id.to_string());
+                }
+                drop(st);
+                self.work.notify_all();
+                self.progress.notify_all();
+                Ok(status)
+            }
+        }
+    }
+
+    /// Path of a job's JSONL result stream.
+    pub fn results_path(&self, id: &str) -> Option<PathBuf> {
+        let st = self.lock();
+        st.jobs.get(id).map(|e| e.dir.join(spool::RESULTS_FILE))
+    }
+
+    /// True when no further bytes can appear in the job's result stream
+    /// (terminal state and no in-flight points). Follow-mode streams use
+    /// this as their stop condition. `None` if the job is unknown.
+    pub fn quiescent(&self, id: &str) -> Option<bool> {
+        let st = self.lock();
+        st.jobs
+            .get(id)
+            .map(|e| e.state != JobState::Running && e.in_flight == 0)
+    }
+
+    /// Block until `id` reaches a terminal quiescent state (true) or the
+    /// timeout expires (false). Unknown jobs return false.
+    pub fn wait_done(&self, id: &str, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.lock();
+        loop {
+            match st.jobs.get(id) {
+                None => return false,
+                Some(e) if e.state != JobState::Running && e.in_flight == 0 => return true,
+                Some(_) => {}
+            }
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                return false;
+            };
+            let (guard, timed_out) = self.progress.wait_timeout(st, left).unwrap();
+            st = guard;
+            if timed_out.timed_out() {
+                // Re-check once after the timeout before giving up.
+                return st
+                    .jobs
+                    .get(id)
+                    .is_some_and(|e| e.state != JobState::Running && e.in_flight == 0);
+            }
+        }
+    }
+
+    /// Block until any job makes progress (a row lands or a state
+    /// changes) or the timeout expires. Row streams in follow mode park
+    /// here instead of sleeping, so new rows are pushed with condvar
+    /// latency rather than a poll interval.
+    pub fn wait_progress(&self, timeout: Duration) {
+        let st = self.lock();
+        let _ = self.progress.wait_timeout(st, timeout);
+    }
+
+    /// Request daemon stop. [`StopMode::Drain`] lets in-flight points
+    /// finish and flush; [`StopMode::Abort`] discards them un-written
+    /// (crash semantics, used by the restart-resume tests).
+    pub fn request_stop(&self, mode: StopMode) {
+        let mut st = self.lock();
+        st.stop = Some(mode);
+        drop(st);
+        self.work.notify_all();
+        self.progress.notify_all();
+    }
+
+    /// Aggregate counts for the shutdown report: `(jobs, done, running,
+    /// cancelled, failed, rows_written)`.
+    pub fn totals(&self) -> (usize, usize, usize, usize, usize, usize) {
+        let st = self.lock();
+        let mut done = 0;
+        let mut running = 0;
+        let mut cancelled = 0;
+        let mut failed = 0;
+        let mut rows = 0;
+        for e in st.jobs.values() {
+            match e.state {
+                JobState::Done => done += 1,
+                JobState::Running => running += 1,
+                JobState::Cancelled => cancelled += 1,
+                JobState::Failed => failed += 1,
+            }
+            rows += e.written;
+        }
+        (st.jobs.len(), done, running, cancelled, failed, rows)
+    }
+
+    fn lock(&self) -> MutexGuard<'_, ManagerState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Claim the next point, fair round-robin across active jobs.
+    fn next_task(st: &mut ManagerState) -> Option<Task> {
+        while let Some(id) = st.ring.pop_front() {
+            let Some(entry) = st.jobs.get_mut(&id) else {
+                continue;
+            };
+            if !entry.dispatchable() {
+                continue;
+            }
+            let index = entry.pending[entry.next_dispatch];
+            entry.next_dispatch += 1;
+            entry.in_flight += 1;
+            let spec = entry.spec.clone();
+            if entry.dispatchable() {
+                st.ring.push_back(id.clone());
+            }
+            return Some((id, spec, index));
+        }
+        None
+    }
+
+    /// Deliver a completed row: reorder, write contiguous rows, flip the
+    /// job to done when the last row lands.
+    fn deliver(&self, st: &mut ManagerState, id: &str, row: PointRow) {
+        let Some(entry) = st.jobs.get_mut(id) else {
+            return;
+        };
+        entry.in_flight = entry.in_flight.saturating_sub(1);
+        // Stale-delivery guard (e.g. a point re-dispatched after a
+        // cancel+resume while the original was still in flight): only
+        // rows for not-yet-durable pending positions enter the buffer.
+        if let Ok(pos) = entry.pending.binary_search(&row.index) {
+            if pos >= entry.emit_at {
+                entry.buffer.insert(row.index, row);
+            }
+        }
+        while entry.emit_at < entry.pending.len() {
+            let want = entry.pending[entry.emit_at];
+            let Some(ready) = entry.buffer.remove(&want) else {
+                break;
+            };
+            let is_err = ready.error.is_some();
+            let line = format!("{}\n", ready.to_json());
+            let Some(file) = entry.file.as_mut() else {
+                break;
+            };
+            // One write + flush per row: the file is always a whole-line
+            // prefix, which is what makes it a crash checkpoint.
+            if let Err(e) = file.write_all(line.as_bytes()).and_then(|()| file.flush()) {
+                entry.state = JobState::Failed;
+                entry.reason = Some(format!("writing row {want}: {e}"));
+                entry.file = None;
+                break;
+            }
+            entry.emit_at += 1;
+            entry.written += 1;
+            if is_err {
+                entry.errors += 1;
+            }
+        }
+        if entry.emit_at == entry.pending.len() && entry.state != JobState::Failed {
+            entry.file = None; // close the handle
+            if entry.state == JobState::Cancelled {
+                // An in-flight tail completed the job after cancel.
+                let _ = fs::remove_file(entry.dir.join(spool::CANCELLED_MARKER));
+            }
+            entry.state = JobState::Done;
+        }
+    }
+
+    /// The worker-thread body: claim points fairly, execute them with a
+    /// reused integrator workspace, deliver rows. Returns when stop is
+    /// requested (drain: after finishing the current point; abort: the
+    /// current point's row is discarded, like a kill).
+    pub fn worker_loop(&self) {
+        let mut ws = SimWorkspace::new();
+        loop {
+            let task: Option<Task> = {
+                let mut st = self.lock();
+                loop {
+                    if st.stop.is_some() {
+                        break None;
+                    }
+                    if let Some(t) = Self::next_task(&mut st) {
+                        break Some(t);
+                    }
+                    st = self.work.wait(st).unwrap_or_else(|p| p.into_inner());
+                }
+            };
+            let Some((id, spec, index)) = task else {
+                return;
+            };
+
+            let row = run_point_ws(&spec, index, &mut ws);
+
+            let mut st = self.lock();
+            if st.stop == Some(StopMode::Abort) {
+                // Crash semantics: the computed row never becomes durable.
+                return;
+            }
+            self.deliver(&mut st, &id, row);
+            drop(st);
+            self.progress.notify_all();
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Spool-directory layout: the daemon's durable state.
+//!
+//! Every job owns one directory under the spool root:
+//!
+//! ```text
+//! spool/
+//!   j1/
+//!     spec            the submitted campaign spec, byte-for-byte
+//!     results.jsonl   header + completed rows (the checkpoint format)
+//!     cancelled       empty marker, present while the job is cancelled
+//!   j2/
+//!     …
+//! ```
+//!
+//! There is deliberately no separate checkpoint file: `results.jsonl` is
+//! exactly what `pom sweep out=… resume=1` writes, so the FNV spec hash in
+//! its header plus the completed-point scan *is* the resume state. A
+//! killed daemon restarted over the same spool re-derives every job's
+//! remaining work from these files alone, and a spool directory can
+//! equally be finished off by the CLI.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Name of the raw spec file inside a job directory.
+pub const SPEC_FILE: &str = "spec";
+/// Name of the JSONL result stream inside a job directory.
+pub const RESULTS_FILE: &str = "results.jsonl";
+/// Name of the cancelled marker inside a job directory.
+pub const CANCELLED_MARKER: &str = "cancelled";
+
+/// A job's directory under the spool root.
+pub fn job_dir(spool: &Path, id: &str) -> PathBuf {
+    spool.join(id)
+}
+
+/// The job id for a sequence number (`7` → `"j7"`).
+pub fn job_id(seq: u64) -> String {
+    format!("j{seq}")
+}
+
+/// Parse a job id back to its sequence number (`"j7"` → `7`).
+pub fn parse_job_id(id: &str) -> Option<u64> {
+    id.strip_prefix('j')?.parse().ok()
+}
+
+/// Enumerate job ids present in the spool, ascending by sequence number.
+/// Non-job entries (anything not named `j<seq>`) are ignored.
+pub fn scan_job_ids(spool: &Path) -> io::Result<Vec<String>> {
+    let mut seqs: Vec<u64> = Vec::new();
+    for entry in fs::read_dir(spool)? {
+        let entry = entry?;
+        if !entry.file_type()?.is_dir() {
+            continue;
+        }
+        if let Some(seq) = entry.file_name().to_str().and_then(parse_job_id) {
+            seqs.push(seq);
+        }
+    }
+    seqs.sort_unstable();
+    Ok(seqs.into_iter().map(job_id).collect())
+}
+
+/// The next unused sequence number in the spool.
+pub fn next_seq(spool: &Path) -> io::Result<u64> {
+    let max = scan_job_ids(spool)?
+        .iter()
+        .filter_map(|id| parse_job_id(id))
+        .max()
+        .unwrap_or(0);
+    Ok(max + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_and_scan_sorts() {
+        assert_eq!(job_id(7), "j7");
+        assert_eq!(parse_job_id("j7"), Some(7));
+        assert_eq!(parse_job_id("x7"), None);
+        assert_eq!(parse_job_id("j"), None);
+
+        let dir = std::env::temp_dir().join(format!("pom-spool-scan-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        for name in ["j10", "j2", "j1", "not-a-job"] {
+            fs::create_dir_all(dir.join(name)).unwrap();
+        }
+        fs::write(dir.join("stray-file"), b"x").unwrap();
+        assert_eq!(scan_job_ids(&dir).unwrap(), vec!["j1", "j2", "j10"]);
+        assert_eq!(next_seq(&dir).unwrap(), 11);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

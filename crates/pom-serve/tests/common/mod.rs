@@ -1,0 +1,120 @@
+//! A tiny blocking HTTP client for the daemon tests: enough HTTP/1.1 to
+//! exercise every route (status-line + headers + body, de-chunking).
+
+// Each integration-test binary compiles this module separately and uses
+// a different subset of it.
+#![allow(dead_code)]
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// A parsed response.
+pub struct Response {
+    pub status: u16,
+    pub body: String,
+}
+
+/// Issue one request and read the full response (the server closes the
+/// connection after each response).
+pub fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> Response {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .expect("write request");
+    stream.write_all(body.as_bytes()).expect("write body");
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("utf-8 response");
+    let (head, payload) = text.split_once("\r\n\r\n").expect("header terminator");
+    let mut lines = head.lines();
+    let status_line = lines.next().expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line `{status_line}`"));
+    let chunked = head.lines().any(|l| {
+        l.to_ascii_lowercase()
+            .contains("transfer-encoding: chunked")
+    });
+    let body = if chunked {
+        dechunk(payload)
+    } else {
+        payload.to_string()
+    };
+    Response { status, body }
+}
+
+fn dechunk(mut payload: &str) -> String {
+    let mut out = String::new();
+    loop {
+        let Some((size_line, rest)) = payload.split_once("\r\n") else {
+            panic!("truncated chunk size in {payload:?}");
+        };
+        let size = usize::from_str_radix(size_line.trim(), 16)
+            .unwrap_or_else(|_| panic!("bad chunk size `{size_line}`"));
+        if size == 0 {
+            return out;
+        }
+        out.push_str(&rest[..size]);
+        // Skip the chunk's trailing CRLF.
+        payload = &rest[size + 2..];
+    }
+}
+
+/// POST a campaign spec; returns the response (201 carries the status
+/// JSON with the job id).
+pub fn submit(addr: SocketAddr, spec: &str) -> Response {
+    request(addr, "POST", "/jobs", Some(spec))
+}
+
+/// Extract `"key":"value"` from a flat JSON object body.
+pub fn json_str_field(body: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\":\"");
+    let start = body.find(&tag)? + tag.len();
+    let end = body[start..].find('"')? + start;
+    Some(body[start..end].to_string())
+}
+
+/// Extract `"key":number` from a flat JSON object body.
+pub fn json_num_field(body: &str, key: &str) -> Option<u64> {
+    let tag = format!("\"{key}\":");
+    let start = body.find(&tag)? + tag.len();
+    let digits: String = body[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Poll `GET /jobs/{id}` until its state matches (true) or the timeout
+/// expires (false).
+pub fn wait_state(addr: SocketAddr, id: &str, want: &str, timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let resp = request(addr, "GET", &format!("/jobs/{id}"), None);
+        if resp.status == 200 && json_str_field(&resp.body, "state").as_deref() == Some(want) {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// A fresh per-test spool directory.
+pub fn temp_spool(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pom-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}

@@ -1,0 +1,145 @@
+//! Crash-safety: a daemon killed mid-campaign and restarted over the same
+//! spool must finish the job with a result file bitwise identical to an
+//! uninterrupted single-process run — the ISSUE's headline guarantee.
+//!
+//! The "kill" is [`StopMode::Abort`]: workers discard in-flight results
+//! without writing them, so the durable state is exactly what `SIGKILL`
+//! would have left (a whole-line prefix of the stream; every row is one
+//! flushed write).
+
+mod common;
+
+use std::fs;
+use std::time::{Duration, Instant};
+
+use common::{json_str_field, submit, temp_spool};
+use pom_serve::{ServeConfig, Server, StopMode};
+use pom_sweep::Campaign;
+
+const SPEC: &str = r#"
+[campaign]
+name = "restartable"
+seed = 23
+observables = ["final_r", "mean_abs_gap", "final_spread"]
+[model]
+n = 8
+potential = "tanh"
+[sim]
+t_end = 400.0
+samples = 40
+[[axes]]
+key = "model.coupling"
+values = [1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5]
+[[axes]]
+key = "model.tcomp"
+values = [0.8, 0.9, 1.0]
+"#;
+
+fn start(spool: &std::path::Path, threads: usize) -> Server {
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        spool: spool.into(),
+        threads,
+        max_jobs: 16,
+        handle_signals: false,
+    })
+    .expect("server start")
+}
+
+/// Poll the manager until at least `rows` rows are durable.
+fn wait_written(server: &Server, id: &str, rows: usize, timeout: Duration) -> usize {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let written = server.manager().status(id).map_or(0, |s| s.written);
+        if written >= rows || Instant::now() >= deadline {
+            return written;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn killed_daemon_restarts_and_finishes_bitwise_identical() {
+    let spool = temp_spool("restart");
+    let total = 24;
+
+    // Session 1: submit, let a few rows land, then die mid-campaign.
+    let server = start(&spool, 3);
+    let created = submit(server.addr(), SPEC);
+    assert_eq!(created.status, 201, "{}", created.body);
+    let id = json_str_field(&created.body, "job").unwrap();
+    let progressed = wait_written(&server, &id, 3, Duration::from_secs(120));
+    assert!(progressed >= 3, "no progress before the kill");
+    server.stop(StopMode::Abort);
+
+    let path = spool.join(&id).join("results.jsonl");
+    let partial = fs::read_to_string(&path).unwrap();
+    let partial_rows = partial.lines().count() - 1; // minus header
+    assert!(
+        partial_rows < total,
+        "campaign finished before the kill; nothing left to resume"
+    );
+
+    // Session 2: a fresh daemon over the same spool auto-resumes the job
+    // with no client interaction at all.
+    let server = start(&spool, 2);
+    let resumed = server.manager().status(&id).expect("job recovered");
+    assert!(
+        resumed.written >= partial_rows,
+        "recovery lost durable rows: {} < {partial_rows}",
+        resumed.written
+    );
+    assert!(
+        server.manager().wait_done(&id, Duration::from_secs(240)),
+        "resumed job did not finish"
+    );
+    server.stop(StopMode::Drain);
+
+    // Bitwise identity with an uninterrupted in-process run (which is
+    // itself thread-count invariant).
+    let reference = Campaign::from_str(SPEC)
+        .unwrap()
+        .run_jsonl_string(0)
+        .unwrap();
+    let final_file = fs::read_to_string(&path).unwrap();
+    assert_eq!(final_file, reference);
+    let _ = fs::remove_dir_all(&spool);
+}
+
+#[test]
+fn cancelled_job_survives_restart_and_resumes() {
+    let spool = temp_spool("restart-cancel");
+
+    // Cancel, then kill the daemon.
+    let server = start(&spool, 2);
+    let addr = server.addr();
+    let id = json_str_field(&submit(addr, SPEC).body, "job").unwrap();
+    let cancelled = common::request(addr, "POST", &format!("/jobs/{id}/cancel"), None);
+    assert_eq!(cancelled.status, 200);
+    assert_eq!(
+        json_str_field(&cancelled.body, "state").as_deref(),
+        Some("cancelled"),
+        "cancel landed after the campaign completed — spec too cheap"
+    );
+    server.stop(StopMode::Abort);
+
+    // The restarted daemon must respect the cancel marker: the job comes
+    // back cancelled, not running.
+    let server = start(&spool, 2);
+    let state = server.manager().status(&id).unwrap().state;
+    assert_eq!(state, pom_serve::JobState::Cancelled);
+
+    // An explicit resume then completes it, bitwise identical.
+    let resumed = common::request(server.addr(), "POST", &format!("/jobs/{id}/resume"), None);
+    assert_eq!(resumed.status, 200, "{}", resumed.body);
+    assert!(server.manager().wait_done(&id, Duration::from_secs(240)));
+    server.stop(StopMode::Drain);
+
+    let reference = Campaign::from_str(SPEC)
+        .unwrap()
+        .run_jsonl_string(0)
+        .unwrap();
+    let final_file = fs::read_to_string(spool.join(&id).join("results.jsonl")).unwrap();
+    assert_eq!(final_file, reference);
+    let _ = fs::remove_dir_all(&spool);
+}

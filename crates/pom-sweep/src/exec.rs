@@ -10,8 +10,9 @@
 //! resulting byte stream is identical for any thread count.
 
 use std::collections::{BTreeMap, HashSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::sync::Arc;
 
 use pom_core::SimWorkspace;
 
@@ -26,6 +27,12 @@ pub struct RunOptions {
     pub threads: usize,
     /// Point indices already on disk (resume); they are not re-executed.
     pub completed: HashSet<usize>,
+    /// Cooperative cancellation: when the flag flips to `true`, workers
+    /// stop claiming new points (in-flight points finish and their rows
+    /// still stream if contiguous). The partial output is a valid resume
+    /// target — re-running with the same spec completes it bitwise
+    /// identically. Used by the campaign daemon and signal handlers.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 impl RunOptions {
@@ -34,7 +41,14 @@ impl RunOptions {
         Self {
             threads,
             completed: HashSet::new(),
+            cancel: None,
         }
+    }
+
+    /// Attach a cancellation flag (see [`RunOptions::cancel`]).
+    pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(cancel);
+        self
     }
 
     /// The resolved worker count.
@@ -67,6 +81,7 @@ pub fn run_campaign(
         executed: 0,
         skipped: total - pending.len(),
         errors: 0,
+        cancelled: false,
     };
 
     if pending.is_empty() {
@@ -83,11 +98,16 @@ pub fn run_campaign(
             let tx = tx.clone();
             let cursor = &cursor;
             let pending = &pending;
+            let cancel = opts.cancel.clone();
             scope.spawn(move || {
                 // One workspace per worker: every point this thread
                 // executes reuses the same integrator scratch buffers.
                 let mut ws = SimWorkspace::new();
                 loop {
+                    // Cooperative cancellation: stop claiming points.
+                    if cancel.as_ref().is_some_and(|c| c.load(Ordering::Relaxed)) {
+                        break;
+                    }
                     let k = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(&index) = pending.get(k) else { break };
                     // A dropped receiver means the collector bailed; stop.
@@ -120,9 +140,22 @@ pub fn run_campaign(
                 emit_at += 1;
             }
         }
-        debug_assert!(buffer.is_empty(), "all rows emitted");
+        // Under cancellation, rows past a gap in the reorder buffer are
+        // dropped — they re-run on resume, deterministically.
+        debug_assert!(
+            buffer.is_empty()
+                || opts
+                    .cancel
+                    .as_ref()
+                    .is_some_and(|c| c.load(Ordering::Relaxed)),
+            "all rows emitted"
+        );
     });
 
+    summary.cancelled = opts
+        .cancel
+        .as_ref()
+        .is_some_and(|c| c.load(Ordering::Relaxed));
     if let Some(e) = sink_error {
         return Err(SweepError::Io(e));
     }

@@ -71,12 +71,14 @@
 //! }
 //! ```
 
+pub mod args;
 pub mod exec;
 pub mod run;
 pub mod sink;
 pub mod spec;
 pub mod value;
 
+pub use args::{ArgError, TypedArgs};
 pub use exec::{run_campaign, RunOptions};
 pub use run::{run_point, run_point_ws, PointRow};
 pub use sink::{

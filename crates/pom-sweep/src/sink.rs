@@ -24,6 +24,9 @@ pub struct CampaignSummary {
     pub skipped: usize,
     /// Points whose row carries an error.
     pub errors: usize,
+    /// True when a [`crate::RunOptions::cancel`] flag stopped the run
+    /// before the grid was exhausted.
+    pub cancelled: bool,
 }
 
 /// Receives campaign output as it streams.
@@ -273,15 +276,17 @@ pub fn scan_completed(text: &str, spec: &CampaignSpec) -> Result<HashSet<usize>,
         }
     };
     let header = parse_json(header).map_err(|e| format!("bad result header: {e}"))?;
-    let file_hash = header
-        .get("spec_hash")
-        .and_then(Value::as_str)
-        .unwrap_or("");
     let want = format!("{:016x}", spec.spec_hash);
+    let Some(file_hash) = header.get("spec_hash").and_then(Value::as_str) else {
+        return Err(format!(
+            "spec hash mismatch: result file carries no `spec_hash` header \
+             (current spec is {want}); delete it or run without resume"
+        ));
+    };
     if file_hash != want {
         return Err(format!(
-            "result file belongs to a different spec (hash {file_hash}, expected {want}); \
-             delete it or run without resume"
+            "spec hash mismatch: result file was written by spec {file_hash}, \
+             current spec is {want}; delete it or run without resume"
         ));
     }
     let total = spec.total_points();

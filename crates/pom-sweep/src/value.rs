@@ -490,7 +490,11 @@ fn unescape(s: &str) -> Result<String, String> {
     Ok(out)
 }
 
-fn parse_number(s: &str) -> Result<Value, String> {
+/// Parse the spec-file number grammar (`3`, `3.0`, `1.5e-3`, `1_000`)
+/// into an [`Value::Int`]/[`Value::Float`] — shared with the typed
+/// `key=value` argument layer so every input surface types numbers the
+/// same way.
+pub(crate) fn parse_number(s: &str) -> Result<Value, String> {
     let cleaned = s.replace('_', "");
     if !cleaned.contains(['.', 'e', 'E']) || cleaned.starts_with("0x") {
         if let Ok(i) = cleaned.parse::<i64>() {

@@ -149,7 +149,92 @@ fn resume_rejects_spec_change() {
 
     let edited = Campaign::from_str(&SPEC.replace("t_end = 20.0", "t_end = 30.0")).unwrap();
     let err = edited.run_jsonl_file(&path, 2, true).unwrap_err();
-    assert!(err.to_string().contains("different spec"), "{err}");
+    // The error must identify itself and name BOTH hashes so the user can
+    // see which spec the file actually belongs to.
+    let msg = err.to_string();
+    assert!(msg.contains("spec hash mismatch"), "{msg}");
+    let campaign_hash = format!("{:016x}", campaign.spec.spec_hash);
+    let edited_hash = format!("{:016x}", edited.spec.spec_hash);
+    assert!(msg.contains(&campaign_hash), "file hash missing: {msg}");
+    assert!(msg.contains(&edited_hash), "current hash missing: {msg}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn resume_headerless_file_names_current_hash() {
+    // A file whose header object lacks `spec_hash` (e.g. hand-edited or
+    // foreign JSONL) is a mismatch too, reported as such — not a generic
+    // scan failure.
+    let campaign = Campaign::from_str(SPEC).unwrap();
+    let path = tmp_path("nohash");
+    std::fs::write(&path, "{\"campaign\":\"x\"}\n{\"point\":0}\n").unwrap();
+    let err = campaign.run_jsonl_file(&path, 2, true).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("spec hash mismatch"), "{msg}");
+    assert!(
+        msg.contains(&format!("{:016x}", campaign.spec.spec_hash)),
+        "{msg}"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn resume_tolerates_trailing_blank_lines() {
+    // Editors and `echo >>` commonly leave trailing newlines/blank lines;
+    // the scanner must treat them as no-ops, not as torn rows.
+    let campaign = Campaign::from_str(SPEC).unwrap();
+    let path = tmp_path("blank");
+    let _ = std::fs::remove_file(&path);
+    campaign.run_jsonl_file(&path, 2, false).unwrap();
+    let full = std::fs::read_to_string(&path).unwrap();
+
+    // Keep header + 3 rows, then append blank padding.
+    let partial: Vec<&str> = full.lines().take(4).collect();
+    std::fs::write(&path, format!("{}\n\n   \n\n", partial.join("\n"))).unwrap();
+    assert_eq!(campaign.missing_points(&path).unwrap(), vec![3, 4, 5]);
+
+    let summary = campaign.run_jsonl_file(&path, 2, true).unwrap();
+    assert_eq!(summary.skipped, 3);
+    assert_eq!(summary.executed, 3);
+    // All rows present once, equal to the clean pass.
+    let resumed = std::fs::read_to_string(&path).unwrap();
+    let mut full_rows: Vec<&str> = full.lines().skip(1).collect();
+    let mut resumed_rows: Vec<&str> = resumed
+        .lines()
+        .skip(1)
+        .filter(|l| !l.trim().is_empty())
+        .collect();
+    full_rows.sort_unstable();
+    resumed_rows.sort_unstable();
+    assert_eq!(full_rows, resumed_rows);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn cancel_flag_stops_claiming_points_and_resume_completes() {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    let campaign = Campaign::from_str(SPEC).unwrap();
+    let path = tmp_path("cancel");
+    let _ = std::fs::remove_file(&path);
+    campaign.run_jsonl_file(&path, 2, false).unwrap();
+    let full = std::fs::read_to_string(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+
+    // Pre-cancelled run: workers claim nothing, summary says so.
+    let cancel = Arc::new(AtomicBool::new(true));
+    let (mut sink, opts) = campaign.jsonl_file_sink(&path, 2, false).unwrap();
+    let summary = campaign.run(&opts.with_cancel(cancel), &mut sink).unwrap();
+    drop(sink);
+    assert!(summary.cancelled);
+    assert_eq!(summary.executed, 0);
+
+    // The cancelled file (header only) is a valid resume target and the
+    // completed output is bitwise identical to the uninterrupted run.
+    let summary = campaign.run_jsonl_file(&path, 2, true).unwrap();
+    assert_eq!(summary.executed, 6);
+    assert_eq!(std::fs::read_to_string(&path).unwrap(), full);
     let _ = std::fs::remove_file(&path);
 }
 

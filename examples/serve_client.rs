@@ -1,0 +1,112 @@
+//! The campaign daemon end to end, in one process: boot `pom-serve`,
+//! talk to it over real HTTP exactly as a remote client (or `curl`)
+//! would, and walk a job through its whole lifecycle — submit, poll,
+//! cancel, resume, stream.
+//!
+//! ```bash
+//! cargo run --release --example serve_client
+//! ```
+//!
+//! The same traffic from a shell, against `pom serve`:
+//!
+//! ```bash
+//! pom serve addr=127.0.0.1:7700 spool=/tmp/pom-spool &
+//! curl -s -X POST --data-binary @examples/specs/sigma_sweep.toml \
+//!      http://127.0.0.1:7700/jobs
+//! curl -s http://127.0.0.1:7700/jobs/j1
+//! curl -sN http://127.0.0.1:7700/jobs/j1/rows?follow=1
+//! curl -s -X POST http://127.0.0.1:7700/shutdown
+//! ```
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use pom::serve::{ServeConfig, Server};
+
+/// One HTTP/1.1 request; the daemon closes the connection per response.
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to daemon");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: pom\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+}
+
+/// The response body (ignoring chunk framing — fine for a demo printout).
+fn body_of(response: &str) -> &str {
+    response
+        .split_once("\r\n\r\n")
+        .map_or(response, |(_, body)| body)
+}
+
+fn main() {
+    // An embedded daemon on a random port with a throwaway spool. In
+    // production this is `pom serve` in its own process; everything
+    // below is plain sockets either way.
+    let spool = std::env::temp_dir().join(format!("pom-serve-demo-{}", std::process::id()));
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        spool: spool.clone(),
+        threads: 0, // one worker per core
+        ..ServeConfig::default()
+    })
+    .expect("start daemon");
+    let addr = server.addr();
+    println!("daemon listening on http://{addr}\n");
+
+    // Submit the repo's example campaign: the exact bytes `pom sweep`
+    // would read from disk, POSTed instead.
+    let spec = std::fs::read_to_string("examples/specs/sigma_sweep.toml")
+        .expect("run from the repository root");
+    let created = http(addr, "POST", "/jobs", &spec);
+    println!("POST /jobs →\n  {}\n", body_of(&created).trim());
+
+    // Poll while it runs; each status is a point-granular snapshot.
+    for _ in 0..3 {
+        std::thread::sleep(Duration::from_millis(120));
+        let status = http(addr, "GET", "/jobs/j1", "");
+        println!("GET /jobs/j1 →\n  {}\n", body_of(&status).trim());
+    }
+
+    // Cancel mid-campaign … the partial results stay durable …
+    let cancelled = http(addr, "POST", "/jobs/j1/cancel", "");
+    println!("POST /jobs/j1/cancel →\n  {}\n", body_of(&cancelled).trim());
+    // Wait for in-flight points to settle (resume answers 409 until then).
+    while !body_of(&http(addr, "GET", "/jobs/j1", "")).contains("\"in_flight\":0") {
+        std::thread::sleep(Duration::from_millis(30));
+    }
+
+    // … and resume picks up exactly the missing points. The final file is
+    // bitwise identical to a never-interrupted run.
+    let resumed = http(addr, "POST", "/jobs/j1/resume", "");
+    println!("POST /jobs/j1/resume →\n  {}\n", body_of(&resumed).trim());
+
+    // `follow=1` tails the JSONL stream until the job completes.
+    let rows = http(addr, "GET", "/jobs/j1/rows?follow=1", "");
+    // Skip the chunked-encoding size lines; keep the JSONL payload.
+    let lines: Vec<&str> = body_of(&rows)
+        .lines()
+        .filter(|l| l.starts_with('{'))
+        .collect();
+    println!(
+        "GET /jobs/j1/rows?follow=1 → {} lines; first and last:",
+        lines.len()
+    );
+    if let (Some(first), Some(last)) = (lines.first(), lines.last()) {
+        println!("  {first}");
+        println!("  {last}\n");
+    }
+
+    let summary = server.stop(pom::serve::StopMode::Drain);
+    println!(
+        "daemon stopped: {} job(s), {} row(s) written",
+        summary.jobs, summary.rows_written
+    );
+    let _ = std::fs::remove_dir_all(&spool);
+}

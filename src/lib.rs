@@ -24,6 +24,7 @@
 //! | [`mpisim`] | discrete-event MPI cluster simulator: eager/rendezvous point-to-point, memory-bandwidth contention, ITAC-like traces |
 //! | [`analysis`] | idle-wave detection and speed fits, de/resynchronization metrics, linear stability, statistics |
 //! | [`sweep`] | parallel scenario-campaign engine: declarative TOML/JSON sweeps, deterministic per-point seeding, streaming JSONL/CSV results, resume |
+//! | [`serve`] | campaign daemon: HTTP/JSON job API over the sweep engine — submit, poll, stream, cancel, resume; crash-safe spool |
 //! | [`viz`] | circle diagrams, phase/potential timelines, trace Gantt charts (ASCII/SVG/CSV) |
 //!
 //! ## Quick start
@@ -55,6 +56,7 @@ pub use pom_kernels as kernels;
 pub use pom_mpisim as mpisim;
 pub use pom_noise as noise;
 pub use pom_ode as ode;
+pub use pom_serve as serve;
 pub use pom_sweep as sweep;
 pub use pom_topology as topology;
 pub use pom_viz as viz;
