@@ -284,15 +284,27 @@ fn main() {
     // the timed iteration count directly.
     let mut smoke = false;
     let mut steps_override: Option<usize> = None;
+    let mut only: Option<String> = None;
     for arg in std::env::args().skip(1) {
         match arg.split_once('=') {
             Some(("smoke", v)) => smoke = v != "0",
             Some(("steps", v)) => steps_override = v.parse().ok(),
+            Some(("only", v)) => only = Some(v.to_string()),
             _ => {
-                eprintln!("usage: bench_steps [smoke=1] [steps=N]");
+                eprintln!("usage: bench_steps [smoke=1] [steps=N] [only=obs]");
                 std::process::exit(2);
             }
         }
+    }
+    // `only=obs` runs just the observability overhead gate and emits it
+    // as a standalone JSON document (→ BENCH_obs.json).
+    if let Some(section) = only {
+        if section != "obs" {
+            eprintln!("unknown only= section `{section}` (try only=obs)");
+            std::process::exit(2);
+        }
+        obs_overhead_bench(smoke, true);
+        return;
     }
     let h = 0.02;
     let steps = steps_override.unwrap_or(if smoke { 50 } else { 100_000 });
@@ -563,6 +575,12 @@ fn main() {
     println!("    ]");
     println!("  }},");
 
+    // --- Observability overhead gate --------------------------------------
+    // Instrumented hot paths with the obs switch OFF vs faithful pre-obs
+    // replicas; asserts the disabled-mode cost stays within the documented
+    // budget. Runs before serve_bench, which flips the global switch on.
+    obs_overhead_bench(smoke, false);
+
     // --- The campaign daemon ---------------------------------------------
     // Job throughput and submit-to-first-row latency through the full
     // pom-serve stack (socket → HTTP parse → spec parse → spool write →
@@ -609,6 +627,211 @@ fn main() {
         reused_pps / fresh_pps
     );
     println!("}}");
+}
+
+// --- Observability overhead gate --------------------------------------------
+
+/// Swallows rows; the sweep gate measures execution, not serialization.
+struct NullSink;
+
+impl pom_sweep::ResultSink for NullSink {
+    fn begin(&mut self, _spec: &pom_sweep::CampaignSpec) -> std::io::Result<()> {
+        Ok(())
+    }
+    fn row(&mut self, row: &pom_sweep::PointRow) -> std::io::Result<()> {
+        black_box(row.observables.first().map(|o| o.1));
+        Ok(())
+    }
+    fn end(&mut self, _summary: &pom_sweep::CampaignSummary) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Interleaved best-of-`reps` measurement of two closures (baseline
+/// first, candidate second, alternating) — clock drift between the two
+/// cannot bias either column. Returns `(t_baseline, t_candidate)`.
+fn time_pair(reps: usize, mut base: impl FnMut(), mut cand: impl FnMut()) -> (f64, f64) {
+    let mut t_base = f64::INFINITY;
+    let mut t_cand = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        base();
+        t_base = t_base.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        cand();
+        t_cand = t_cand.min(t0.elapsed().as_secs_f64());
+    }
+    (t_base, t_cand)
+}
+
+/// The ≤2%-disabled-overhead contract (pom-obs crate docs), measured:
+///
+/// * RK4: the current `FixedStepSolver::integrate_with` (obs disabled)
+///   vs [`pom_bench::integrate_fixed_rk4_pre_obs`] — the pre-obs driver
+///   replicated without the instrumentation sites.
+/// * sweep: the current `run_campaign` (obs disabled) vs
+///   [`pom_bench::run_campaign_pre_obs`], same replica treatment.
+///
+/// Each gate retries up to three times before failing — best-of-reps
+/// interleaving removes most scheduler noise, but a shared CI host can
+/// still produce one bad attempt; a real regression fails all three.
+/// The ratio floor is 0.98 in full mode and 0.90 in smoke mode (tiny
+/// iteration counts measure mostly fixed costs).
+fn obs_overhead_bench(smoke: bool, standalone: bool) {
+    use pom_bench::{integrate_fixed_rk4_pre_obs, run_campaign_pre_obs};
+    use pom_ode::FixedStepSolver;
+    use pom_sweep::run_campaign;
+
+    // The gate measures the DISABLED path; enabled-mode numbers are
+    // reported for context afterwards.
+    pom_obs::set_enabled(false);
+
+    let threshold = if smoke { 0.90 } else { 0.98 };
+    let reps = if smoke { 2 } else { 5 };
+    let attempts_max = 3;
+
+    // RK4 gate: mid-size model, trajectory decimated ×8 as a sweep-like
+    // workload would.
+    let n = 64;
+    let h = 0.02;
+    let rk4_steps = if smoke { 300 } else { 30_000 };
+    let t_end = h * rk4_steps as f64;
+    let model = build_model(n);
+    let y0 = InitialCondition::RandomSpread {
+        amplitude: 0.3,
+        seed: 1,
+    }
+    .phases(n);
+    let solver = FixedStepSolver::new(Rk4, h).unwrap().record_every(8);
+    // One workspace per path: the timed closures hold their borrows
+    // simultaneously.
+    let mut ws_pre = Workspace::new();
+    let mut ws_cur = Workspace::new();
+
+    // Both drivers must agree bitwise before either is timed.
+    let a = integrate_fixed_rk4_pre_obs(&model, 0.0, &y0, t_end, h, 8, &mut ws_pre);
+    let b = solver
+        .integrate_with(&model, 0.0, &y0, t_end, &mut ws_cur)
+        .unwrap();
+    assert_eq!(a.len(), b.len(), "record cadence diverged");
+    assert!(
+        a.last()
+            .unwrap()
+            .iter()
+            .zip(b.last().unwrap())
+            .all(|(x, y)| x.to_bits() == y.to_bits()),
+        "instrumented RK4 driver diverged from the pre-obs replica"
+    );
+
+    let mut rk4_ratio = 0.0f64;
+    let mut rk4_pre_sps = 0.0;
+    let mut rk4_cur_sps = 0.0;
+    let mut rk4_attempts = 0;
+    while rk4_attempts < attempts_max && rk4_ratio < threshold {
+        rk4_attempts += 1;
+        let (t_pre, t_cur) = time_pair(
+            reps,
+            || {
+                black_box(integrate_fixed_rk4_pre_obs(
+                    &model,
+                    0.0,
+                    &y0,
+                    t_end,
+                    h,
+                    8,
+                    &mut ws_pre,
+                ));
+            },
+            || {
+                black_box(
+                    solver
+                        .integrate_with(&model, 0.0, &y0, t_end, &mut ws_cur)
+                        .unwrap(),
+                );
+            },
+        );
+        let (pre, cur) = (rk4_steps as f64 / t_pre, rk4_steps as f64 / t_cur);
+        if cur / pre > rk4_ratio {
+            (rk4_ratio, rk4_pre_sps, rk4_cur_sps) = (cur / pre, pre, cur);
+        }
+    }
+
+    // Enabled-mode context number (not gated).
+    pom_obs::set_enabled(true);
+    let t_on = time_best(reps, || {
+        solver
+            .integrate_with(&model, 0.0, &y0, t_end, &mut ws_cur)
+            .unwrap();
+        0.0
+    });
+    pom_obs::set_enabled(false);
+    let rk4_on_sps = rk4_steps as f64 / t_on;
+
+    // Sweep gate: the bench campaign through both executors, one worker
+    // (multi-worker wall time is dominated by scheduling jitter, which
+    // would swamp a 2% budget without measuring instrumentation at all).
+    let campaign = Campaign::from_str(CAMPAIGN_SPEC).expect("bench spec");
+    let points = campaign.total_points();
+    let opts = pom_sweep::RunOptions::with_threads(1);
+
+    let mut sweep_ratio = 0.0f64;
+    let mut sweep_pre_pps = 0.0;
+    let mut sweep_cur_pps = 0.0;
+    let mut sweep_attempts = 0;
+    while sweep_attempts < attempts_max && sweep_ratio < threshold {
+        sweep_attempts += 1;
+        let (t_pre, t_cur) = time_pair(
+            reps,
+            || {
+                run_campaign_pre_obs(&campaign.spec, &opts, &mut NullSink).unwrap();
+            },
+            || {
+                run_campaign(&campaign.spec, &opts, &mut NullSink).unwrap();
+            },
+        );
+        let (pre, cur) = (points as f64 / t_pre, points as f64 / t_cur);
+        if cur / pre > sweep_ratio {
+            (sweep_ratio, sweep_pre_pps, sweep_cur_pps) = (cur / pre, pre, cur);
+        }
+    }
+
+    pom_obs::set_enabled(true);
+    let t_on = time_best(reps, || {
+        run_campaign(&campaign.spec, &opts, &mut NullSink).unwrap();
+        0.0
+    });
+    pom_obs::set_enabled(false);
+    let sweep_on_pps = points as f64 / t_on;
+
+    let pass = rk4_ratio >= threshold && sweep_ratio >= threshold;
+    let indent = if standalone { "" } else { "  " };
+    if standalone {
+        println!("{{");
+        println!("  \"bench\": \"obs_overhead_gate\",");
+        println!("  \"smoke\": {smoke},");
+    } else {
+        println!("  \"obs_overhead\": {{");
+    }
+    println!("{indent}  \"contract\": \"instrumented hot paths with the obs switch off stay within threshold of faithful pre-obs replicas (interleaved best-of-{reps}, up to {attempts_max} attempts)\",");
+    println!("{indent}  \"threshold\": {threshold},");
+    println!(
+        "{indent}  \"rk4\": {{\"n\": {n}, \"steps\": {rk4_steps}, \"pre_obs_steps_per_sec\": {rk4_pre_sps:.0}, \"disabled_steps_per_sec\": {rk4_cur_sps:.0}, \"enabled_steps_per_sec\": {rk4_on_sps:.0}, \"disabled_ratio\": {rk4_ratio:.4}, \"attempts\": {rk4_attempts}}},"
+    );
+    println!(
+        "{indent}  \"sweep\": {{\"points\": {points}, \"pre_obs_points_per_sec\": {sweep_pre_pps:.1}, \"disabled_points_per_sec\": {sweep_cur_pps:.1}, \"enabled_points_per_sec\": {sweep_on_pps:.1}, \"disabled_ratio\": {sweep_ratio:.4}, \"attempts\": {sweep_attempts}}},"
+    );
+    println!("{indent}  \"pass\": {pass}");
+    if standalone {
+        println!("}}");
+    } else {
+        println!("  }},");
+    }
+
+    assert!(
+        pass,
+        "obs disabled-mode overhead gate failed: rk4 ratio {rk4_ratio:.4}, \
+         sweep ratio {sweep_ratio:.4} (threshold {threshold})"
+    );
 }
 
 // --- pom-serve daemon bench -------------------------------------------------
@@ -753,4 +976,7 @@ fn serve_bench(smoke: bool) {
     );
     assert_eq!(summary.rows_written, expected_jobs);
     let _ = std::fs::remove_dir_all(&spool);
+    // Server::start flipped the global obs switch on; the campaign
+    // section that follows must measure under pre-PR conditions.
+    pom_obs::set_enabled(false);
 }

@@ -8,10 +8,17 @@
 //! 3. prints a `VERDICT:` line summarizing how the measured shape relates
 //!    to the paper's claim — EXPERIMENTS.md collects these.
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
-use pom_ode::OdeSystem;
+use pom_core::SimWorkspace;
+use pom_ode::{OdeSystem, Rk4, Stepper, Trajectory, Workspace};
+use pom_sweep::{
+    run_point_ws, CampaignSpec, CampaignSummary, PointRow, ResultSink, RunOptions, SweepError,
+};
 
 /// Faithful replica of the pre-workspace `Rk4::step`: five heap
 /// allocations per step, right-hand side reached through a vtable.
@@ -43,6 +50,145 @@ pub fn rk4_step_legacy(sys: &dyn OdeSystem, t: f64, y: &[f64], h: f64, y_out: &m
     for i in 0..n {
         y_out[i] = y[i] + (h / 6.0) * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
     }
+}
+
+/// Faithful replica of the pre-observability
+/// `FixedStepSolver::integrate_with` driver: same index-recomputed step
+/// targets, same record cadence, same non-finite scan at record points —
+/// but no RHS-evaluation accounting and no metric flush. The
+/// `obs_overhead` gate in `bench_steps` times this against the current
+/// (instrumented, obs-disabled) path to bound the disabled-mode cost.
+///
+/// The one unavoidable divergence: the replica records through the
+/// public `Trajectory::push` (two branch checks per recorded sample)
+/// where the solver uses the crate-private unchecked variant — a bias
+/// *against* the instrumented path, so the gate stays conservative.
+pub fn integrate_fixed_rk4_pre_obs<Sys: OdeSystem + ?Sized>(
+    sys: &Sys,
+    t0: f64,
+    y0: &[f64],
+    t_end: f64,
+    h: f64,
+    record_every: usize,
+    ws: &mut Workspace,
+) -> Trajectory {
+    let n = sys.dim();
+    let span = t_end - t0;
+    let n_steps = (span / h).ceil().max(1.0) as usize;
+    let record_every = record_every.max(1);
+
+    let mut traj = Trajectory::with_capacity(n, n_steps / record_every + 2);
+    traj.push(t0, y0).expect("first sample");
+
+    let (stage, drive) = ws.split();
+    let [mut y, mut y_next] = drive.slices::<2>(n);
+    y.copy_from_slice(y0);
+    let mut t = t0;
+
+    for step_idx in 1..=n_steps {
+        let t_target = if step_idx == n_steps {
+            t_end
+        } else {
+            t0 + span * (step_idx as f64 / n_steps as f64)
+        };
+        let h_step = t_target - t;
+        Rk4.step(sys, t, y, h_step, y_next, stage);
+        std::mem::swap(&mut y, &mut y_next);
+        t = t_target;
+        if step_idx % record_every == 0 || step_idx == n_steps {
+            assert!(y.iter().all(|v| v.is_finite()), "non-finite state");
+            traj.push(t, y).expect("sample");
+        }
+    }
+    traj
+}
+
+/// Faithful replica of the pre-observability `run_campaign`: identical
+/// atomic-cursor work distribution, per-worker workspace reuse, and
+/// in-order reorder-buffer emission — with every instrumentation site
+/// (campaign counter, queue-depth gauge, per-point timing) absent rather
+/// than disabled. The other half of the `obs_overhead` gate.
+pub fn run_campaign_pre_obs(
+    spec: &CampaignSpec,
+    opts: &RunOptions,
+    sink: &mut dyn ResultSink,
+) -> Result<CampaignSummary, SweepError> {
+    let total = spec.total_points();
+    let pending: Vec<usize> = (0..total).filter(|i| !opts.completed.contains(i)).collect();
+    let n_workers = opts.effective_threads().min(pending.len().max(1));
+
+    sink.begin(spec)?;
+
+    let mut summary = CampaignSummary {
+        total,
+        executed: 0,
+        skipped: total - pending.len(),
+        errors: 0,
+        cancelled: false,
+    };
+    if pending.is_empty() {
+        sink.end(&summary)?;
+        return Ok(summary);
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<PointRow>();
+
+    let mut sink_error: Option<std::io::Error> = None;
+    std::thread::scope(|scope| {
+        for _ in 0..n_workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let pending = &pending;
+            let cancel = opts.cancel.clone();
+            scope.spawn(move || {
+                let mut ws = SimWorkspace::new();
+                loop {
+                    if cancel.as_ref().is_some_and(|c| c.load(Ordering::Relaxed)) {
+                        break;
+                    }
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&index) = pending.get(k) else { break };
+                    let row = run_point_ws(spec, index, &mut ws);
+                    if tx.send(row).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        let mut buffer: BTreeMap<usize, PointRow> = BTreeMap::new();
+        let mut emit_at = 0usize;
+        for row in rx {
+            buffer.insert(row.index, row);
+            while emit_at < pending.len() {
+                let next_index = pending[emit_at];
+                let Some(row) = buffer.remove(&next_index) else {
+                    break;
+                };
+                summary.executed += 1;
+                if row.error.is_some() {
+                    summary.errors += 1;
+                }
+                if let Err(e) = sink.row(&row) {
+                    sink_error = Some(e);
+                    return;
+                }
+                emit_at += 1;
+            }
+        }
+    });
+
+    summary.cancelled = opts
+        .cancel
+        .as_ref()
+        .is_some_and(|c| c.load(Ordering::Relaxed));
+    if let Some(e) = sink_error {
+        return Err(SweepError::Io(e));
+    }
+    sink.end(&summary)?;
+    Ok(summary)
 }
 
 /// Output directory for reproduction artifacts (`target/repro`), created

@@ -102,13 +102,17 @@ pub fn help() -> String {
      \x20                                             splits one large-N run across cores; 0 = all;\n\
      \x20                                             observe=1 streams observables online — O(N)\n\
      \x20                                             memory at any span, record-every= decimates)\n\
-     \x20 sweep        <spec.toml> [threads=0 out=… format=jsonl|csv resume=0|1]\n\
+     \x20 sweep        <spec.toml> [threads=0 out=… format=jsonl|csv resume=0|1 stats=0|1]\n\
      \x20                                             run a declarative scenario campaign on all\n\
      \x20                                             cores, streaming one result row per point\n\
-     \x20 serve        [addr=127.0.0.1:7700 spool=pom-spool threads=0 max-jobs=16]\n\
+     \x20                                             (stats=1 instruments the run and appends a\n\
+     \x20                                             per-point latency summary: p50/p90/p99)\n\
+     \x20 serve        [addr=127.0.0.1:7700 spool=pom-spool threads=0 max-jobs=16\n\
+     \x20               log-level=debug|info|warn|error|off]\n\
      \x20                                             campaign daemon: submit specs over HTTP,\n\
      \x20                                             poll status, stream JSONL rows, cancel,\n\
-     \x20                                             resume; crash-safe spool, SIGTERM drains\n\
+     \x20                                             resume; crash-safe spool, SIGTERM drains;\n\
+     \x20                                             GET /metrics exposes Prometheus text\n\
      \x20 wave-sweep   [n=40 t_end=80]                idle-wave speed vs. coupling βκ (§5.1.1)\n\
      \x20 sigma-sweep  [n=24 t_end=300]               phase gap vs. interaction horizon σ (§5.2.2)\n\
      \x20 help                                        this text\n"
@@ -571,6 +575,12 @@ pub fn cmd_sweep(positional: &[String], cfg: &Config) -> Result<String, CliError
     let threads = cfg.usize_or("threads", 0)?;
     let resume = cfg.usize_or("resume", 0)? != 0;
     let format = cfg.str_or("format", "jsonl");
+    let stats = cfg.usize_or("stats", 0)? != 0;
+    if stats {
+        // Opt-in instrumentation: per-point wall times land in the
+        // registry histogram the summary below reads back.
+        pom_obs::set_enabled(true);
+    }
 
     // Resume state lives in the JSONL header's spec hash; silently
     // re-running a whole campaign instead would discard completed work.
@@ -585,9 +595,12 @@ pub fn cmd_sweep(positional: &[String], cfg: &Config) -> Result<String, CliError
     let summary = match cfg.get("out") {
         None => {
             // No output file: the report *is* the JSONL stream.
-            let text = campaign
+            let mut text = campaign
                 .run_jsonl_string(threads)
                 .map_err(|e| CliError::Run(e.to_string()))?;
+            if stats {
+                text.push_str(&sweep_stats_report());
+            }
             return Ok(text);
         }
         Some(out_path) => {
@@ -631,12 +644,50 @@ pub fn cmd_sweep(positional: &[String], cfg: &Config) -> Result<String, CliError
     if let Some(p) = cfg.get("out") {
         let _ = writeln!(out, "wrote {p}");
     }
+    if stats {
+        out.push_str(&sweep_stats_report());
+    }
     Ok(out)
+}
+
+/// The `sweep stats=1` trailer: per-point wall-time quantiles read back
+/// from the registry histogram the executor fills.
+fn sweep_stats_report() -> String {
+    let h = pom_obs::registry().histogram(
+        pom_sweep::POINT_DURATION_METRIC,
+        "Wall time of one executed sweep point.",
+    );
+    let mut out = String::new();
+    let _ = writeln!(out, "# point latency ({} timed points)", h.count());
+    if h.count() == 0 {
+        let _ = writeln!(out, "no points executed (everything resumed from cache?)");
+        return out;
+    }
+    let us = |v: Option<f64>| v.map_or("n/a".to_string(), |v| format!("{:.0} µs", v));
+    let _ = writeln!(out, "mean: {}", us(h.mean()));
+    let _ = writeln!(out, "p50:  {}", us(h.quantile(0.5)));
+    let _ = writeln!(out, "p90:  {}", us(h.quantile(0.9)));
+    let _ = writeln!(out, "p99:  {}", us(h.quantile(0.99)));
+    let _ = writeln!(
+        out,
+        "max:  {}",
+        h.max().map_or("n/a".to_string(), |v| format!("{v} µs"))
+    );
+    out
 }
 
 /// `pom serve`: run the campaign daemon until `POST /shutdown` or a
 /// termination signal, then drain and report.
 pub fn cmd_serve(cfg: &Config) -> Result<String, CliError> {
+    let level_name = cfg.str_or("log-level", "warn");
+    let level = pom_obs::Level::from_name(&level_name).ok_or_else(|| {
+        CliError::Config(ConfigError::BadValue {
+            key: "log-level".into(),
+            value: level_name.clone(),
+            expected: "debug, info, warn, error or off",
+        })
+    })?;
+    pom_obs::set_log_level(level);
     let config = pom_serve::ServeConfig {
         addr: cfg.str_or("addr", "127.0.0.1:7700"),
         spool: std::path::PathBuf::from(cfg.str_or("spool", "pom-spool")),
@@ -907,6 +958,37 @@ mod tests {
         assert!(report.contains("skipped:  3"), "{report}");
         let _ = std::fs::remove_file(&spec_path);
         let _ = std::fs::remove_file(&out_path);
+    }
+
+    #[test]
+    fn sweep_stats_appends_latency_summary() {
+        // stats=1 flips the global instrumentation switch on; any other
+        // test observing metrics must tolerate that (they only read
+        // their own registry entries, so this is safe).
+        let spec = r#"
+            [campaign]
+            observables = ["final_r"]
+            [model]
+            n = 4
+            [sim]
+            t_end = 2.0
+            samples = 5
+            [[axes]]
+            key = "model.coupling"
+            values = [2.0, 4.0]
+        "#;
+        let path = std::env::temp_dir().join(format!("pom-cli-stats-{}.toml", std::process::id()));
+        std::fs::write(&path, spec).unwrap();
+        let out = run_cli(["sweep", path.to_str().unwrap(), "stats=1"]).unwrap();
+        assert!(out.contains("# point latency"), "{out}");
+        assert!(out.contains("p99:"), "{out}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn serve_rejects_bad_log_level() {
+        let e = run_cli(["serve", "log-level=chatty"]).unwrap_err();
+        assert!(e.to_string().contains("warn"), "{e}");
     }
 
     #[test]

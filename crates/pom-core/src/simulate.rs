@@ -11,6 +11,22 @@ use crate::observables::{
     phase_spread,
 };
 
+/// Count one completed model run; no-op when instrumentation is off.
+/// The underlying solver already flushed its step/eval totals.
+fn count_simulation() {
+    if !pom_obs::enabled() {
+        return;
+    }
+    static C: std::sync::OnceLock<std::sync::Arc<pom_obs::Counter>> = std::sync::OnceLock::new();
+    C.get_or_init(|| {
+        pom_obs::registry().counter(
+            "pom_core_simulations_total",
+            "Completed model simulations (recording and observed paths).",
+        )
+    })
+    .inc();
+}
+
 /// Reusable scratch memory for model runs.
 ///
 /// Wraps the integrator [`Workspace`] so one allocation pool serves every
@@ -330,6 +346,7 @@ impl Pom {
             SolverChoice::Auto => unreachable!("resolved above"),
         };
 
+        count_simulation();
         Ok(PomRun { omega, trajectory })
     }
 
@@ -471,6 +488,7 @@ impl Pom {
             SolverChoice::Auto => unreachable!("resolved above"),
         };
 
+        count_simulation();
         Ok(SimSummary {
             omega,
             t_end,

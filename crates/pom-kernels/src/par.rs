@@ -37,8 +37,42 @@
 
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+struct PoolMetrics {
+    jobs: Arc<pom_obs::Counter>,
+    items: Arc<pom_obs::Counter>,
+    busy_us: Arc<pom_obs::Counter>,
+    imbalance_us: Arc<pom_obs::Histogram>,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static M: OnceLock<PoolMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = pom_obs::registry();
+        PoolMetrics {
+            jobs: r.counter(
+                "pom_kernels_pool_jobs_total",
+                "Fork\u{2013}join jobs dispatched.",
+            ),
+            items: r.counter(
+                "pom_kernels_pool_items_total",
+                "Items covered by dispatched jobs.",
+            ),
+            busy_us: r.counter(
+                "pom_kernels_pool_busy_us_total",
+                "Per-slot busy time summed over all slots and jobs.",
+            ),
+            imbalance_us: r.histogram(
+                "pom_kernels_pool_imbalance_us",
+                "Per-job fork\u{2013}join imbalance: busiest minus idlest slot.",
+            ),
+        }
+    })
+}
 
 /// Type-erased job descriptor handed from [`ChunkPool::run`] to workers.
 ///
@@ -152,6 +186,36 @@ impl ChunkPool {
     /// Safe to call from several threads at once: concurrent calls are
     /// serialized (each job runs alone on the pool).
     pub fn run(&self, n_items: usize, f: &(dyn Fn(usize, Range<usize>) + Sync)) {
+        if !pom_obs::enabled() {
+            return self.run_inner(n_items, f);
+        }
+        // Instrumented path: one clock pair per slot per job (never per
+        // item). `run_inner` falls back to inline execution on slot 0 for
+        // trivial jobs, so only aggregate the slots that actually ran.
+        let slots = self.threads();
+        let active = if slots == 1 || n_items == 0 { 1 } else { slots };
+        let busy: Vec<AtomicU64> = (0..active).map(|_| AtomicU64::new(0)).collect();
+        let busy_ref = &busy;
+        self.run_inner(n_items, &move |slot: usize, range: Range<usize>| {
+            let t0 = Instant::now();
+            f(slot, range);
+            busy_ref[slot].store(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+        });
+        let m = pool_metrics();
+        m.jobs.inc();
+        m.items.add(n_items as u64);
+        let (mut lo, mut hi, mut sum) = (u64::MAX, 0u64, 0u64);
+        for b in &busy {
+            let v = b.load(Ordering::Relaxed);
+            lo = lo.min(v);
+            hi = hi.max(v);
+            sum += v;
+        }
+        m.busy_us.add(sum);
+        m.imbalance_us.observe(hi - lo);
+    }
+
+    fn run_inner(&self, n_items: usize, f: &(dyn Fn(usize, Range<usize>) + Sync)) {
         let slots = self.threads();
         if slots == 1 || n_items == 0 {
             f(0, 0..n_items);

@@ -1,0 +1,92 @@
+//! Monotonic-clock span timers.
+
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+
+/// Times a scope against the monotonic clock and records the elapsed
+/// microseconds into a [`Histogram`] when dropped (or explicitly via
+/// [`Span::finish`]).
+///
+/// When instrumentation is disabled ([`crate::enabled`] is false) the
+/// constructor skips the clock read entirely and drop is a no-op — the
+/// whole span costs one relaxed atomic load.
+///
+/// ```
+/// use pom_obs::{Histogram, Span};
+/// let h = Histogram::new();
+/// pom_obs::set_enabled(true);
+/// {
+///     let _span = Span::start(&h);
+///     // … timed work …
+/// }
+/// assert_eq!(h.count(), 1);
+/// # pom_obs::set_enabled(false);
+/// ```
+#[must_use = "a span records on drop; binding it to `_` drops it immediately"]
+pub struct Span<'h> {
+    hist: &'h Histogram,
+    start: Option<Instant>,
+}
+
+impl<'h> Span<'h> {
+    /// Start timing into `hist`; inert when instrumentation is off.
+    #[inline]
+    pub fn start(hist: &'h Histogram) -> Self {
+        Self {
+            hist,
+            start: crate::enabled().then(Instant::now),
+        }
+    }
+
+    /// Elapsed microseconds so far (`None` when the span is inert).
+    pub fn elapsed_us(&self) -> Option<u64> {
+        self.start.map(|s| s.elapsed().as_micros() as u64)
+    }
+
+    /// Stop now and return the recorded microseconds (`None` if inert).
+    pub fn finish(mut self) -> Option<u64> {
+        let us = self.elapsed_us();
+        if let Some(us) = us {
+            self.hist.observe(us);
+        }
+        self.start = None; // drop must not double-record
+        us
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(s) = self.start {
+            self.hist.observe(s.elapsed().as_micros() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test, not several: it toggles the process-global enabled flag,
+    // and cargo runs tests on parallel threads.
+    #[test]
+    fn span_lifecycle() {
+        let h = Histogram::new();
+
+        crate::set_enabled(false);
+        let s = Span::start(&h);
+        assert_eq!(s.elapsed_us(), None);
+        assert_eq!(s.finish(), None);
+        assert_eq!(h.count(), 0, "disabled span must be inert");
+
+        crate::set_enabled(true);
+        {
+            let _s = Span::start(&h);
+        }
+        assert_eq!(h.count(), 1, "enabled span records on drop");
+        let s = Span::start(&h);
+        assert!(s.finish().is_some());
+        assert_eq!(h.count(), 2, "finish must not double-record via drop");
+        crate::set_enabled(false);
+    }
+}

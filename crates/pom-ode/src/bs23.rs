@@ -215,6 +215,12 @@ impl Bs23 {
             let fac = (SAFETY * err.powf(-1.0 / 3.0)).clamp(FAC_MIN, FAC_MAX);
             h = (h * fac).min(h_max);
         }
+        crate::obs::flush_integration(
+            stats.n_accepted as u64,
+            stats.n_rejected as u64,
+            stats.n_eval as u64,
+            0,
+        );
         Ok((traj, stats))
     }
 
@@ -328,6 +334,13 @@ impl Bs23 {
             h = (h * fac).min(h_max);
         }
         obs.finish(t, y);
+        // begin + every accepted step + finish observer callbacks.
+        crate::obs::flush_integration(
+            stats.n_accepted as u64,
+            stats.n_rejected as u64,
+            stats.n_eval as u64,
+            stats.n_accepted as u64 + 2,
+        );
         Ok((
             ObservedSummary {
                 t_end: t,

@@ -373,6 +373,8 @@ impl DdeRk4 {
             }
         }
 
+        // 4 evals per step (k2, k3, k4, f_new) plus the initial k1.
+        crate::obs::flush_integration(n_steps as u64, 0, 4 * n_steps as u64 + 1, 0);
         Ok((traj, buffer))
     }
 
@@ -489,6 +491,8 @@ impl DdeRk4 {
         }
         obs.finish(t, y);
 
+        // begin + every step + finish observer callbacks.
+        crate::obs::flush_integration(n_steps as u64, 0, n_eval as u64, n_steps as u64 + 2);
         Ok(ObservedSummary {
             t_end: t,
             n_steps,

@@ -352,6 +352,12 @@ impl Dopri5 {
         }
 
         let sol = DenseSolution::new(n, t0, t_end, y0.to_vec(), y.to_vec(), segments);
+        crate::obs::flush_integration(
+            stats.n_accepted as u64,
+            stats.n_rejected as u64,
+            stats.n_eval as u64,
+            0,
+        );
         Ok((sol, stats))
     }
 
@@ -498,6 +504,13 @@ impl Dopri5 {
         }
         obs.finish(t, y);
 
+        // begin + every accepted step + finish observer callbacks.
+        crate::obs::flush_integration(
+            stats.n_accepted as u64,
+            stats.n_rejected as u64,
+            stats.n_eval as u64,
+            stats.n_accepted as u64 + 2,
+        );
         Ok((
             ObservedSummary {
                 t_end: t,

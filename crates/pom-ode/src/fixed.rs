@@ -248,6 +248,7 @@ impl<S: Stepper> FixedStepSolver<S> {
         let [mut y, mut y_next] = drive.slices::<2>(n);
         y.copy_from_slice(y0);
         let mut t = t0;
+        let mut n_eval = 0usize;
 
         for step_idx in 1..=n_steps {
             // Recompute the target time from the index so that rounding
@@ -258,7 +259,7 @@ impl<S: Stepper> FixedStepSolver<S> {
                 t0 + span * (step_idx as f64 / n_steps as f64)
             };
             let h = t_target - t;
-            self.stepper.step(sys, t, y, h, y_next, stage);
+            n_eval += self.stepper.step(sys, t, y, h, y_next, stage);
             std::mem::swap(&mut y, &mut y_next);
             t = t_target;
             if step_idx % self.record_every == 0 || step_idx == n_steps {
@@ -273,6 +274,7 @@ impl<S: Stepper> FixedStepSolver<S> {
                 traj.push_trusted(t, y);
             }
         }
+        crate::obs::flush_integration(n_steps as u64, 0, n_eval as u64, 0);
         Ok(traj)
     }
 
@@ -337,6 +339,8 @@ impl<S: Stepper> FixedStepSolver<S> {
             obs.observe_step(t, y);
         }
         obs.finish(t, y);
+        // begin + every step + finish = n_steps + 2 observer callbacks.
+        crate::obs::flush_integration(n_steps as u64, 0, n_eval as u64, n_steps as u64 + 2);
         Ok(ObservedSummary {
             t_end: t,
             n_steps,

@@ -65,6 +65,7 @@ pub mod dopri5;
 pub mod error;
 pub mod events;
 pub mod fixed;
+pub(crate) mod obs;
 pub mod observe;
 pub mod trajectory;
 pub mod workspace;

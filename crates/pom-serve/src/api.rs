@@ -3,10 +3,12 @@
 //! | Method & path            | Meaning                                           |
 //! |--------------------------|---------------------------------------------------|
 //! | `GET  /healthz`          | liveness probe                                    |
+//! | `GET  /metrics`          | Prometheus text exposition of the global registry |
 //! | `POST /jobs`             | submit a campaign spec (TOML/JSON body) → `201`   |
 //! | `GET  /jobs`             | status of every job                               |
 //! | `GET  /jobs/{id}`        | status of one job                                 |
 //! | `GET  /jobs/{id}/rows`   | chunked JSONL result stream (`?follow=1` tails)   |
+//! | `GET  /jobs/{id}/stats`  | per-job point-latency summary (count, p50/90/99)  |
 //! | `POST /jobs/{id}/cancel` | stop scheduling the job, keep partial results     |
 //! | `POST /jobs/{id}/resume` | re-queue a cancelled job's missing points         |
 //! | `POST /shutdown`         | graceful daemon stop (drain in-flight, flush)     |
@@ -15,19 +17,26 @@
 //! `429 Too Many Requests`. Query strings are validated through the same
 //! [`TypedArgs`] layer the CLI uses, so `follow=yes` and `follow=2`
 //! succeed and fail identically in both front ends.
+//!
+//! Every response carries an `X-Pom-Elapsed-Us` header (server-side
+//! handling time; time-to-first-byte for streams), and every handled
+//! request lands in the `pom_serve_requests_total` /
+//! `pom_serve_request_duration_us` series labeled by method and route
+//! *pattern* (`/jobs/{id}`, bounded cardinality).
 
 use std::fs;
 use std::io::{self, Read as _};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use pom_sweep::value::write_json_str;
 use pom_sweep::TypedArgs;
 
 use crate::http::{self, Request, RequestError};
 use crate::job::{JobManager, JobOpError, SubmitError};
+use crate::metrics::{metrics, record_request};
 
 /// Upper bound on one wait for new rows while tailing a stream; the
 /// manager's progress condvar wakes the stream much sooner when a row
@@ -47,6 +56,7 @@ pub fn error_json(msg: &str) -> String {
 /// Serve one connection: read a request, dispatch it, answer, close.
 /// Transport errors are swallowed — the client is gone either way.
 pub fn handle_connection(mut stream: TcpStream, manager: &Arc<JobManager>, stopping: &AtomicBool) {
+    let started = Instant::now();
     // The accepted socket can inherit the listener's non-blocking mode.
     if stream.set_nonblocking(false).is_err() {
         return;
@@ -58,11 +68,30 @@ pub fn handle_connection(mut stream: TcpStream, manager: &Arc<JobManager>, stopp
         Err(RequestError::Closed) => return,
         Err(RequestError::Io(_)) => return,
         Err(RequestError::Bad(status, msg)) => {
-            let _ = http::respond_json(&mut stream, status, &error_json(&msg));
+            let _ = http::respond_json(&mut stream, status, &error_json(&msg), started);
+            record_request("other", "bad_request", elapsed_us(started));
             return;
         }
     };
-    let _ = route(&mut stream, &req, manager, stopping);
+    let _ = route(&mut stream, &req, manager, stopping, started);
+}
+
+fn elapsed_us(started: Instant) -> u64 {
+    started.elapsed().as_micros() as u64
+}
+
+/// The method label: known verbs pass through, anything else collapses
+/// to `other` (the method string is client-controlled; labels must stay
+/// bounded).
+fn method_label(method: &str) -> &'static str {
+    match method {
+        "GET" => "GET",
+        "POST" => "POST",
+        "PUT" => "PUT",
+        "DELETE" => "DELETE",
+        "HEAD" => "HEAD",
+        _ => "other",
+    }
 }
 
 fn route(
@@ -70,14 +99,29 @@ fn route(
     req: &Request,
     manager: &Arc<JobManager>,
     stopping: &AtomicBool,
+    started: Instant,
 ) -> io::Result<()> {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
-    match (req.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => http::respond_json(stream, 200, "{\"ok\":true}"),
+    let (pattern, res) = match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => (
+            "/healthz",
+            http::respond_json(stream, 200, "{\"ok\":true}", started),
+        ),
 
-        ("POST", ["jobs"]) => submit(stream, req, manager),
+        ("GET", ["metrics"]) => (
+            "/metrics",
+            http::respond(
+                stream,
+                200,
+                "text/plain; version=0.0.4",
+                &pom_obs::registry().render(),
+                started,
+            ),
+        ),
 
-        ("GET", ["jobs"]) => {
+        ("POST", ["jobs"]) => ("/jobs", submit(stream, req, manager, started)),
+
+        ("GET", ["jobs"]) => ("/jobs", {
             let mut out = String::from("[");
             for (i, status) in manager.list().iter().enumerate() {
                 if i > 0 {
@@ -86,54 +130,101 @@ fn route(
                 out.push_str(&status.to_json());
             }
             out.push(']');
-            http::respond_json(stream, 200, &out)
-        }
+            http::respond_json(stream, 200, &out, started)
+        }),
 
-        ("GET", ["jobs", id]) => match manager.status(id) {
-            Some(status) => http::respond_json(stream, 200, &status.to_json()),
-            None => not_found(stream, id),
-        },
+        ("GET", ["jobs", id]) => (
+            "/jobs/{id}",
+            match manager.status(id) {
+                Some(status) => http::respond_json(stream, 200, &status.to_json(), started),
+                None => not_found(stream, id, started),
+            },
+        ),
 
-        ("GET", ["jobs", id, "rows"]) => stream_rows(stream, req, manager, id, stopping),
+        ("GET", ["jobs", id, "rows"]) => (
+            "/jobs/{id}/rows",
+            stream_rows(stream, req, manager, id, stopping, started),
+        ),
 
-        ("POST", ["jobs", id, "cancel"]) => job_op(stream, id, manager.cancel(id)),
-        ("POST", ["jobs", id, "resume"]) => job_op(stream, id, manager.resume(id)),
+        ("GET", ["jobs", id, "stats"]) => (
+            "/jobs/{id}/stats",
+            match manager.job_stats(id) {
+                Some(json) => http::respond_json(stream, 200, &json, started),
+                None => not_found(stream, id, started),
+            },
+        ),
 
-        ("POST", ["shutdown"]) => {
+        ("POST", ["jobs", id, "cancel"]) => (
+            "/jobs/{id}/cancel",
+            job_op(stream, id, manager.cancel(id), started),
+        ),
+        ("POST", ["jobs", id, "resume"]) => (
+            "/jobs/{id}/resume",
+            job_op(stream, id, manager.resume(id), started),
+        ),
+
+        ("POST", ["shutdown"]) => ("/shutdown", {
             stopping.store(true, Ordering::SeqCst);
-            http::respond_json(stream, 200, "{\"stopping\":true}")
-        }
+            http::respond_json(stream, 200, "{\"stopping\":true}", started)
+        }),
 
-        (_, ["healthz" | "jobs" | "shutdown", ..]) => http::respond_json(
-            stream,
-            405,
-            &error_json(&format!("{} not allowed on {}", req.method, req.path)),
+        (_, ["healthz" | "jobs" | "shutdown" | "metrics", ..]) => (
+            "method_not_allowed",
+            http::respond_json(
+                stream,
+                405,
+                &error_json(&format!("{} not allowed on {}", req.method, req.path)),
+                started,
+            ),
         ),
-        _ => http::respond_json(
-            stream,
-            404,
-            &error_json(&format!("no route for {} {}", req.method, req.path)),
+        _ => (
+            "not_found",
+            http::respond_json(
+                stream,
+                404,
+                &error_json(&format!("no route for {} {}", req.method, req.path)),
+                started,
+            ),
         ),
-    }
+    };
+    record_request(method_label(&req.method), pattern, elapsed_us(started));
+    res
 }
 
-fn not_found(stream: &mut TcpStream, id: &str) -> io::Result<()> {
-    http::respond_json(stream, 404, &error_json(&format!("no such job `{id}`")))
+fn not_found(stream: &mut TcpStream, id: &str, started: Instant) -> io::Result<()> {
+    http::respond_json(
+        stream,
+        404,
+        &error_json(&format!("no such job `{id}`")),
+        started,
+    )
 }
 
-fn submit(stream: &mut TcpStream, req: &Request, manager: &Arc<JobManager>) -> io::Result<()> {
+fn submit(
+    stream: &mut TcpStream,
+    req: &Request,
+    manager: &Arc<JobManager>,
+    started: Instant,
+) -> io::Result<()> {
     let Ok(body) = std::str::from_utf8(&req.body) else {
-        return http::respond_json(stream, 400, &error_json("spec body is not valid UTF-8"));
+        return http::respond_json(
+            stream,
+            400,
+            &error_json("spec body is not valid UTF-8"),
+            started,
+        );
     };
     match manager.submit(body) {
-        Ok(status) => http::respond_json(stream, 201, &status.to_json()),
+        Ok(status) => http::respond_json(stream, 201, &status.to_json(), started),
         Err(e @ SubmitError::Spec(_)) => {
-            http::respond_json(stream, 400, &error_json(&e.to_string()))
+            http::respond_json(stream, 400, &error_json(&e.to_string()), started)
         }
         Err(e @ SubmitError::QueueFull { .. }) => {
-            http::respond_json(stream, 429, &error_json(&e.to_string()))
+            http::respond_json(stream, 429, &error_json(&e.to_string()), started)
         }
-        Err(e @ SubmitError::Io(_)) => http::respond_json(stream, 500, &error_json(&e.to_string())),
+        Err(e @ SubmitError::Io(_)) => {
+            http::respond_json(stream, 500, &error_json(&e.to_string()), started)
+        }
     }
 }
 
@@ -141,14 +232,36 @@ fn job_op(
     stream: &mut TcpStream,
     id: &str,
     result: Result<crate::job::JobStatus, JobOpError>,
+    started: Instant,
 ) -> io::Result<()> {
     match result {
-        Ok(status) => http::respond_json(stream, 200, &status.to_json()),
-        Err(JobOpError::NotFound) => not_found(stream, id),
+        Ok(status) => http::respond_json(stream, 200, &status.to_json(), started),
+        Err(JobOpError::NotFound) => not_found(stream, id, started),
         Err(e @ JobOpError::Conflict(_)) => {
-            http::respond_json(stream, 409, &error_json(&e.to_string()))
+            http::respond_json(stream, 409, &error_json(&e.to_string()), started)
         }
-        Err(e @ JobOpError::Io(_)) => http::respond_json(stream, 500, &error_json(&e.to_string())),
+        Err(e @ JobOpError::Io(_)) => {
+            http::respond_json(stream, 500, &error_json(&e.to_string()), started)
+        }
+    }
+}
+
+/// Decrements the follow-stream gauge however the stream exits.
+struct FollowGuard;
+
+impl FollowGuard {
+    fn new() -> Option<FollowGuard> {
+        if !pom_obs::enabled() {
+            return None;
+        }
+        metrics().follow_streams.add(1);
+        Some(FollowGuard)
+    }
+}
+
+impl Drop for FollowGuard {
+    fn drop(&mut self) {
+        metrics().follow_streams.sub(1);
     }
 }
 
@@ -162,33 +275,36 @@ fn stream_rows(
     manager: &Arc<JobManager>,
     id: &str,
     stopping: &AtomicBool,
+    started: Instant,
 ) -> io::Result<()> {
     // Same typed-argument layer as the CLI: identical accept/reject.
     let args = match TypedArgs::from_pairs(req.query.iter().map(|(k, v)| (k, v))) {
         Ok(args) => args,
-        Err(e) => return http::respond_json(stream, 400, &error_json(&e.to_string())),
+        Err(e) => return http::respond_json(stream, 400, &error_json(&e.to_string()), started),
     };
     if let Some(unknown) = args.keys().find(|k| *k != "follow") {
         return http::respond_json(
             stream,
             400,
             &error_json(&format!("unknown query parameter `{unknown}`")),
+            started,
         );
     }
     let follow = match args.bool_or("follow", false) {
         Ok(v) => v,
-        Err(e) => return http::respond_json(stream, 400, &error_json(&e.to_string())),
+        Err(e) => return http::respond_json(stream, 400, &error_json(&e.to_string()), started),
     };
 
     let Some(path) = manager.results_path(id) else {
-        return not_found(stream, id);
+        return not_found(stream, id, started);
     };
     let mut file = match fs::File::open(&path) {
         Ok(f) => f,
-        Err(e) => return http::respond_json(stream, 500, &error_json(&e.to_string())),
+        Err(e) => return http::respond_json(stream, 500, &error_json(&e.to_string()), started),
     };
 
-    http::begin_chunked(stream, 200, "application/x-ndjson")?;
+    let _follow_guard = follow.then(FollowGuard::new);
+    http::begin_chunked(stream, 200, "application/x-ndjson", started)?;
     let mut buf = vec![0u8; 64 * 1024];
     loop {
         // Observe quiescence BEFORE the read: any row durable before this

@@ -11,6 +11,7 @@
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::time::Instant;
 
 /// Largest accepted request body (campaign specs are small; a bound keeps
 /// a misbehaving client from ballooning the daemon).
@@ -151,34 +152,50 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Write a complete (non-chunked) response and flush.
+/// Write a complete (non-chunked) response and flush. `started` is when
+/// the request began; every response carries the server-side handling
+/// time as an `X-Pom-Elapsed-Us` header.
 pub fn respond(
     stream: &mut TcpStream,
     status: u16,
     content_type: &str,
     body: &str,
+    started: Instant,
 ) -> io::Result<()> {
     write!(
         stream,
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nX-Pom-Elapsed-Us: {}\r\nConnection: close\r\n\r\n",
         reason(status),
-        body.len()
+        body.len(),
+        started.elapsed().as_micros()
     )?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
 }
 
 /// Write a JSON response.
-pub fn respond_json(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
-    respond(stream, status, "application/json", body)
+pub fn respond_json(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    started: Instant,
+) -> io::Result<()> {
+    respond(stream, status, "application/json", body, started)
 }
 
-/// Begin a chunked response (the row streams).
-pub fn begin_chunked(stream: &mut TcpStream, status: u16, content_type: &str) -> io::Result<()> {
+/// Begin a chunked response (the row streams). The elapsed header covers
+/// time-to-first-byte — headers go out before the stream body.
+pub fn begin_chunked(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    started: Instant,
+) -> io::Result<()> {
     write!(
         stream,
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
-        reason(status)
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nX-Pom-Elapsed-Us: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        started.elapsed().as_micros()
     )
 }
 

@@ -36,10 +36,12 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use pom_core::SimWorkspace;
+use pom_obs::Level;
 use pom_sweep::sink::header_json;
 use pom_sweep::value::write_json_str;
 use pom_sweep::{run_point_ws, scan_completed, CampaignSpec, PointRow};
 
+use crate::metrics::metrics;
 use crate::spool;
 
 /// Lifecycle of a job.
@@ -209,6 +211,10 @@ struct JobEntry {
     /// Rows durable in the file (including rows found by the rescan).
     written: usize,
     errors: usize,
+    /// Wall time of this job's executed points, for `GET
+    /// /jobs/{id}/stats`. Standalone (not registered): per-job series
+    /// would be unbounded-cardinality in the global registry.
+    point_us: pom_obs::Histogram,
 }
 
 impl JobEntry {
@@ -272,6 +278,9 @@ impl JobManager {
             let dir = spool::job_dir(&spool, &id);
             match Self::recover_job(&dir) {
                 Ok(entry) => {
+                    if pom_obs::enabled() {
+                        metrics().spool_recovered.inc();
+                    }
                     if entry.dispatchable() {
                         st.ring.push_back(id.clone());
                     }
@@ -281,7 +290,10 @@ impl JobManager {
                     // An unreadable/unparsable spool entry is skipped, not
                     // fatal: the daemon must come up with whatever state
                     // survived.
-                    eprintln!("pom-serve: skipping spool entry {id}: {e}");
+                    if pom_obs::enabled() {
+                        metrics().spool_skipped.inc();
+                    }
+                    pom_obs::event(Level::Warn, "spool_skip", &[("job", &id), ("error", &e)]);
                 }
             }
         }
@@ -318,6 +330,7 @@ impl JobManager {
             in_flight: 0,
             written: 0,
             errors: 0,
+            point_us: pom_obs::Histogram::new(),
         };
 
         if results.exists() {
@@ -387,6 +400,17 @@ impl JobManager {
             .filter(|j| j.state == JobState::Running)
             .count();
         if active >= self.max_jobs {
+            if pom_obs::enabled() {
+                metrics().jobs_rejected.inc();
+            }
+            pom_obs::event(
+                Level::Warn,
+                "job_rejected",
+                &[
+                    ("active", &active.to_string()),
+                    ("max_jobs", &self.max_jobs.to_string()),
+                ],
+            );
             return Err(SubmitError::QueueFull {
                 active,
                 max: self.max_jobs,
@@ -420,8 +444,21 @@ impl JobManager {
             in_flight: 0,
             written: 0,
             errors: 0,
+            point_us: pom_obs::Histogram::new(),
         };
         let status = entry.status(&id);
+        if pom_obs::enabled() {
+            metrics().jobs_submitted.inc();
+        }
+        pom_obs::event(
+            Level::Info,
+            "job_submit",
+            &[
+                ("job", &id),
+                ("name", &status.name),
+                ("points", &total.to_string()),
+            ],
+        );
         if entry.dispatchable() {
             st.ring.push_back(id.clone());
         }
@@ -435,6 +472,28 @@ impl JobManager {
     pub fn status(&self, id: &str) -> Option<JobStatus> {
         let st = self.lock();
         st.jobs.get(id).map(|e| e.status(id))
+    }
+
+    /// Per-job point-latency summary as a JSON object (`GET
+    /// /jobs/{id}/stats`). Counts cover points executed *this session*
+    /// with instrumentation on — rows recovered from the spool carry no
+    /// timing. `None` for unknown jobs.
+    pub fn job_stats(&self, id: &str) -> Option<String> {
+        use std::fmt::Write as _;
+        let st = self.lock();
+        let e = st.jobs.get(id)?;
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"job\":");
+        write_json_str(id, &mut out);
+        out.push_str(",\"state\":");
+        write_json_str(e.state.as_str(), &mut out);
+        let _ = write!(
+            out,
+            ",\"written\":{},\"point_latency\":{{{}}}}}",
+            e.written,
+            e.point_us.summary_json()
+        );
+        Some(out)
     }
 
     /// Status of every known job, ascending by id sequence.
@@ -457,6 +516,14 @@ impl JobManager {
             let status = entry.status(id);
             st.ring.retain(|r| r != id);
             drop(st);
+            if pom_obs::enabled() {
+                metrics().jobs_cancelled.inc();
+            }
+            pom_obs::event(
+                Level::Info,
+                "job_cancel",
+                &[("job", id), ("written", &status.written.to_string())],
+            );
             self.progress.notify_all();
             return Ok(status);
         }
@@ -511,6 +578,14 @@ impl JobManager {
                     st.ring.push_back(id.to_string());
                 }
                 drop(st);
+                if pom_obs::enabled() {
+                    metrics().jobs_resumed.inc();
+                }
+                pom_obs::event(
+                    Level::Info,
+                    "job_resume",
+                    &[("job", id), ("remaining", &status.remaining.to_string())],
+                );
                 self.work.notify_all();
                 self.progress.notify_all();
                 Ok(status)
@@ -627,12 +702,18 @@ impl JobManager {
     }
 
     /// Deliver a completed row: reorder, write contiguous rows, flip the
-    /// job to done when the last row lands.
-    fn deliver(&self, st: &mut ManagerState, id: &str, row: PointRow) {
+    /// job to done when the last row lands. `elapsed_us` is the point's
+    /// execution wall time (absent when instrumentation is off).
+    fn deliver(&self, st: &mut ManagerState, id: &str, row: PointRow, elapsed_us: Option<u64>) {
         let Some(entry) = st.jobs.get_mut(id) else {
             return;
         };
         entry.in_flight = entry.in_flight.saturating_sub(1);
+        if let Some(us) = elapsed_us {
+            entry.point_us.observe(us);
+        }
+        let was_done = entry.state == JobState::Done;
+        let written_before = entry.written;
         // Stale-delivery guard (e.g. a point re-dispatched after a
         // cancel+resume while the original was still in flight): only
         // rows for not-yet-durable pending positions enter the buffer.
@@ -654,9 +735,14 @@ impl JobManager {
             // One write + flush per row: the file is always a whole-line
             // prefix, which is what makes it a crash checkpoint.
             if let Err(e) = file.write_all(line.as_bytes()).and_then(|()| file.flush()) {
+                let msg = format!("writing row {want}: {e}");
                 entry.state = JobState::Failed;
-                entry.reason = Some(format!("writing row {want}: {e}"));
+                entry.reason = Some(msg.clone());
                 entry.file = None;
+                if pom_obs::enabled() {
+                    metrics().jobs_failed.inc();
+                }
+                pom_obs::event(Level::Error, "job_failed", &[("job", id), ("error", &msg)]);
                 break;
             }
             entry.emit_at += 1;
@@ -672,6 +758,25 @@ impl JobManager {
                 let _ = fs::remove_file(entry.dir.join(spool::CANCELLED_MARKER));
             }
             entry.state = JobState::Done;
+            if !was_done {
+                if pom_obs::enabled() {
+                    metrics().jobs_completed.inc();
+                }
+                pom_obs::event(
+                    Level::Info,
+                    "job_done",
+                    &[
+                        ("job", id),
+                        ("written", &entry.written.to_string()),
+                        ("errors", &entry.errors.to_string()),
+                    ],
+                );
+            }
+        }
+        if pom_obs::enabled() {
+            metrics()
+                .rows_written
+                .add((entry.written - written_before) as u64);
         }
     }
 
@@ -698,14 +803,22 @@ impl JobManager {
                 return;
             };
 
+            // One clock pair per point, only when instrumentation is on.
+            let t0 = pom_obs::enabled().then(Instant::now);
             let row = run_point_ws(&spec, index, &mut ws);
+            let elapsed_us = t0.map(|t| t.elapsed().as_micros() as u64);
+            if let Some(us) = elapsed_us {
+                // Global sweep families too — the daemon bypasses
+                // run_campaign, so it must report its own points.
+                pom_sweep::record_external_point(us, row.error.is_some());
+            }
 
             let mut st = self.lock();
             if st.stop == Some(StopMode::Abort) {
                 // Crash semantics: the computed row never becomes durable.
                 return;
             }
-            self.deliver(&mut st, &id, row);
+            self.deliver(&mut st, &id, row, elapsed_us);
             drop(st);
             self.progress.notify_all();
         }

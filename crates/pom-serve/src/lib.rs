@@ -40,6 +40,7 @@
 pub mod api;
 pub mod http;
 pub mod job;
+pub(crate) mod metrics;
 pub mod signal;
 pub mod spool;
 
@@ -118,6 +119,9 @@ impl Server {
     /// worker pool + accept loop. Returns as soon as the daemon is
     /// serving; recovered incomplete jobs are already being executed.
     pub fn start(cfg: ServeConfig) -> io::Result<Server> {
+        // The daemon always runs instrumented — `/metrics` is part of its
+        // API. Enabled before the spool scan so recovery counters record.
+        pom_obs::set_enabled(true);
         let manager = JobManager::open(&cfg.spool, cfg.max_jobs)?;
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;

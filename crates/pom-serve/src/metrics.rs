@@ -1,0 +1,86 @@
+//! Daemon metrics: route traffic, job lifecycle, spool recovery.
+//!
+//! Per-route series are labeled with the route *pattern* (`/jobs/{id}`),
+//! never the raw path — label cardinality stays bounded no matter how
+//! many jobs exist. Per-job point latencies live in standalone
+//! histograms inside each `JobEntry` (served by `GET /jobs/{id}/stats`),
+//! not in the registry, for the same reason.
+
+use std::sync::{Arc, OnceLock};
+
+use pom_obs::{Counter, Gauge};
+
+pub(crate) struct ServeMetrics {
+    pub jobs_submitted: Arc<Counter>,
+    pub jobs_rejected: Arc<Counter>,
+    pub jobs_completed: Arc<Counter>,
+    pub jobs_failed: Arc<Counter>,
+    pub jobs_cancelled: Arc<Counter>,
+    pub jobs_resumed: Arc<Counter>,
+    pub rows_written: Arc<Counter>,
+    pub follow_streams: Arc<Gauge>,
+    pub spool_recovered: Arc<Counter>,
+    pub spool_skipped: Arc<Counter>,
+}
+
+pub(crate) fn metrics() -> &'static ServeMetrics {
+    static M: OnceLock<ServeMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = pom_obs::registry();
+        ServeMetrics {
+            jobs_submitted: r.counter("pom_serve_jobs_submitted_total", "Jobs accepted."),
+            jobs_rejected: r.counter(
+                "pom_serve_jobs_rejected_total",
+                "Submits rejected by the active-job bound (HTTP 429).",
+            ),
+            jobs_completed: r.counter(
+                "pom_serve_jobs_completed_total",
+                "Jobs that reached the done state.",
+            ),
+            jobs_failed: r.counter(
+                "pom_serve_jobs_failed_total",
+                "Jobs that reached the failed state.",
+            ),
+            jobs_cancelled: r.counter("pom_serve_jobs_cancelled_total", "Jobs cancelled."),
+            jobs_resumed: r.counter("pom_serve_jobs_resumed_total", "Cancelled jobs resumed."),
+            rows_written: r.counter(
+                "pom_serve_rows_written_total",
+                "Result rows made durable across all jobs.",
+            ),
+            follow_streams: r.gauge(
+                "pom_serve_follow_streams",
+                "Row streams currently tailing in follow mode.",
+            ),
+            spool_recovered: r.counter(
+                "pom_serve_spool_jobs_recovered_total",
+                "Spool entries recovered at startup.",
+            ),
+            spool_skipped: r.counter(
+                "pom_serve_spool_jobs_skipped_total",
+                "Unreadable spool entries skipped at startup.",
+            ),
+        }
+    })
+}
+
+/// Record one handled request against the per-route counter/histogram
+/// pair; no-op when instrumentation is off.
+pub(crate) fn record_request(method: &str, route: &str, elapsed_us: u64) {
+    if !pom_obs::enabled() {
+        return;
+    }
+    let labels = [("method", method), ("route", route)];
+    let r = pom_obs::registry();
+    r.counter_with(
+        "pom_serve_requests_total",
+        "Requests handled, by method and route pattern.",
+        &labels,
+    )
+    .inc();
+    r.histogram_with(
+        "pom_serve_request_duration_us",
+        "Request handling time, by method and route pattern.",
+        &labels,
+    )
+    .observe(elapsed_us);
+}

@@ -12,7 +12,18 @@ use std::time::{Duration, Instant};
 /// A parsed response.
 pub struct Response {
     pub status: u16,
+    pub headers: Vec<(String, String)>,
     pub body: String,
+}
+
+impl Response {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// Issue one request and read the full response (the server closes the
@@ -42,16 +53,23 @@ pub fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or_else(|| panic!("bad status line `{status_line}`"));
-    let chunked = head.lines().any(|l| {
-        l.to_ascii_lowercase()
-            .contains("transfer-encoding: chunked")
-    });
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+        .collect();
+    let chunked = headers
+        .iter()
+        .any(|(k, v)| k.eq_ignore_ascii_case("transfer-encoding") && v.contains("chunked"));
     let body = if chunked {
         dechunk(payload)
     } else {
         payload.to_string()
     };
-    Response { status, body }
+    Response {
+        status,
+        headers,
+        body,
+    }
 }
 
 fn dechunk(mut payload: &str) -> String {

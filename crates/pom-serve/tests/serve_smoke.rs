@@ -221,6 +221,95 @@ fn follow_stream_tails_until_done() {
 }
 
 #[test]
+fn metrics_exposition_stats_and_elapsed_header() {
+    let spool = temp_spool("metrics");
+    let server = start(&spool, 2, 16);
+    let addr = server.addr();
+
+    let body = spec("metered", "[2.0, 4.0, 6.0]", 5.0);
+    let created = submit(addr, &body);
+    assert_eq!(created.status, 201, "{}", created.body);
+    let id = json_str_field(&created.body, "job").unwrap();
+    assert!(wait_state(addr, &id, "done", Duration::from_secs(120)));
+
+    // Every route answers with the server-side handling time.
+    let health = request(addr, "GET", "/healthz", None);
+    let elapsed: u64 = health
+        .header("X-Pom-Elapsed-Us")
+        .expect("elapsed header on plain responses")
+        .parse()
+        .expect("integer µs");
+    assert!(elapsed < 60_000_000, "implausible elapsed {elapsed}");
+    let rows = request(addr, "GET", &format!("/jobs/{id}/rows"), None);
+    assert!(
+        rows.header("X-Pom-Elapsed-Us").is_some(),
+        "elapsed header on chunked streams"
+    );
+
+    // /metrics: Prometheus text covering every instrumented layer that
+    // ran — serve routes, job lifecycle, sweep executor, solver counters.
+    let metrics = request(addr, "GET", "/metrics", None);
+    assert_eq!(metrics.status, 200);
+    for family in [
+        "pom_serve_requests_total",
+        "pom_serve_request_duration_us",
+        "pom_serve_jobs_submitted_total",
+        "pom_serve_jobs_completed_total",
+        "pom_serve_rows_written_total",
+        "pom_sweep_points_total",
+        "pom_sweep_point_duration_us",
+        "pom_ode_steps_total",
+        "pom_ode_rhs_evals_total",
+        "pom_core_simulations_total",
+    ] {
+        assert!(
+            metrics.body.contains(&format!("# TYPE {family} ")),
+            "family {family} missing from:\n{}",
+            metrics.body
+        );
+    }
+    // Route series use patterns, never raw ids.
+    assert!(
+        metrics.body.contains("route=\"/jobs/{id}\""),
+        "{}",
+        metrics.body
+    );
+    assert!(!metrics.body.contains(&format!("/jobs/{id}\"")));
+    // Spot-check shape: every sample line is `name{labels} value`.
+    for line in metrics.body.lines().filter(|l| !l.starts_with('#')) {
+        let (name_labels, value) = line.rsplit_once(' ').expect("sample line");
+        assert!(value.parse::<i64>().is_ok(), "non-integer value: {line}");
+        let name = name_labels.split('{').next().unwrap();
+        assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name in: {line}"
+        );
+    }
+
+    // /jobs/{id}/stats: the per-job latency summary counts exactly this
+    // job's executed points.
+    let stats = request(addr, "GET", &format!("/jobs/{id}/stats"), None);
+    assert_eq!(stats.status, 200, "{}", stats.body);
+    assert_eq!(
+        json_str_field(&stats.body, "state").as_deref(),
+        Some("done")
+    );
+    assert_eq!(
+        json_num_field(&stats.body, "count"),
+        Some(3),
+        "{}",
+        stats.body
+    );
+    assert!(stats.body.contains("\"p50_us\":"), "{}", stats.body);
+    assert!(stats.body.contains("\"p99_us\":"), "{}", stats.body);
+    assert_eq!(request(addr, "GET", "/jobs/j999/stats", None).status, 404);
+
+    server.stop(StopMode::Drain);
+    let _ = fs::remove_dir_all(&spool);
+}
+
+#[test]
 fn shutdown_route_requests_graceful_stop() {
     let spool = temp_spool("shutdown");
     let server = start(&spool, 1, 16);

@@ -12,13 +12,69 @@
 use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use pom_core::SimWorkspace;
 
 use crate::run::{run_point_ws, PointRow};
 use crate::sink::{CampaignSummary, ResultSink};
 use crate::spec::{CampaignSpec, SweepError};
+
+/// Histogram of per-point wall time — the name `pom sweep stats=1` and
+/// `/jobs/{id}/stats` consumers fetch from the global registry.
+pub const POINT_DURATION_METRIC: &str = "pom_sweep_point_duration_us";
+
+struct SweepMetrics {
+    campaigns: Arc<pom_obs::Counter>,
+    points: Arc<pom_obs::Counter>,
+    errors: Arc<pom_obs::Counter>,
+    skipped: Arc<pom_obs::Counter>,
+    queue_depth: Arc<pom_obs::Gauge>,
+    point_us: Arc<pom_obs::Histogram>,
+}
+
+fn metrics() -> &'static SweepMetrics {
+    static M: OnceLock<SweepMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = pom_obs::registry();
+        SweepMetrics {
+            campaigns: r.counter("pom_sweep_campaigns_total", "Campaigns executed."),
+            points: r.counter("pom_sweep_points_total", "Sweep points executed."),
+            errors: r.counter(
+                "pom_sweep_point_errors_total",
+                "Sweep points that returned a simulation error.",
+            ),
+            skipped: r.counter(
+                "pom_sweep_points_skipped_total",
+                "Points skipped because resume found them already on disk.",
+            ),
+            queue_depth: r.gauge(
+                "pom_sweep_queue_depth",
+                "Unclaimed points in the most recently active campaign.",
+            ),
+            point_us: r.histogram(POINT_DURATION_METRIC, "Per-point wall time."),
+        }
+    })
+}
+
+/// Record one point execution into the global sweep metrics on behalf
+/// of an external executor. The campaign daemon schedules points itself
+/// (round-robin across jobs, bypassing [`run_campaign`]) but its points
+/// are sweep points all the same — without this hook the daemon's
+/// `/metrics` would miss the `pom_sweep_*` families entirely. No-op
+/// when instrumentation is off.
+pub fn record_external_point(elapsed_us: u64, error: bool) {
+    if !pom_obs::enabled() {
+        return;
+    }
+    let m = metrics();
+    m.points.inc();
+    m.point_us.observe(elapsed_us);
+    if error {
+        m.errors.inc();
+    }
+}
 
 /// Execution options.
 #[derive(Debug, Clone, Default)]
@@ -84,6 +140,13 @@ pub fn run_campaign(
         cancelled: false,
     };
 
+    if pom_obs::enabled() {
+        let m = metrics();
+        m.campaigns.inc();
+        m.skipped.add(summary.skipped as u64);
+        m.queue_depth.set(pending.len() as i64);
+    }
+
     if pending.is_empty() {
         sink.end(&summary)?;
         return Ok(summary);
@@ -110,8 +173,25 @@ pub fn run_campaign(
                     }
                     let k = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(&index) = pending.get(k) else { break };
+                    // Per-point timing only when instrumentation is on —
+                    // the disabled path is one relaxed load per point.
+                    let row = if pom_obs::enabled() {
+                        let m = metrics();
+                        m.queue_depth
+                            .set(pending.len().saturating_sub(k + 1) as i64);
+                        let t0 = Instant::now();
+                        let row = run_point_ws(spec, index, &mut ws);
+                        m.point_us.observe(t0.elapsed().as_micros() as u64);
+                        m.points.inc();
+                        if row.error.is_some() {
+                            m.errors.inc();
+                        }
+                        row
+                    } else {
+                        run_point_ws(spec, index, &mut ws)
+                    };
                     // A dropped receiver means the collector bailed; stop.
-                    if tx.send(run_point_ws(spec, index, &mut ws)).is_err() {
+                    if tx.send(row).is_err() {
                         break;
                     }
                 }
@@ -152,6 +232,9 @@ pub fn run_campaign(
         );
     });
 
+    if pom_obs::enabled() {
+        metrics().queue_depth.set(0);
+    }
     summary.cancelled = opts
         .cancel
         .as_ref()

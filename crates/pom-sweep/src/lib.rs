@@ -79,7 +79,7 @@ pub mod spec;
 pub mod value;
 
 pub use args::{ArgError, TypedArgs};
-pub use exec::{run_campaign, RunOptions};
+pub use exec::{record_external_point, run_campaign, RunOptions, POINT_DURATION_METRIC};
 pub use run::{run_point, run_point_ws, PointRow};
 pub use sink::{
     header_json, scan_completed, CampaignSummary, CsvSink, JsonlSink, MemorySink, ResultSink,

@@ -25,6 +25,7 @@
 //! | [`analysis`] | idle-wave detection and speed fits, de/resynchronization metrics, linear stability, statistics |
 //! | [`sweep`] | parallel scenario-campaign engine: declarative TOML/JSON sweeps, deterministic per-point seeding, streaming JSONL/CSV results, resume |
 //! | [`serve`] | campaign daemon: HTTP/JSON job API over the sweep engine — submit, poll, stream, cancel, resume; crash-safe spool |
+//! | [`obs`] | observability: metrics registry with Prometheus text exposition, span timers, structured JSONL events |
 //! | [`viz`] | circle diagrams, phase/potential timelines, trace Gantt charts (ASCII/SVG/CSV) |
 //!
 //! ## Quick start
@@ -55,6 +56,7 @@ pub use pom_core as core;
 pub use pom_kernels as kernels;
 pub use pom_mpisim as mpisim;
 pub use pom_noise as noise;
+pub use pom_obs as obs;
 pub use pom_ode as ode;
 pub use pom_serve as serve;
 pub use pom_sweep as sweep;
