@@ -99,6 +99,29 @@ impl Welford {
         self.variance().sqrt()
     }
 
+    /// Sample (Bessel-corrected) variance `m2 / (count − 1)`; 0 for fewer
+    /// than two samples. This is the estimator the ensemble aggregation
+    /// columns use — replicas are a finite sample of the seed population.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Half-width of the normal-approximation 95% confidence interval of
+    /// the mean: `1.96 · sqrt(sample_variance / count)`; 0 for fewer than
+    /// two samples. `pom-sweep` writes this as the `<obs>_ci95` column of
+    /// `replicas = R` campaigns.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            1.96 * (self.sample_variance() / self.count as f64).sqrt()
+        }
+    }
+
     /// Smallest sample (`+∞` when empty).
     pub fn min(&self) -> f64 {
         self.min
@@ -380,6 +403,32 @@ mod tests {
         assert_eq!(w.max(), hi);
     }
 
+    /// Golden values for the ensemble aggregation columns: mean, sample
+    /// variance and ci95 half-width against closed-form results on a
+    /// fixed sample set.
+    #[test]
+    fn welford_sample_moments_match_closed_form() {
+        // Samples 1..=5: mean 3, sample variance Σ(x−3)²/4 = 10/4 = 2.5.
+        let mut w = Welford::new();
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            w.push(x);
+        }
+        assert!((w.mean() - 3.0).abs() < 1e-15);
+        assert!((w.sample_variance() - 2.5).abs() < 1e-15);
+        // Population variance uses /n: 10/5 = 2.
+        assert!((w.variance() - 2.0).abs() < 1e-15);
+        // ci95 = 1.96 · sqrt(2.5 / 5) = 1.96 · sqrt(0.5).
+        let expect = 1.96 * (2.5f64 / 5.0).sqrt();
+        assert!((w.ci95_half_width() - expect).abs() < 1e-15);
+
+        // Two equal samples: zero spread, zero interval.
+        let mut w = Welford::new();
+        w.push(7.25);
+        w.push(7.25);
+        assert_eq!(w.sample_variance(), 0.0);
+        assert_eq!(w.ci95_half_width(), 0.0);
+    }
+
     #[test]
     fn welford_degenerate_sizes() {
         let w = Welford::new();
@@ -393,6 +442,8 @@ mod tests {
         w.push(4.0);
         assert_eq!(w.mean(), 4.0);
         assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.sample_variance(), 0.0);
+        assert_eq!(w.ci95_half_width(), 0.0);
         assert_eq!((w.min(), w.max()), (4.0, 4.0));
     }
 

@@ -291,19 +291,22 @@ fn main() {
             Some(("steps", v)) => steps_override = v.parse().ok(),
             Some(("only", v)) => only = Some(v.to_string()),
             _ => {
-                eprintln!("usage: bench_steps [smoke=1] [steps=N] [only=obs]");
+                eprintln!("usage: bench_steps [smoke=1] [steps=N] [only=obs|ensemble]");
                 std::process::exit(2);
             }
         }
     }
-    // `only=obs` runs just the observability overhead gate and emits it
-    // as a standalone JSON document (→ BENCH_obs.json).
+    // `only=obs` / `only=ensemble` run just that gate and emit it as a
+    // standalone JSON document (→ BENCH_obs.json / BENCH_ensemble.json).
     if let Some(section) = only {
-        if section != "obs" {
-            eprintln!("unknown only= section `{section}` (try only=obs)");
-            std::process::exit(2);
+        match section.as_str() {
+            "obs" => obs_overhead_bench(smoke, true),
+            "ensemble" => ensemble_bench(smoke, true),
+            other => {
+                eprintln!("unknown only= section `{other}` (try only=obs or only=ensemble)");
+                std::process::exit(2);
+            }
         }
-        obs_overhead_bench(smoke, true);
         return;
     }
     let h = 0.02;
@@ -575,6 +578,11 @@ fn main() {
     println!("    ]");
     println!("  }},");
 
+    // --- Ensemble batching -------------------------------------------------
+    // Batched R-replica lockstep vs R independent runs, bitwise assert
+    // embedded (this is what the CI smoke job gates).
+    ensemble_bench(smoke, false);
+
     // --- Observability overhead gate --------------------------------------
     // Instrumented hot paths with the obs switch OFF vs faithful pre-obs
     // replicas; asserts the disabled-mode cost stays within the documented
@@ -627,6 +635,177 @@ fn main() {
         reused_pps / fresh_pps
     );
     println!("}}");
+}
+
+// --- Ensemble batching bench -------------------------------------------------
+
+/// Batched R-replica lockstep integration (`PomEnsemble`, interleaved SoA
+/// state) vs R independent `simulate_observed_ws` runs of the same model.
+/// The bitwise-identity assert fires in every mode — CI smoke gates
+/// correctness even when timing would be meaningless; the ≥1.3× speedup
+/// gate at n = 4096 only fires in full mode.
+fn ensemble_bench(smoke: bool, standalone: bool) {
+    use pom_core::{NoObserver, PomEnsemble};
+
+    let r = 5usize;
+    let h = 0.02;
+    let reps = if smoke { 1 } else { 5 };
+    let sizes = [256usize, 4096, 65536];
+    // Eight neighbors per oscillator: enough per-row work that the
+    // shared passes have something to amortize. The `delay` variant adds
+    // a replica-shared random comm-delay field — deterministic hardware
+    // latencies of the one modelled machine, identical across replicas —
+    // which puts the run on the DDE path, where independent runs
+    // re-evaluate the same delay field and re-search the same history
+    // segments R times.
+    let build = |n: usize, delay: bool| {
+        let mut b = PomBuilder::new(n)
+            .topology(Topology::ring(n, &[-4, -3, -2, -1, 1, 2, 3, 4]))
+            .potential(Potential::desync(3.0))
+            .compute_time(0.9)
+            .comm_time(0.1)
+            .coupling(4.0)
+            .normalization(Normalization::ByDegree)
+            .kernel(RhsKernel::SinCosSplit);
+        if delay {
+            b = b.interaction_noise(pom_noise::RandomCommDelay::new(77, n, 0.08, 0.02, 0.5));
+        }
+        b.build().unwrap()
+    };
+
+    let indent = if standalone { "" } else { "  " };
+    if standalone {
+        println!("{{");
+        println!("  \"bench\": \"ensemble_batching\",");
+        println!("  \"smoke\": {smoke},");
+    } else {
+        println!("  \"ensemble\": {{");
+    }
+    println!("{indent}  \"model\": \"ring ±1..±4, desync sigma=3, coupling 4, sincos kernel, rk4 lockstep h=0.02, R={r} replicas with distinct init seeds; delay_rows add a replica-shared random comm-delay field (mean 0.08, spread 0.02)\",");
+    println!("{indent}  \"contract\": \"batched final states bitwise equal R independent runs (asserted every row, every mode); shared-delay batched >= 1.3x at n=4096 (full mode)\",");
+
+    let mut gate_pass = true;
+    for (delay, rows_key) in [(false, "ode_rows"), (true, "delay_rows")] {
+        println!("{indent}  \"{rows_key}\": [");
+        for (idx, &n) in sizes.iter().enumerate() {
+            // Delay steps are ~100x an ODE step (history sampling per
+            // pair per stage), so the DDE rows run far fewer of them.
+            let esteps = match (smoke, delay) {
+                (true, false) => 10,
+                (true, true) => 3,
+                (false, false) => (1_500_000 / n).max(20),
+                (false, true) => (32_768 / n).clamp(3, 120),
+            };
+            let reps_row = if delay && n >= 65_536 {
+                reps.min(2)
+            } else {
+                reps
+            };
+            let t_end = h * esteps as f64;
+            let opts = SimOptions::new(t_end).solver(SolverChoice::FixedRk4 { h });
+            let inits: Vec<InitialCondition> = (0..r)
+                .map(|rep| InitialCondition::RandomSpread {
+                    amplitude: 0.3,
+                    seed: 1000 + rep as u64,
+                })
+                .collect();
+            let single = build(n, delay);
+            let ensemble = PomEnsemble::new((0..r).map(|_| build(n, delay)).collect());
+            let mut ws = SimWorkspace::new();
+
+            // Correctness gate, every mode: the batch IS the R
+            // independent runs, bit for bit.
+            let independent: Vec<Vec<f64>> = inits
+                .iter()
+                .map(|init| {
+                    single
+                        .simulate_observed_ws(init.clone(), &opts, &mut NoObserver, &mut ws)
+                        .expect("independent run")
+                        .final_state()
+                        .to_vec()
+                })
+                .collect();
+            let mut observers = vec![NoObserver; r];
+            let batched = ensemble
+                .simulate_observed_ws(&inits, &opts, &mut observers, &mut ws)
+                .expect("batched run");
+            for rep in 0..r {
+                assert!(
+                    batched[rep]
+                        .final_state()
+                        .iter()
+                        .zip(&independent[rep])
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "batched replica {rep} diverged from its independent run \
+                     at n = {n} (delay = {delay})"
+                );
+            }
+
+            // Timing, with retries on the gated row: best-of-reps absorbs
+            // most scheduler noise, a shared host can still produce one
+            // bad attempt.
+            let gated = !smoke && delay && n == 4096;
+            let mut speedup = 0.0;
+            let mut indep_sps = 0.0;
+            let mut batched_sps = 0.0;
+            for _attempt in 0..3 {
+                let t_indep = time_best(reps_row, || {
+                    inits
+                        .iter()
+                        .map(|init| {
+                            single
+                                .simulate_observed_ws(init.clone(), &opts, &mut NoObserver, &mut ws)
+                                .expect("independent run")
+                                .final_state()[0]
+                        })
+                        .sum()
+                });
+                let t_batched = time_best(reps_row, || {
+                    let mut observers = vec![NoObserver; r];
+                    ensemble
+                        .simulate_observed_ws(&inits, &opts, &mut observers, &mut ws)
+                        .expect("batched run")[0]
+                        .final_state()[0]
+                });
+                // Replica-steps/sec: both columns advance R replicas
+                // esteps steps, so the ratio reads directly as
+                // amortization.
+                let (i_sps, b_sps) = (
+                    (r * esteps) as f64 / t_indep,
+                    (r * esteps) as f64 / t_batched,
+                );
+                if b_sps / i_sps > speedup {
+                    (speedup, indep_sps, batched_sps) = (b_sps / i_sps, i_sps, b_sps);
+                }
+                if !gated || speedup >= 1.3 {
+                    break;
+                }
+            }
+            if gated && speedup < 1.3 {
+                gate_pass = false;
+            }
+
+            let comma = if idx + 1 == sizes.len() { "" } else { "," };
+            println!(
+                "{indent}    {{\"n\": {n}, \"steps\": {esteps}, \"replicas\": {r}, \
+                 \"independent_replica_steps_per_sec\": {indep_sps:.0}, \
+                 \"batched_replica_steps_per_sec\": {batched_sps:.0}, \
+                 \"speedup\": {speedup:.3}}}{comma}"
+            );
+        }
+        println!("{indent}  ],");
+    }
+    println!("{indent}  \"pass\": {gate_pass}");
+    if standalone {
+        println!("}}");
+    } else {
+        println!("  }},");
+    }
+    assert!(
+        gate_pass,
+        "ensemble batching gate failed: shared-delay batched < 1.3x over \
+         independent at n = 4096"
+    );
 }
 
 // --- Observability overhead gate --------------------------------------------

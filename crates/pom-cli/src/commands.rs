@@ -6,10 +6,10 @@
 use std::fmt;
 use std::fmt::Write as _;
 
-use pom_analysis::fig2_verdict;
+use pom_analysis::{fig2_verdict, Welford};
 use pom_core::{
-    fig2_params, Fig2Panel, InitialCondition, Normalization, PomBuilder, Potential, RhsKernel,
-    SimOptions,
+    fig2_params, Fig2Panel, InitialCondition, NoObserver, Normalization, Pom, PomBuilder,
+    PomEnsemble, Potential, RhsKernel, SimOptions, SolverChoice,
 };
 use pom_kernels::{scaling_curve, Kernel, SocketSpec};
 use pom_noise::{DelayEvent, OneOffDelays, WhiteJitter};
@@ -96,12 +96,16 @@ pub fn help() -> String {
      \x20 simulate     [n=40 potential=tanh|desync|sin sigma=3 tcomp=0.9 tcomm=0.1\n\
      \x20               distances=-1,1 coupling=… t_end=120 init=sync|spread|wavefront\n\
      \x20               seed=7 noise=0 delay_rank=… delay_at=… delay_len=…\n\
-     \x20               kernel=exact|sincos rhs-threads=1 observe=0|1 record-every=1]\n\
+     \x20               kernel=exact|sincos rhs-threads=1 observe=0|1 record-every=1\n\
+     \x20               replicas=1 h=…]\n\
      \x20                                             parameterized model run with result views\n\
      \x20                                             (kernel= picks the RHS fast path, rhs-threads=\n\
      \x20                                             splits one large-N run across cores; 0 = all;\n\
      \x20                                             observe=1 streams observables online — O(N)\n\
-     \x20                                             memory at any span, record-every= decimates)\n\
+     \x20                                             memory at any span, record-every= decimates;\n\
+     \x20                                             replicas=R batches R seeded replicas in one\n\
+     \x20                                             lockstep integration and reports mean/ci95\n\
+     \x20                                             aggregates, h= picks the fixed RK4 step)\n\
      \x20 sweep        <spec.toml> [threads=0 out=… format=jsonl|csv resume=0|1 stats=0|1]\n\
      \x20                                             run a declarative scenario campaign on all\n\
      \x20                                             cores, streaming one result row per point\n\
@@ -322,70 +326,119 @@ pub fn cmd_simulate(cfg: &Config) -> Result<String, CliError> {
         cfg.usize_or("rhs_threads", 1)?
     };
 
-    let mut b = PomBuilder::new(n)
-        .topology(topology)
-        .potential(potential)
-        .compute_time(tcomp)
-        .comm_time(tcomm)
-        .kernel(kernel)
-        .rhs_threads(rhs_threads)
-        .normalization(match cfg.str_or("norm", "degree").as_str() {
-            "n" => Normalization::ByN,
-            _ => Normalization::ByDegree,
-        });
-    if let Some(vp) = cfg.get("coupling") {
-        let vp: f64 = vp.parse().map_err(|_| ConfigError::BadValue {
+    let replicas = cfg.usize_or("replicas", 1)?;
+    if replicas == 0 {
+        return Err(CliError::Config(ConfigError::BadValue {
+            key: "replicas".into(),
+            value: "0".into(),
+            expected: "an integer ≥ 1",
+        }));
+    }
+
+    let coupling = match cfg.get("coupling") {
+        Some(vp) => Some(vp.parse::<f64>().map_err(|_| ConfigError::BadValue {
             key: "coupling".into(),
             value: vp.into(),
             expected: "a number",
-        })?;
-        b = b.coupling(vp);
-    }
-    if let Some(k) = cfg.get("kappa") {
-        let k: f64 = k.parse().map_err(|_| ConfigError::BadValue {
+        })?),
+        None => None,
+    };
+    let kappa = match cfg.get("kappa") {
+        Some(k) => Some(k.parse::<f64>().map_err(|_| ConfigError::BadValue {
             key: "kappa".into(),
             value: k.into(),
             expected: "a number",
-        })?;
-        b = b.kappa(k);
-    }
-    // Noise and one-off delays.
-    if let Some(rank) = cfg.get("delay_rank") {
-        let rank: usize = rank.parse().map_err(|_| ConfigError::BadValue {
-            key: "delay_rank".into(),
-            value: rank.into(),
-            expected: "a rank index",
-        })?;
-        let t_start = cfg.f64_or("delay_at", 5.0)?;
-        let duration = cfg.f64_or("delay_len", 3.0)?;
-        b = b.local_noise(OneOffDelays::new(vec![DelayEvent {
-            rank,
-            t_start,
-            duration,
-            extra: tcomp + tcomm,
-        }]));
-    } else if noise > 0.0 {
-        b = b.local_noise(WhiteJitter::new(seed, noise, (tcomp + tcomm) / 2.0));
+        })?),
+        None => None,
+    };
+    let delay = match cfg.get("delay_rank") {
+        Some(rank) => {
+            let rank: usize = rank.parse().map_err(|_| ConfigError::BadValue {
+                key: "delay_rank".into(),
+                value: rank.into(),
+                expected: "a rank index",
+            })?;
+            Some((
+                rank,
+                cfg.f64_or("delay_at", 5.0)?,
+                cfg.f64_or("delay_len", 3.0)?,
+            ))
+        }
+        None => None,
+    };
+
+    // One member per replica seed; replica 0 uses the base seed verbatim
+    // so `replicas=1` is exactly today's single run (same contract as the
+    // sweep layer's `CampaignSpec::replica_seed`).
+    let build_model = |rep_seed: u64| -> Result<Pom, CliError> {
+        let mut b = PomBuilder::new(n)
+            .topology(topology.clone())
+            .potential(potential)
+            .compute_time(tcomp)
+            .comm_time(tcomm)
+            .kernel(kernel)
+            .rhs_threads(rhs_threads)
+            .normalization(match cfg.str_or("norm", "degree").as_str() {
+                "n" => Normalization::ByN,
+                _ => Normalization::ByDegree,
+            });
+        if let Some(vp) = coupling {
+            b = b.coupling(vp);
+        }
+        if let Some(k) = kappa {
+            b = b.kappa(k);
+        }
+        // Noise and one-off delays.
+        if let Some((rank, t_start, duration)) = delay {
+            b = b.local_noise(OneOffDelays::new(vec![DelayEvent {
+                rank,
+                t_start,
+                duration,
+                extra: tcomp + tcomm,
+            }]));
+        } else if noise > 0.0 {
+            b = b.local_noise(WhiteJitter::new(rep_seed, noise, (tcomp + tcomm) / 2.0));
+        }
+        b.build().map_err(|e| CliError::Run(e.to_string()))
+    };
+
+    let init_kind = cfg.str_or("init", "spread");
+    let make_init = |rep_seed: u64| -> Result<InitialCondition, CliError> {
+        Ok(match init_kind.as_str() {
+            "sync" => InitialCondition::Synchronized,
+            "spread" => InitialCondition::RandomSpread {
+                amplitude: cfg.f64_or("amplitude", 1.0)?,
+                seed: rep_seed,
+            },
+            "wavefront" => InitialCondition::Wavefront {
+                slope: cfg.f64_or("slope", 0.5)?,
+            },
+            other => {
+                return Err(CliError::Config(ConfigError::BadValue {
+                    key: "init".into(),
+                    value: other.into(),
+                    expected: "sync, spread or wavefront",
+                }))
+            }
+        })
+    };
+
+    if replicas > 1 {
+        // Replicas only differ through a seeded source: a seeded spread
+        // init or white jitter. Without one, R identical runs would
+        // masquerade as statistics.
+        if init_kind != "spread" && (noise <= 0.0 || delay.is_some()) {
+            return Err(CliError::Run(
+                "replicas > 1 needs a per-replica randomness source \
+                 (init=spread or noise > 0); otherwise all replicas are identical"
+                    .to_string(),
+            ));
+        }
+        return simulate_ensemble_report(replicas, seed, &build_model, &make_init, t_end, cfg);
     }
 
-    let model = b.build().map_err(|e| CliError::Run(e.to_string()))?;
-    let init = match cfg.str_or("init", "spread").as_str() {
-        "sync" => InitialCondition::Synchronized,
-        "spread" => InitialCondition::RandomSpread {
-            amplitude: cfg.f64_or("amplitude", 1.0)?,
-            seed,
-        },
-        "wavefront" => InitialCondition::Wavefront {
-            slope: cfg.f64_or("slope", 0.5)?,
-        },
-        other => {
-            return Err(CliError::Config(ConfigError::BadValue {
-                key: "init".into(),
-                value: other.into(),
-                expected: "sync, spread or wavefront",
-            }))
-        }
-    };
+    let model = build_model(seed)?;
+    let init = make_init(seed)?;
     // Streaming mode (`observe=1 [record-every=k]`): run the observer
     // fast path instead of recording a trajectory — observables fold
     // online, memory stays O(N) however long the span, and the report is
@@ -464,6 +517,107 @@ pub fn cmd_simulate(cfg: &Config) -> Result<String, CliError> {
                 12,
             ));
         }
+    }
+    Ok(out)
+}
+
+/// The `simulate replicas=R` report: run an R-member lockstep ensemble
+/// (one batched integration, replicas interleaved per oscillator row) and
+/// print per-replica finals plus mean/ci95/min/max aggregates.
+fn simulate_ensemble_report(
+    replicas: usize,
+    seed: u64,
+    build_model: &dyn Fn(u64) -> Result<Pom, CliError>,
+    make_init: &dyn Fn(u64) -> Result<InitialCondition, CliError>,
+    t_end: f64,
+    cfg: &Config,
+) -> Result<String, CliError> {
+    // Same derivation as `CampaignSpec::replica_seed`: replica 0 is the
+    // base seed, higher replicas hash it with their index.
+    let rep_seed = |rep: usize| {
+        if rep == 0 {
+            seed
+        } else {
+            pom_noise::SplitMix64::hash3(seed, rep as u64, 0x706f_6d2d_7265_706c)
+        }
+    };
+    let members: Vec<Pom> = (0..replicas)
+        .map(|rep| build_model(rep_seed(rep)))
+        .collect::<Result<_, _>>()?;
+    let inits: Vec<InitialCondition> = (0..replicas)
+        .map(|rep| make_init(rep_seed(rep)))
+        .collect::<Result<_, _>>()?;
+
+    // `h=` opts into the lockstep fixed-step batch; without it the Auto
+    // solver picks Dopri5 for no-delay models and the ensemble runs its
+    // replicas sequentially (same results, less amortization).
+    let mut opts = SimOptions::new(t_end);
+    if let Some(h) = cfg.get("h") {
+        let h: f64 = h.parse().map_err(|_| ConfigError::BadValue {
+            key: "h".into(),
+            value: h.into(),
+            expected: "a positive step size",
+        })?;
+        if !(h.is_finite() && h > 0.0) {
+            return Err(CliError::Config(ConfigError::BadValue {
+                key: "h".into(),
+                value: h.to_string(),
+                expected: "a positive step size",
+            }));
+        }
+        opts = opts.solver(SolverChoice::FixedRk4 { h });
+    }
+
+    let ensemble = PomEnsemble::new(members);
+    let mut observers = vec![NoObserver; replicas];
+    let summaries = ensemble
+        .simulate_observed(&inits, &opts, &mut observers)
+        .map_err(|e| CliError::Run(e.to_string()))?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# POM ensemble run: N = {}, R = {replicas} replicas, potential = {}, \
+         κ = {:.2}, v_p = {:.3}, t_end = {t_end}",
+        ensemble.n(),
+        ensemble.members()[0].potential().name(),
+        ensemble.members()[0].params().kappa,
+        ensemble.members()[0].params().coupling(),
+    );
+    let _ = writeln!(
+        out,
+        "{:>8}  {:>12}  {:>14}  {:>14}",
+        "replica", "final r", "spread [rad]", "mean |gap|"
+    );
+    let mut agg = [Welford::new(), Welford::new(), Welford::new()];
+    for (rep, s) in summaries.iter().enumerate() {
+        let scalars = [
+            s.final_order_parameter(),
+            s.final_phase_spread(),
+            s.mean_abs_adjacent_gap(),
+        ];
+        for (w, v) in agg.iter_mut().zip(scalars) {
+            w.push(v);
+        }
+        let _ = writeln!(
+            out,
+            "{rep:>8}  {:>12.5}  {:>14.5}  {:>14.5}",
+            scalars[0], scalars[1], scalars[2]
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\naggregates over {replicas} replicas (mean ± ci95, [min, max]):"
+    );
+    for (name, w) in ["final r", "spread", "mean |gap|"].iter().zip(&agg) {
+        let _ = writeln!(
+            out,
+            "{name:>12}: {:.5} ± {:.5}  [{:.5}, {:.5}]",
+            w.mean(),
+            w.ci95_half_width(),
+            w.min(),
+            w.max()
+        );
     }
     Ok(out)
 }
@@ -1083,6 +1237,107 @@ mod tests {
         assert!(out.contains("heatmap"), "{out}");
         // 8 oscillator rows rendered.
         assert!(out.lines().filter(|l| l.contains('|')).count() >= 8);
+    }
+
+    #[test]
+    fn simulate_replicas_reports_aggregates() {
+        let out = run_cli([
+            "simulate",
+            "n=10",
+            "potential=tanh",
+            "coupling=4",
+            "t_end=20",
+            "init=spread",
+            "replicas=3",
+            "h=0.05",
+        ])
+        .unwrap();
+        assert!(out.contains("R = 3 replicas"), "{out}");
+        // One row per replica plus the three aggregate lines.
+        for rep in 0..3 {
+            assert!(out.contains(&format!("\n{rep:>8}  ")), "{out}");
+        }
+        assert!(out.contains("aggregates over 3 replicas"), "{out}");
+        assert!(out.contains("final r:"), "{out}");
+    }
+
+    #[test]
+    fn simulate_replicas_validation() {
+        let e = run_cli(["simulate", "replicas=0"]).unwrap_err();
+        assert!(e.to_string().contains("replicas"), "{e}");
+        // Deterministic setup: R identical replicas is an error, not fake
+        // statistics.
+        let e = run_cli(["simulate", "init=sync", "replicas=2", "t_end=5"]).unwrap_err();
+        assert!(e.to_string().contains("identical"), "{e}");
+        let e = run_cli(["simulate", "replicas=2", "h=-0.1", "t_end=5"]).unwrap_err();
+        assert!(e.to_string().contains("step size"), "{e}");
+        // Noise alone is a valid per-replica randomness source.
+        let out = run_cli([
+            "simulate",
+            "n=8",
+            "init=sync",
+            "noise=0.05",
+            "coupling=4",
+            "replicas=2",
+            "t_end=10",
+            "h=0.1",
+        ])
+        .unwrap();
+        assert!(out.contains("R = 2 replicas"), "{out}");
+    }
+
+    #[test]
+    fn simulate_replica_zero_matches_single_run() {
+        // The ensemble's replica 0 row must reproduce the plain run's
+        // printed finals exactly (same seed, same solver).
+        let singles: Vec<String> = ["7", "evens"]
+            .iter()
+            .map(|_| {
+                run_cli([
+                    "simulate",
+                    "n=10",
+                    "potential=tanh",
+                    "coupling=4",
+                    "t_end=20",
+                    "init=spread",
+                    "seed=7",
+                    "replicas=2",
+                    "h=0.05",
+                ])
+                .unwrap()
+            })
+            .collect();
+        // Deterministic across invocations.
+        assert_eq!(singles[0], singles[1]);
+        let row0 = singles[0]
+            .lines()
+            .find(|l| l.trim_start().starts_with("0 "))
+            .unwrap()
+            .to_string();
+        let r0: f64 = row0.split_whitespace().nth(1).unwrap().parse().unwrap();
+        let plain = run_cli([
+            "simulate",
+            "n=10",
+            "potential=tanh",
+            "coupling=4",
+            "t_end=20",
+            "init=spread",
+            "seed=7",
+        ])
+        .unwrap();
+        let plain_r: f64 = plain
+            .lines()
+            .find(|l| l.starts_with("final order parameter r"))
+            .and_then(|l| l.split_whitespace().last())
+            .unwrap()
+            .parse()
+            .unwrap();
+        // Printed at 5 decimals on both sides; solvers differ (fixed h vs
+        // auto), so compare loosely — both runs converge to lockstep.
+        assert!(
+            (r0 - plain_r).abs() < 5e-3,
+            "replica 0 r {r0} vs single-run r {plain_r}"
+        );
     }
 
     #[test]

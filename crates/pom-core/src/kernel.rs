@@ -323,6 +323,102 @@ fn split_rows_csr_body<P: PairTerm>(
     }
 }
 
+/// Ensemble twin of [`split_rows_stencil_body`]: `r` replicas interleaved
+/// (component `(i, rep)` at `i·r + rep`). Interleaving keeps the stencil
+/// walk a constant-offset stream — element `e = i·r + rep` reads its
+/// neighbor at `e + o·r` (or `e + o·r − n·r` past the wrap), so the body
+/// is literally the single-replica body with every index scaled by `r`:
+/// offset-outer, two contiguous segments per offset, no index array, no
+/// gather, and the same vectorization.
+///
+/// Bitwise contract: per component `(i, rep)` the terms are added in
+/// `stencil.offsets()` order onto a zeroed accumulator — exactly the
+/// per-element sequence of the single-replica body. Memory-roundtripping
+/// the `f64` accumulator between offsets is exact, so batched sums equal
+/// the single-replica sums bitwise.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn split_rows_stencil_ensemble_body<P: PairTerm>(
+    p: P,
+    stencil: &RingStencil,
+    r: usize,
+    theta: &[f64],
+    s: &[f64],
+    c: &[f64],
+    rows: std::ops::Range<usize>,
+    out: &mut [f64],
+) {
+    let n = stencil.n();
+    let lo = rows.start;
+    let out = &mut out[..rows.len() * r];
+    out.fill(0.0);
+    for &o in stencil.offsets() {
+        let o = o as usize;
+        // Rows i with i + o < n read neighbor i + o; the rest wrap. The
+        // wrap boundary sits at row granularity, so in element space both
+        // segments stay contiguous streams (neighbor = e + o·r − {0, n·r}).
+        let wrap = n - o;
+        let split_at = rows.end.min(wrap).max(lo);
+        let (bulk, wrapped) = out.split_at_mut((split_at - lo) * r);
+        for (v, e) in bulk.iter_mut().zip(lo * r..) {
+            let j = e + o * r;
+            *v += p.eval(theta[j] - theta[e], s[j], c[j], s[e], c[e]);
+        }
+        for (v, e) in wrapped.iter_mut().zip(split_at * r..) {
+            let j = e + o * r - n * r;
+            *v += p.eval(theta[j] - theta[e], s[j], c[j], s[e], c[e]);
+        }
+    }
+}
+
+/// Ensemble twin of [`split_rows_csr_body`]: row-outer / neighbor-middle /
+/// replica-inner, so the CSR row scan (pointer chase, index decode) is
+/// paid once per row instead of once per row per replica. Per component
+/// `(i, rep)` the accumulation is ascending-neighbor onto a zeroed
+/// accumulator — the single-replica order, hence bitwise identical sums.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn split_rows_csr_ensemble_body<P: PairTerm>(
+    p: P,
+    csr: CsrView<'_>,
+    r: usize,
+    theta: &[f64],
+    s: &[f64],
+    c: &[f64],
+    rows: std::ops::Range<usize>,
+    out: &mut [f64],
+) {
+    let out = &mut out[..rows.len() * r];
+    out.fill(0.0);
+    for (slot, i) in rows.enumerate() {
+        let out_row = &mut out[slot * r..(slot + 1) * r];
+        let ti = &theta[i * r..(i + 1) * r];
+        let si = &s[i * r..(i + 1) * r];
+        let ci = &c[i * r..(i + 1) * r];
+        for &j in csr.row(i) {
+            let j = j as usize;
+            let tj = &theta[j * r..(j + 1) * r];
+            let sj = &s[j * r..(j + 1) * r];
+            let cj = &c[j * r..(j + 1) * r];
+            for rep in 0..r {
+                out_row[rep] += p.eval(tj[rep] - ti[rep], sj[rep], cj[rep], si[rep], ci[rep]);
+            }
+        }
+    }
+}
+
+/// Ensemble twin of [`finalize_rows_body`]: each oscillator row's scale
+/// applies to its `r` contiguous replica slots. Same per-element
+/// arithmetic (`omega + scale · v`), hence bitwise identical.
+#[inline(always)]
+fn finalize_rows_ensemble_body(omega: f64, scale: &[f64], r: usize, out: &mut [f64]) {
+    for (row, &sc) in scale.iter().enumerate() {
+        for d in &mut out[row * r..(row + 1) * r] {
+            *d = omega + sc * *d;
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Runtime SIMD dispatch
 // ---------------------------------------------------------------------------
@@ -362,10 +458,13 @@ macro_rules! simd_dispatched {
         fn $name:ident $(<$gen:ident: $bound:ident>)? ($($arg:ident: $ty:ty),* $(,)?) = $body:ident
     ) => {
         $(#[$doc])*
+        // Ensemble kernels thread `r` through the shared signature shape.
+        #[allow(clippy::too_many_arguments)]
         pub(crate) fn $name$(<$gen: $bound>)?($($arg: $ty),*) {
             #[cfg(target_arch = "x86_64")]
             {
                 #[target_feature(enable = "avx2,fma")]
+                #[allow(clippy::too_many_arguments)]
                 unsafe fn avx2$(<$gen: $bound>)?($($arg: $ty),*) {
                     $body($($arg),*)
                 }
@@ -414,6 +513,39 @@ simd_dispatched! {
 simd_dispatched! {
     /// Row finalization with runtime SIMD dispatch.
     fn finalize_rows(omega: f64, scale: &[f64], out: &mut [f64]) = finalize_rows_body
+}
+
+simd_dispatched! {
+    /// Ensemble stencil row loop with runtime SIMD dispatch.
+    fn split_rows_stencil_ensemble<P: PairTerm>(
+        p: P,
+        stencil: &RingStencil,
+        r: usize,
+        theta: &[f64],
+        s: &[f64],
+        c: &[f64],
+        rows: std::ops::Range<usize>,
+        out: &mut [f64],
+    ) = split_rows_stencil_ensemble_body
+}
+
+simd_dispatched! {
+    /// Ensemble CSR row loop with runtime SIMD dispatch.
+    fn split_rows_csr_ensemble<P: PairTerm>(
+        p: P,
+        csr: CsrView<'_>,
+        r: usize,
+        theta: &[f64],
+        s: &[f64],
+        c: &[f64],
+        rows: std::ops::Range<usize>,
+        out: &mut [f64],
+    ) = split_rows_csr_ensemble_body
+}
+
+simd_dispatched! {
+    /// Ensemble row finalization with runtime SIMD dispatch.
+    fn finalize_rows_ensemble(omega: f64, scale: &[f64], r: usize, out: &mut [f64]) = finalize_rows_ensemble_body
 }
 
 #[cfg(test)]

@@ -58,6 +58,7 @@
 
 pub mod builder;
 pub mod continuum;
+pub mod ensemble;
 pub mod initial;
 pub mod kernel;
 pub mod model;
@@ -70,6 +71,7 @@ pub mod stability;
 
 pub use builder::{PomBuilder, PomError};
 pub use continuum::{front_speed_estimate, transport_coefficients, TransportCoefficients};
+pub use ensemble::PomEnsemble;
 pub use initial::InitialCondition;
 pub use kernel::RhsKernel;
 pub use model::{Normalization, Pom};

@@ -156,9 +156,10 @@ impl Pom {
     }
 
     /// Intrinsic term `2π / (t_comp + t_comm + ζ_i(t))`, with the period
-    /// clamped below by `min_cycle`.
+    /// clamped below by `min_cycle`. `pub(crate)` for the ensemble RHS,
+    /// which evaluates each replica's intrinsic through its own member.
     #[inline]
-    fn intrinsic(&self, i: usize, t: f64) -> f64 {
+    pub(crate) fn intrinsic(&self, i: usize, t: f64) -> f64 {
         let mut cycle = self.params.cycle_time();
         if !self.local_noise.is_null() {
             cycle += self.local_noise.zeta(i, t);

@@ -351,8 +351,9 @@ impl Pom {
     }
 
     /// Resolve [`SolverChoice::Auto`] and the local-noise step cap shared
-    /// by the recording and observed drivers.
-    fn resolve_solver(&self, opts: &SimOptions) -> (SolverChoice, Option<f64>) {
+    /// by the recording and observed drivers (and, `pub(crate)`, by the
+    /// ensemble driver's lockstep-vs-sequential policy).
+    pub(crate) fn resolve_solver(&self, opts: &SimOptions) -> (SolverChoice, Option<f64>) {
         let solver = match opts.solver {
             SolverChoice::Auto => {
                 if self.has_delays() {

@@ -1,0 +1,301 @@
+//! Differential tests for [`PomEnsemble`]: the natively batched
+//! R-replica integration — interleaved state, one sin/cos pass, row-outer
+//! stencil/CSR accumulation — must be **bitwise** identical to R
+//! independent [`Pom`] runs, per kernel, per solver path, per RHS thread
+//! count.
+//!
+//! This is the correctness contract that lets ensemble sweep columns
+//! (`<obs>_mean`/`<obs>_ci95`/…) claim the same determinism as the plain
+//! columns: replica 0 of a batch IS the single run, bit for bit.
+
+use pom_core::{
+    InitialCondition, Pom, PomBuilder, PomEnsemble, Potential, RhsKernel, SimOptions, SolverChoice,
+};
+use pom_noise::{RandomCommDelay, WhiteJitter};
+use pom_ode::observe::CollectObserver;
+use pom_topology::Topology;
+use proptest::prelude::*;
+
+/// The kernel/potential/topology variants with distinct batched code
+/// paths: exact CSR walk, split-kernel stencil walk, split-kernel CSR
+/// walk, each for the potentials it dispatches on.
+#[derive(Clone, Copy, Debug)]
+enum Variant {
+    ExactTanhRing,
+    ExactDesyncChain,
+    SplitSinRing,
+    SplitSinChain,
+    SplitDesyncRing,
+}
+
+const VARIANTS: [Variant; 5] = [
+    Variant::ExactTanhRing,
+    Variant::ExactDesyncChain,
+    Variant::SplitSinRing,
+    Variant::SplitSinChain,
+    Variant::SplitDesyncRing,
+];
+
+fn build_member(
+    variant: Variant,
+    n: usize,
+    coupling: f64,
+    rhs_threads: usize,
+    noise_seed: Option<u64>,
+) -> Pom {
+    let (potential, kernel, topology) = match variant {
+        Variant::ExactTanhRing => (
+            Potential::Tanh,
+            RhsKernel::Exact,
+            Topology::ring(n, &[-1, 1]),
+        ),
+        Variant::ExactDesyncChain => (
+            Potential::desync(2.0),
+            RhsKernel::Exact,
+            Topology::chain(n, &[-1, 1]),
+        ),
+        Variant::SplitSinRing => (
+            Potential::KuramotoSin,
+            RhsKernel::SinCosSplit,
+            Topology::ring(n, &[-2, -1, 1, 2]),
+        ),
+        Variant::SplitSinChain => (
+            Potential::KuramotoSin,
+            RhsKernel::SinCosSplit,
+            Topology::chain(n, &[-1, 1]),
+        ),
+        Variant::SplitDesyncRing => (
+            Potential::desync(2.5),
+            RhsKernel::SinCosSplit,
+            Topology::ring(n, &[-1, 1]),
+        ),
+    };
+    let mut b = PomBuilder::new(n)
+        .topology(topology)
+        .potential(potential)
+        .kernel(kernel)
+        .compute_time(0.9)
+        .comm_time(0.1)
+        .coupling(coupling)
+        .rhs_threads(rhs_threads);
+    if let Some(seed) = noise_seed {
+        b = b.local_noise(WhiteJitter::new(seed, 0.04, 0.5));
+    }
+    b.build().unwrap()
+}
+
+fn replica_init(seed: u64) -> InitialCondition {
+    InitialCondition::RandomSpread {
+        amplitude: 0.8,
+        seed,
+    }
+}
+
+/// Batched vs independent, asserting final states and the full observer
+/// stream bitwise.
+fn assert_batched_matches_independent(members: impl Fn(usize) -> Pom, r: usize, opts: &SimOptions) {
+    let inits: Vec<InitialCondition> = (0..r).map(|rep| replica_init(1000 + rep as u64)).collect();
+
+    let mut want_final = Vec::new();
+    let mut want_obs = Vec::new();
+    for (rep, init) in inits.iter().enumerate() {
+        let mut obs = CollectObserver::default();
+        let sum = members(rep)
+            .simulate_observed(init.clone(), opts, &mut obs)
+            .unwrap();
+        want_final.push(sum.final_state().to_vec());
+        want_obs.push(obs);
+    }
+
+    let ensemble = PomEnsemble::new((0..r).map(&members).collect());
+    let mut observers: Vec<CollectObserver> = (0..r).map(|_| CollectObserver::default()).collect();
+    let got = ensemble
+        .simulate_observed(&inits, opts, &mut observers)
+        .unwrap();
+
+    for rep in 0..r {
+        assert_eq!(
+            got[rep].final_state(),
+            &want_final[rep][..],
+            "replica {rep}: final state"
+        );
+        assert_eq!(
+            observers[rep].initial, want_obs[rep].initial,
+            "replica {rep}: initial observation"
+        );
+        assert_eq!(
+            observers[rep].samples.len(),
+            want_obs[rep].samples.len(),
+            "replica {rep}: step count"
+        );
+        for (got_s, want_s) in observers[rep].samples.iter().zip(&want_obs[rep].samples) {
+            assert_eq!(got_s, want_s, "replica {rep}: observed step");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Lockstep fixed-step batching: every kernel/potential/topology
+    /// variant, noisy and noise-free members, R ∈ {1, 2, 5} — bitwise.
+    #[test]
+    fn fixed_rk4_batched_is_bitwise_identical(
+        vidx in 0usize..5,
+        ridx in 0usize..3,
+        coupling in 1.0f64..6.0,
+        noisy in proptest::arbitrary::any::<bool>(),
+        n in 8usize..24,
+    ) {
+        let variant = VARIANTS[vidx];
+        let r = [1usize, 2, 5][ridx];
+        let opts = SimOptions::new(4.0).solver(SolverChoice::FixedRk4 { h: 0.02 });
+        assert_batched_matches_independent(
+            |rep| build_member(variant, n, coupling, 1, noisy.then(|| 77 + rep as u64)),
+            r,
+            &opts,
+        );
+    }
+
+    /// The adaptive fallback: `Auto` resolves to Dopri5 for no-delay
+    /// models, where the driver runs replicas sequentially — results must
+    /// equal the independent path exactly there too.
+    #[test]
+    fn adaptive_fallback_is_bitwise_identical(
+        vidx in 0usize..5,
+        coupling in 1.0f64..6.0,
+    ) {
+        let variant = VARIANTS[vidx];
+        let opts = SimOptions::new(3.0);
+        assert_batched_matches_independent(
+            |rep| build_member(variant, 12, coupling, 1, Some(33 + rep as u64)),
+            2,
+            &opts,
+        );
+    }
+
+    /// The delay path: per-replica interaction noise drives each replica's
+    /// own `θ_j(t − τ_ij(t))` history lookups through the interleaved
+    /// buffer — batched DDE integration stays bitwise identical.
+    #[test]
+    fn dde_batched_is_bitwise_identical(
+        coupling in 1.0f64..5.0,
+        mean in 0.05f64..0.2,
+        ridx in 0usize..3,
+    ) {
+        let r = [1usize, 2, 5][ridx];
+        let n = 10;
+        let member = |rep: usize| {
+            PomBuilder::new(n)
+                .topology(Topology::ring(n, &[-1, 1]))
+                .potential(Potential::Tanh)
+                .compute_time(0.9)
+                .comm_time(0.1)
+                .coupling(coupling)
+                .interaction_noise(RandomCommDelay::new(500 + rep as u64, n, mean, mean / 4.0, 0.5))
+                .build()
+                .unwrap()
+        };
+        // Auto resolves to the fixed-step DDE integrator here: the
+        // batched lockstep path.
+        assert_batched_matches_independent(member, r, &SimOptions::new(3.0));
+    }
+
+    /// The delay path with a replica-shared field — all members model the
+    /// same machine (equal delay fingerprints), so the batched RHS takes
+    /// the amortized route: one τ evaluation and one `sample_run` history
+    /// lookup per pair. Replicas differ through local noise; results stay
+    /// bitwise identical to independent runs.
+    #[test]
+    fn dde_shared_delay_batched_is_bitwise_identical(
+        coupling in 1.0f64..5.0,
+        mean in 0.05f64..0.2,
+        ridx in 0usize..3,
+        constant in proptest::arbitrary::any::<bool>(),
+    ) {
+        let r = [1usize, 2, 5][ridx];
+        let n = 10;
+        let member = |rep: usize| {
+            let mut b = PomBuilder::new(n)
+                .topology(Topology::ring(n, &[-1, 1]))
+                .potential(Potential::Tanh)
+                .compute_time(0.9)
+                .comm_time(0.1)
+                .coupling(coupling)
+                .local_noise(WhiteJitter::new(40 + rep as u64, 0.04, 0.5));
+            if constant {
+                b = b.interaction_noise(pom_noise::ConstantDelay::new(mean));
+            } else {
+                b = b.interaction_noise(RandomCommDelay::new(911, n, mean, mean / 4.0, 0.5));
+            }
+            b.build().unwrap()
+        };
+        assert_batched_matches_independent(member, r, &SimOptions::new(3.0));
+    }
+}
+
+/// Chunk-pool coverage: at `n ≥ 2048` the batched RHS runs through
+/// `ChunkPool` row chunks. Results must be bitwise identical to the
+/// serial inline walk AND to independent runs at every thread count.
+#[test]
+fn threaded_batched_rhs_is_bitwise_identical() {
+    let n = 2048;
+    let r = 2;
+    let opts = SimOptions::new(0.2).solver(SolverChoice::FixedRk4 { h: 0.05 });
+
+    let run_ensemble = |rhs_threads: usize| {
+        let inits: Vec<InitialCondition> =
+            (0..r).map(|rep| replica_init(2000 + rep as u64)).collect();
+        let ensemble = PomEnsemble::new(
+            (0..r)
+                .map(|rep| {
+                    build_member(
+                        Variant::SplitSinRing,
+                        n,
+                        3.0,
+                        rhs_threads,
+                        Some(9 + rep as u64),
+                    )
+                })
+                .collect(),
+        );
+        let mut observers = vec![pom_core::NoObserver; r];
+        ensemble
+            .simulate_observed(&inits, &opts, &mut observers)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.final_state().to_vec())
+            .collect::<Vec<_>>()
+    };
+
+    let serial = run_ensemble(1);
+    for threads in [3usize, 8] {
+        assert_eq!(
+            serial,
+            run_ensemble(threads),
+            "rhs_threads = {threads} must not change batched results"
+        );
+    }
+
+    // And the serial batch equals independent runs.
+    for (rep, batched) in serial.iter().enumerate() {
+        let sum = build_member(Variant::SplitSinRing, n, 3.0, 1, Some(9 + rep as u64))
+            .simulate_observed(
+                replica_init(2000 + rep as u64),
+                &opts,
+                &mut pom_core::NoObserver,
+            )
+            .unwrap();
+        assert_eq!(sum.final_state(), &batched[..], "replica {rep}");
+    }
+}
+
+/// Mismatched members are a caller bug, caught loudly.
+#[test]
+#[should_panic(expected = "oscillator count differs")]
+fn mismatched_sizes_are_rejected() {
+    PomEnsemble::new(vec![
+        build_member(Variant::ExactTanhRing, 8, 2.0, 1, None),
+        build_member(Variant::ExactTanhRing, 12, 2.0, 1, None),
+    ]);
+}

@@ -23,6 +23,18 @@ pub trait InteractionNoise: Send + Sync {
     fn is_null(&self) -> bool {
         self.max_delay() == 0.0
     }
+
+    /// Stable identity of the delay field: two models returning equal
+    /// `Some` values MUST produce bitwise-identical `tau(i, j, t)` for
+    /// every query. `None` means "unknown" and is never treated as shared.
+    ///
+    /// Replicas of one scenario run on the same (modelled) machine, so
+    /// they usually share the hardware's delay field while differing in
+    /// their stochastic state; the batched ensemble RHS uses this to
+    /// evaluate the field once per pair instead of once per replica.
+    fn fingerprint(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// No communication delay: the coupling sees current phases.
@@ -35,6 +47,9 @@ impl InteractionNoise for NoDelay {
     }
     fn max_delay(&self) -> f64 {
         0.0
+    }
+    fn fingerprint(&self) -> Option<u64> {
+        Some(crate::rng::SplitMix64::hash3(0x006e_6f64_656c_6179, 0, 0))
     }
 }
 
@@ -62,6 +77,13 @@ impl InteractionNoise for ConstantDelay {
     }
     fn max_delay(&self) -> f64 {
         self.delay
+    }
+    fn fingerprint(&self) -> Option<u64> {
+        Some(crate::rng::SplitMix64::hash3(
+            0x636f_6e73_745f_7461_u64,
+            self.delay.to_bits(),
+            0,
+        ))
     }
 }
 
@@ -108,6 +130,19 @@ impl InteractionNoise for RandomCommDelay {
 
     fn max_delay(&self) -> f64 {
         self.mean + 3.0 * self.spread
+    }
+    fn fingerprint(&self) -> Option<u64> {
+        use crate::rng::SplitMix64;
+        let params = SplitMix64::hash3(
+            self.mean.to_bits(),
+            self.spread.to_bits(),
+            self.stride as u64,
+        );
+        Some(SplitMix64::hash3(
+            0x7261_6e64_5f74_6175_u64,
+            SplitMix64::hash3(self.field.seed(), self.field.dt().to_bits(), 0),
+            params,
+        ))
     }
 }
 

@@ -183,6 +183,16 @@ impl FrozenField {
         (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
     }
 
+    /// The field's seed (part of its deterministic identity).
+    pub(crate) fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The lattice spacing (part of the field's deterministic identity).
+    pub(crate) fn dt(&self) -> f64 {
+        self.dt
+    }
+
     /// Sample the field at time `t` for `rank` (standard-normal marginals,
     /// triangular autocorrelation of width `dt`).
     pub fn sample(&self, rank: usize, t: f64) -> f64 {

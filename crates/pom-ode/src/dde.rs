@@ -32,6 +32,18 @@ pub trait PhaseHistory: Sync {
     /// integration, in which case the initial history applies).
     fn sample(&self, t: f64, i: usize) -> f64;
 
+    /// Sample the contiguous component run `base..base + out.len()` at one
+    /// time. Each `out[q]` is bitwise equal to `sample(t, base + q)`; the
+    /// point of the method is that implementations can pay the knot search
+    /// and interpolation-coefficient setup once for the whole run. The
+    /// batched ensemble RHS leans on this: with the replica-interleaved
+    /// layout, "all R replicas of partner `j`" is exactly such a run.
+    fn sample_run(&self, t: f64, base: usize, out: &mut [f64]) {
+        for (q, o) in out.iter_mut().enumerate() {
+            *o = self.sample(t, base + q);
+        }
+    }
+
     /// Sample every component at time `t` into `out`.
     fn sample_all(&self, t: f64, out: &mut [f64]) {
         for (i, o) in out.iter_mut().enumerate() {
@@ -227,6 +239,68 @@ impl PhaseHistory for HistoryBuffer {
             return self.knot_state(k, i);
         }
         self.hermite(k, t, i)
+    }
+
+    // Mirrors `sample` branch for branch, but pays the knot search and the
+    // Hermite coefficients once for the whole run. Per component the
+    // arithmetic is identical to `hermite` — `h·h10·f0` associates as
+    // `(h·h10)·f0`, so hoisting the products keeps every value bitwise
+    // equal to `sample(t, base + q)`.
+    fn sample_run(&self, t: f64, base: usize, out: &mut [f64]) {
+        let end = base + out.len();
+        if t <= self.t0 {
+            if t == self.t0 && self.times[0] == self.t0 {
+                out.copy_from_slice(&self.states[base..end]);
+                return;
+            }
+            for (q, o) in out.iter_mut().enumerate() {
+                *o = self.initial.sample(t, base + q);
+            }
+            return;
+        }
+        let latest = self.t_latest();
+        if t >= latest {
+            let k = self.times.len() - 1;
+            let dt = t - latest;
+            let y = &self.states[k * self.dim + base..k * self.dim + end];
+            let f = &self.derivs[k * self.dim + base..k * self.dim + end];
+            for ((o, &y0), &f0) in out.iter_mut().zip(y).zip(f) {
+                *o = y0 + dt * f0;
+            }
+            return;
+        }
+        if t < self.times[0] {
+            debug_assert!(
+                false,
+                "history lookup at t = {t} below pruned horizon {}",
+                self.times[0]
+            );
+            out.copy_from_slice(&self.states[base..end]);
+            return;
+        }
+        let hi = self.times.partition_point(|&tk| tk <= t);
+        let k = hi - 1;
+        if self.times[k] == t {
+            out.copy_from_slice(&self.states[k * self.dim + base..k * self.dim + end]);
+            return;
+        }
+        let t0 = self.times[k];
+        let t1 = self.times[k + 1];
+        let h = t1 - t0;
+        let s = (t - t0) / h;
+        let s2 = s * s;
+        let s3 = s2 * s;
+        let h00 = 2.0 * s3 - 3.0 * s2 + 1.0;
+        let b10 = h * (s3 - 2.0 * s2 + s);
+        let h01 = -2.0 * s3 + 3.0 * s2;
+        let b11 = h * (s3 - s2);
+        let y0 = &self.states[k * self.dim + base..k * self.dim + end];
+        let y1 = &self.states[(k + 1) * self.dim + base..(k + 1) * self.dim + end];
+        let f0 = &self.derivs[k * self.dim + base..k * self.dim + end];
+        let f1 = &self.derivs[(k + 1) * self.dim + base..(k + 1) * self.dim + end];
+        for q in 0..out.len() {
+            out[q] = h00 * y0[q] + b10 * f0[q] + h01 * y1[q] + b11 * f1[q];
+        }
     }
 }
 
@@ -649,6 +723,42 @@ mod tests {
         assert!((buf.sample(0.5, 0) - 6.0).abs() < 1e-12);
         assert!(buf.is_empty());
         assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn sample_run_is_bitwise_sample_on_every_branch() {
+        // A 6-component buffer with irregular knots; probe times hit every
+        // branch of `sample`: initial history, the t0 knot, an exact
+        // interior knot, Hermite interior points, and extrapolation.
+        let dim = 6;
+        let state =
+            |t: f64| -> Vec<f64> { (0..dim).map(|i| (t + i as f64 * 0.7).sin() * 2.0).collect() };
+        let deriv = |t: f64| -> Vec<f64> { (0..dim).map(|i| (t * 1.3 - i as f64).cos()).collect() };
+        let mut buf = HistoryBuffer::new(
+            0.0,
+            &state(0.0),
+            &deriv(0.0),
+            InitialHistory::Func(Box::new(|t, i| t * 0.5 - i as f64)),
+        );
+        for &t in &[0.31, 0.9, 1.47, 2.0] {
+            buf.push(t, &state(t), &deriv(t));
+        }
+        for &t in &[-1.2, 0.0, 0.17, 0.31, 0.5, 1.2, 1.99, 2.0, 2.6] {
+            for base in 0..dim {
+                for len in 1..=dim - base {
+                    let mut run = vec![0.0; len];
+                    buf.sample_run(t, base, &mut run);
+                    for (q, &got) in run.iter().enumerate() {
+                        let want = buf.sample(t, base + q);
+                        assert_eq!(
+                            got.to_bits(),
+                            want.to_bits(),
+                            "t = {t}, base = {base}, q = {q}: {got} vs {want}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -27,6 +27,10 @@
 //!   solvers.
 //! * [`events`] — post-hoc root finding on dense solutions (e.g. "when does
 //!   the order parameter cross 0.99?").
+//! * [`ensemble`] — lockstep multi-replica batching: the interleaved
+//!   `[n × R]` layout ([`EnsembleLayout`]), the gather/scatter reference
+//!   system ([`EnsembleSystem`]) and the per-replica observer fan-out
+//!   ([`EnsembleObserver`]).
 //! * [`observe`] — streaming step observers ([`StepObserver`]) and the
 //!   `integrate_observed` entry points' shared types: online observables
 //!   over long-horizon runs with **no** per-step trajectory storage.
@@ -62,6 +66,7 @@ pub mod bs23;
 pub mod dde;
 pub mod dense;
 pub mod dopri5;
+pub mod ensemble;
 pub mod error;
 pub mod events;
 pub mod fixed;
@@ -74,6 +79,7 @@ pub use bs23::{Bs23, Bs23Stats};
 pub use dde::{DdeRk4, DdeSystem, PhaseHistory};
 pub use dense::{DenseSegment, DenseSolution};
 pub use dopri5::{Dopri5, SolverStats};
+pub use ensemble::{EnsembleLayout, EnsembleObserver, EnsembleSystem};
 pub use error::OdeError;
 pub use fixed::{Euler, FixedStepSolver, Heun, Rk4, Stepper};
 pub use observe::{NoObserver, ObserveEvery, ObservedSummary, StepObserver};

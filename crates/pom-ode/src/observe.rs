@@ -50,6 +50,14 @@ pub trait StepObserver {
     /// Called once after the last step. `(t_end, y_end)` repeats the final
     /// `observe_step` sample; override to flush/seal derived state.
     fn finish(&mut self, _t_end: f64, _y_end: &[f64]) {}
+
+    /// `false` promises the observer ignores every callback, letting
+    /// adapters skip work done purely to feed it (the ensemble fan-out
+    /// de-interleaves a state copy per replica per step — wasted on
+    /// [`NoObserver`]). Must be constant for the observer's lifetime.
+    fn wants_samples(&self) -> bool {
+        true
+    }
 }
 
 /// The do-nothing observer: monomorphizes the observed step loops down to
@@ -60,6 +68,9 @@ pub struct NoObserver;
 impl StepObserver for NoObserver {
     #[inline(always)]
     fn observe_step(&mut self, _t: f64, _y: &[f64]) {}
+    fn wants_samples(&self) -> bool {
+        false
+    }
 }
 
 impl<O: StepObserver + ?Sized> StepObserver for &mut O {
@@ -68,6 +79,9 @@ impl<O: StepObserver + ?Sized> StepObserver for &mut O {
     }
     fn observe_step(&mut self, t: f64, y: &[f64]) {
         (**self).observe_step(t, y)
+    }
+    fn wants_samples(&self) -> bool {
+        (**self).wants_samples()
     }
     fn finish(&mut self, t_end: f64, y_end: &[f64]) {
         (**self).finish(t_end, y_end)

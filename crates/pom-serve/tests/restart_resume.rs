@@ -106,6 +106,76 @@ fn killed_daemon_restarts_and_finishes_bitwise_identical() {
     let _ = fs::remove_dir_all(&spool);
 }
 
+/// An ensemble campaign (`replicas = R`) behind the same spool: the
+/// lockstep batch per point and the aggregate columns must survive a
+/// kill-and-restart bitwise, exactly like plain campaigns.
+const ENSEMBLE_SPEC: &str = r#"
+[campaign]
+name = "restartable-ensemble"
+seed = 31
+replicas = 3
+observables = ["final_r", "final_spread"]
+[model]
+n = 8
+potential = "tanh"
+[init]
+kind = "spread"
+amplitude = 0.8
+[sim]
+t_end = 250.0
+samples = 30
+solver = "rk4"
+h = 0.05
+[[axes]]
+key = "model.coupling"
+values = [1.0, 1.5, 2.0, 2.5, 3.0, 3.5]
+[[axes]]
+key = "model.tcomp"
+values = [0.85, 0.95]
+"#;
+
+#[test]
+fn killed_ensemble_campaign_resumes_bitwise_identical() {
+    let spool = temp_spool("restart-ensemble");
+    let total = 12;
+
+    let server = start(&spool, 3);
+    let created = submit(server.addr(), ENSEMBLE_SPEC);
+    assert_eq!(created.status, 201, "{}", created.body);
+    let id = json_str_field(&created.body, "job").unwrap();
+    let progressed = wait_written(&server, &id, 2, Duration::from_secs(120));
+    assert!(progressed >= 2, "no progress before the kill");
+    server.stop(StopMode::Abort);
+
+    let path = spool.join(&id).join("results.jsonl");
+    let partial = fs::read_to_string(&path).unwrap();
+    assert!(
+        partial.lines().count() - 1 < total,
+        "campaign finished before the kill; nothing left to resume"
+    );
+    // The durable header already carries the ensemble marker.
+    assert!(
+        partial.lines().next().unwrap().contains("\"replicas\":3"),
+        "{partial}"
+    );
+
+    let server = start(&spool, 2);
+    assert!(
+        server.manager().wait_done(&id, Duration::from_secs(240)),
+        "resumed ensemble job did not finish"
+    );
+    server.stop(StopMode::Drain);
+
+    let reference = Campaign::from_str(ENSEMBLE_SPEC)
+        .unwrap()
+        .run_jsonl_string(0)
+        .unwrap();
+    let final_file = fs::read_to_string(&path).unwrap();
+    assert_eq!(final_file, reference);
+    assert!(final_file.contains("\"final_r_ci95\""), "{final_file}");
+    let _ = fs::remove_dir_all(&spool);
+}
+
 #[test]
 fn cancelled_job_survives_restart_and_resumes() {
     let spool = temp_spool("restart-cancel");

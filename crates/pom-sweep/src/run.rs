@@ -1,7 +1,9 @@
 //! Executing one grid point and computing its observables.
 
-use pom_analysis::{model_wave_speed_in, sim_wave_speed_in, RunSummaryProbe, WaveGeometry};
-use pom_core::{NoObserver, PomRun, SimSummary, SimWorkspace};
+use pom_analysis::{
+    model_wave_speed_in, sim_wave_speed_in, RunSummaryProbe, WaveGeometry, Welford,
+};
+use pom_core::{NoObserver, PomEnsemble, PomRun, SimSummary, SimWorkspace};
 use pom_mpisim::{SimTrace, Simulator};
 use pom_topology::{ClusterSpec, Placement, TopologyKind};
 
@@ -66,6 +68,7 @@ fn execute(
 ) -> Result<Vec<(String, f64)>, SweepError> {
     let scenario = spec.scenario_at(index)?;
     match scenario {
+        Scenario::Model(m) if spec.replicas > 1 => model_ensemble_observables(&m, spec, index, ws),
         Scenario::Model(m) => model_observables(&m, &spec.observables, seed, ws),
         Scenario::MpiSim(m) => mpisim_observables(&m, &spec.observables, seed),
     }
@@ -151,44 +154,113 @@ fn model_observables(
     wanted
         .iter()
         .map(|o| {
-            let v = match o {
-                Observable::FinalOrderParameter => summary.final_order_parameter(),
-                Observable::FinalPhaseSpread => summary.final_phase_spread(),
-                Observable::MeanAbsGap => summary.mean_abs_adjacent_gap(),
-                Observable::RelErrTwoThirds => {
-                    let expect = s.potential.stable_pair_separation();
-                    if expect > 0.0 {
-                        (summary.mean_abs_adjacent_gap() - expect).abs() / expect
-                    } else {
-                        f64::NAN
-                    }
-                }
-                Observable::MeanOrderParameter => {
-                    probe.as_ref().map_or(f64::NAN, |p| p.r.stats.mean())
-                }
-                Observable::MinOrderParameter => {
-                    probe.as_ref().map_or(f64::NAN, |p| p.r.stats.min())
-                }
-                Observable::MaxAbsGap => probe.as_ref().map_or(f64::NAN, |p| p.gaps.max_gap.max()),
-                Observable::WaveSpeed => wave
-                    .as_ref()
-                    .and_then(|w| w.fit.mean_speed())
-                    .unwrap_or(f64::NAN),
-                Observable::WaveR2 => wave
-                    .as_ref()
-                    .and_then(|w| w.fit.up)
-                    .map(|f| f.r2)
-                    .unwrap_or(f64::NAN),
-                Observable::Makespan | Observable::TotalWait => {
-                    return Err(SweepError::Spec(format!(
-                        "observable `{}` needs the mpisim workload",
-                        o.name()
-                    )))
-                }
-            };
-            Ok((o.name().to_string(), v))
+            Ok((
+                o.name().to_string(),
+                model_scalar(s, *o, &summary, probe.as_ref(), wave.as_ref())?,
+            ))
         })
         .collect()
+}
+
+/// One model observable's scalar value from a finished run's artifacts.
+/// Shared by the single-run path and the per-replica ensemble fold.
+fn model_scalar(
+    s: &ModelScenario,
+    o: Observable,
+    summary: &SimSummary,
+    probe: Option<&RunSummaryProbe>,
+    wave: Option<&pom_analysis::MeasuredWave>,
+) -> Result<f64, SweepError> {
+    Ok(match o {
+        Observable::FinalOrderParameter => summary.final_order_parameter(),
+        Observable::FinalPhaseSpread => summary.final_phase_spread(),
+        Observable::MeanAbsGap => summary.mean_abs_adjacent_gap(),
+        Observable::RelErrTwoThirds => {
+            let expect = s.potential.stable_pair_separation();
+            if expect > 0.0 {
+                (summary.mean_abs_adjacent_gap() - expect).abs() / expect
+            } else {
+                f64::NAN
+            }
+        }
+        Observable::MeanOrderParameter => probe.map_or(f64::NAN, |p| p.r.stats.mean()),
+        Observable::MinOrderParameter => probe.map_or(f64::NAN, |p| p.r.stats.min()),
+        Observable::MaxAbsGap => probe.map_or(f64::NAN, |p| p.gaps.max_gap.max()),
+        Observable::WaveSpeed => wave.and_then(|w| w.fit.mean_speed()).unwrap_or(f64::NAN),
+        Observable::WaveR2 => wave
+            .and_then(|w| w.fit.up)
+            .map(|f| f.r2)
+            .unwrap_or(f64::NAN),
+        Observable::Makespan | Observable::TotalWait => {
+            return Err(SweepError::Spec(format!(
+                "observable `{}` needs the mpisim workload",
+                o.name()
+            )))
+        }
+    })
+}
+
+/// Run one grid point as an R-replica lockstep ensemble and aggregate each
+/// observable across replicas into the four
+/// `<obs>_mean`/`<obs>_ci95`/`<obs>_min`/`<obs>_max` columns.
+///
+/// Replica `rep` uses [`CampaignSpec::replica_seed`]`(index, rep)` for its
+/// model build *and* its initial condition — replica 0 is bit-for-bit the
+/// run a `replicas = 1` campaign would perform. Batched integration is
+/// bitwise identical to R independent runs (see `pom_core::ensemble`), so
+/// the aggregates are as deterministic as the plain columns: independent
+/// of thread count, resume, and execution order.
+fn model_ensemble_observables(
+    s: &ModelScenario,
+    spec: &CampaignSpec,
+    index: usize,
+    ws: &mut SimWorkspace,
+) -> Result<Vec<(String, f64)>, SweepError> {
+    let r = spec.replicas;
+    let wanted = &spec.observables;
+    let opts = s.sim_options();
+    let mut members = Vec::with_capacity(r);
+    let mut inits = Vec::with_capacity(r);
+    for rep in 0..r {
+        let seed = spec.replica_seed(index, rep);
+        members.push(s.build(seed, true)?);
+        inits.push(s.initial_condition(seed));
+    }
+    let ensemble = PomEnsemble::new(members);
+
+    let (summaries, probes) = if wanted.iter().any(Observable::needs_series) {
+        let mut probes: Vec<RunSummaryProbe> = (0..r).map(|_| RunSummaryProbe::new()).collect();
+        let summaries = ensemble
+            .simulate_observed_ws(&inits, &opts, &mut probes, ws)
+            .map_err(|e| SweepError::Run(e.to_string()))?;
+        (summaries, Some(probes))
+    } else {
+        let mut observers = vec![NoObserver; r];
+        let summaries = ensemble
+            .simulate_observed_ws(&inits, &opts, &mut observers, ws)
+            .map_err(|e| SweepError::Run(e.to_string()))?;
+        (summaries, None)
+    };
+
+    let mut out = Vec::with_capacity(wanted.len() * 4);
+    for o in wanted {
+        let mut stats = Welford::new();
+        for rep in 0..r {
+            stats.push(model_scalar(
+                s,
+                *o,
+                &summaries[rep],
+                probes.as_ref().map(|p| &p[rep]),
+                None,
+            )?);
+        }
+        let name = o.name();
+        out.push((format!("{name}_mean"), stats.mean()));
+        out.push((format!("{name}_ci95"), stats.ci95_half_width()));
+        out.push((format!("{name}_min"), stats.min()));
+        out.push((format!("{name}_max"), stats.max()));
+    }
+    Ok(out)
 }
 
 fn mpisim_observables(

@@ -88,6 +88,12 @@ pub fn header_json(spec: &CampaignSpec) -> String {
     out.push_str(&spec.total_points().to_string());
     out.push_str(",\"seed\":");
     out.push_str(&spec.seed.to_string());
+    // Only replicated campaigns carry the field: `replicas = 1` headers
+    // stay byte-identical to pre-ensemble output (back-compat pin).
+    if spec.replicas > 1 {
+        out.push_str(",\"replicas\":");
+        out.push_str(&spec.replicas.to_string());
+    }
     out.push_str(",\"axes\":[");
     for (i, axis) in spec.axes.iter().enumerate() {
         if i > 0 {
@@ -96,11 +102,11 @@ pub fn header_json(spec: &CampaignSpec) -> String {
         write_json_str(&axis.keys.join(","), &mut out);
     }
     out.push_str("],\"observables\":[");
-    for (i, o) in spec.observables.iter().enumerate() {
+    for (i, col) in spec.observable_columns().iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        write_json_str(o.name(), &mut out);
+        write_json_str(col, &mut out);
     }
     out.push_str("]}");
     out
@@ -192,7 +198,7 @@ impl<W: Write> ResultSink for CsvSink<W> {
         for axis in &spec.axes {
             cols.extend(axis.keys.iter().cloned());
         }
-        cols.extend(spec.observables.iter().map(|o| o.name().to_string()));
+        cols.extend(spec.observable_columns());
         cols.push("error".to_string());
         writeln!(self.writer, "{}", cols.join(","))
     }

@@ -21,6 +21,7 @@ use std::fmt;
 
 use pom_core::{
     InitialCondition, Normalization, Pom, PomBuilder, Potential, RhsKernel, SimOptions,
+    SolverChoice,
 };
 use pom_kernels::Kernel;
 use pom_mpisim::{MpiProtocol, ProgramSpec, SimDelay, WorkSpec};
@@ -186,6 +187,12 @@ pub struct CampaignSpec {
     pub name: String,
     /// Master seed; per-point seeds derive from it and the point index.
     pub seed: u64,
+    /// Replicas per grid point (`campaign.replicas`, default 1). With
+    /// `R ≥ 2` each point runs an R-member lockstep ensemble (distinct
+    /// [`CampaignSpec::replica_seed`]s) and reports
+    /// `<obs>_mean`/`<obs>_ci95`/`<obs>_min`/`<obs>_max` columns instead
+    /// of the plain per-observable values.
+    pub replicas: usize,
     /// Observables, in output order.
     pub observables: Vec<Observable>,
     /// The base scenario tree (everything except `[campaign]`/`axes`).
@@ -220,8 +227,21 @@ impl CampaignSpec {
             .transpose()?
             .unwrap_or(0) as u64;
         if let Some(c) = campaign.and_then(Value::as_table) {
-            check_keys(c, &["name", "seed", "workload", "observables"], "campaign")?;
+            check_keys(
+                c,
+                &["name", "seed", "workload", "observables", "replicas"],
+                "campaign",
+            )?;
         }
+        let replicas = campaign
+            .and_then(|c| c.get("replicas"))
+            .map(|v| {
+                v.as_i64()
+                    .filter(|r| *r >= 1)
+                    .ok_or_else(|| spec_err("campaign.replicas must be an integer ≥ 1"))
+            })
+            .transpose()?
+            .unwrap_or(1) as usize;
 
         let observables = match campaign.and_then(|c| c.get("observables")) {
             None => default_observables(&root),
@@ -258,6 +278,19 @@ impl CampaignSpec {
                 series.join(", ")
             )));
         }
+        // Replicated points stream through the ensemble fast path; wave
+        // observables force the recorded perturbed/baseline trajectory
+        // pair, which has no batched equivalent.
+        if replicas > 1 {
+            if let Some(o) = observables.iter().find(|o| o.needs_baseline()) {
+                return Err(spec_err(format!(
+                    "observable `{}` needs a perturbed/baseline run pair and cannot be \
+                     combined with campaign.replicas = {replicas}; wave campaigns run \
+                     one replica per point",
+                    o.name()
+                )));
+            }
+        }
 
         let axes = match root.get("axes") {
             None => Vec::new(),
@@ -289,6 +322,7 @@ impl CampaignSpec {
         let spec = Self {
             name,
             seed,
+            replicas,
             observables,
             base,
             axes,
@@ -296,7 +330,33 @@ impl CampaignSpec {
         };
         // Fail fast: the base scenario (axis defaults applied where the
         // axis key has no base entry) must resolve.
-        spec.scenario_at(0)?;
+        let scenario0 = spec.scenario_at(0)?;
+        if replicas > 1 {
+            match &scenario0 {
+                Scenario::MpiSim(_) => {
+                    return Err(spec_err(
+                        "campaign.replicas ≥ 2 needs the model workload; the mpisim \
+                         substrate has no ensemble path",
+                    ))
+                }
+                Scenario::Model(m) => {
+                    // Replicas differ only through their derived seeds. A
+                    // scenario whose seeds are all pinned (or unused)
+                    // would run R bitwise-identical copies — reject the
+                    // degenerate spec instead of reporting ci95 = 0.
+                    let init_seeded = matches!(m.init, InitSpec::Spread { seed: None, .. });
+                    let noise_seeded = m.noise_sigma.is_some() && m.noise_seed.is_none();
+                    if !init_seeded && !noise_seeded {
+                        return Err(spec_err(
+                            "campaign.replicas ≥ 2 would run identical replicas: nothing \
+                             varies per replica (init.kind = \"spread\" without a pinned \
+                             init.seed, or [noise] without a pinned noise.seed, is \
+                             required so each replica draws its own realization)",
+                        ));
+                    }
+                }
+            }
+        }
         Ok(spec)
     }
 
@@ -340,6 +400,43 @@ impl CampaignSpec {
     /// the point index — never on thread count or execution order.
     pub fn point_seed(&self, index: usize) -> u64 {
         pom_noise::SplitMix64::hash3(self.seed, index as u64, 0x706f_6d2d_7377_6565)
+    }
+
+    /// Deterministic per-replica seed. Replica 0 **is** the plain
+    /// single-run point — `replica_seed(i, 0) == point_seed(i)` — so a
+    /// `replicas = 1` campaign reproduces today's results exactly; higher
+    /// replicas hash the point seed with their index (order-independent,
+    /// like the point seeds themselves).
+    pub fn replica_seed(&self, index: usize, replica: usize) -> u64 {
+        let point = self.point_seed(index);
+        if replica == 0 {
+            point
+        } else {
+            pom_noise::SplitMix64::hash3(point, replica as u64, 0x706f_6d2d_7265_706c)
+        }
+    }
+
+    /// The result columns this campaign emits per point, in output order:
+    /// the plain observable names for `replicas = 1`, or the four
+    /// aggregate columns `<obs>_mean`/`<obs>_ci95`/`<obs>_min`/`<obs>_max`
+    /// per observable for a replicated campaign.
+    pub fn observable_columns(&self) -> Vec<String> {
+        if self.replicas <= 1 {
+            self.observables
+                .iter()
+                .map(|o| o.name().to_string())
+                .collect()
+        } else {
+            self.observables
+                .iter()
+                .flat_map(|o| {
+                    let name = o.name();
+                    ["mean", "ci95", "min", "max"]
+                        .into_iter()
+                        .map(move |suffix| format!("{name}_{suffix}"))
+                })
+                .collect()
+        }
     }
 }
 
@@ -543,6 +640,9 @@ pub struct ModelScenario {
     pub t_end: f64,
     /// Output samples.
     pub samples: usize,
+    /// Explicit solver selection (`sim.solver`/`sim.h`); `None` keeps the
+    /// model's automatic choice.
+    pub solver: Option<SolverChoice>,
     /// Wave-fit parameters.
     pub wave: WaveFit,
 }
@@ -629,7 +729,11 @@ impl ModelScenario {
 
     /// Simulation options for this scenario.
     pub fn sim_options(&self) -> SimOptions {
-        SimOptions::new(self.t_end).samples(self.samples)
+        let opts = SimOptions::new(self.t_end).samples(self.samples);
+        match self.solver {
+            Some(s) => opts.solver(s),
+            None => opts,
+        }
     }
 
     /// Effective wave-fit source rank.
@@ -954,7 +1058,34 @@ fn model_from_value(tree: &Value) -> Result<ModelScenario, SweepError> {
     };
 
     if let Some(t) = tree.get("sim").and_then(Value::as_table) {
-        check_keys(t, &["t_end", "samples"], "sim")?;
+        check_keys(t, &["t_end", "samples", "solver", "h"], "sim")?;
+    }
+    let h = get_opt_f64(tree, "sim.h")?;
+    let solver = match tree.get("sim.solver").map(|v| {
+        v.as_str()
+            .ok_or_else(|| spec_err("sim.solver must be a string"))
+    }) {
+        None => None,
+        Some(name) => match name? {
+            "auto" => None,
+            "dopri5" => Some(SolverChoice::Dopri5 {
+                rtol: 1e-8,
+                atol: 1e-10,
+            }),
+            "rk4" => {
+                let h = h.ok_or_else(|| {
+                    spec_err("sim.solver = \"rk4\" needs an explicit step `sim.h`")
+                })?;
+                if !(h.is_finite() && h > 0.0) {
+                    return Err(spec_err("sim.h must be a positive finite number"));
+                }
+                Some(SolverChoice::FixedRk4 { h })
+            }
+            other => return Err(spec_err(format!("sim.solver `{other}` (auto|dopri5|rk4)"))),
+        },
+    };
+    if h.is_some() && !matches!(solver, Some(SolverChoice::FixedRk4 { .. })) {
+        return Err(spec_err("sim.h only applies with sim.solver = \"rk4\""));
     }
 
     Ok(ModelScenario {
@@ -974,6 +1105,7 @@ fn model_from_value(tree: &Value) -> Result<ModelScenario, SweepError> {
         inject,
         t_end: get_f64(tree, "sim.t_end", 100.0)?,
         samples: get_usize(tree, "sim.samples", 400)?,
+        solver,
         wave: parse_wave(tree, 0.05)?,
     })
 }

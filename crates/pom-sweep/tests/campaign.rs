@@ -606,3 +606,202 @@ fn workspace_reuse_matches_fresh_per_point() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Ensemble campaigns (campaign.replicas ≥ 2)
+// ---------------------------------------------------------------------------
+
+/// R = 3 lockstep ensemble per point: explicit fixed-step solver so the
+/// batched path (not the sequential adaptive fallback) is exercised.
+const ENSEMBLE_SPEC: &str = r#"
+    [campaign]
+    name = "ens"
+    seed = 7
+    replicas = 3
+    observables = ["final_r", "final_spread"]
+
+    [model]
+    n = 8
+    potential = "tanh"
+    coupling = 4.0
+
+    [init]
+    kind = "spread"
+    amplitude = 0.8
+
+    [sim]
+    t_end = 10.0
+    samples = 20
+    solver = "rk4"
+    h = 0.05
+
+    [[axes]]
+    key = "model.coupling"
+    values = [2.0, 6.0]
+"#;
+
+#[test]
+fn ensemble_emits_aggregate_columns() {
+    let campaign = Campaign::from_str(ENSEMBLE_SPEC).unwrap();
+    assert_eq!(campaign.spec.replicas, 3);
+    let text = campaign.run_jsonl_string(2).unwrap();
+    let header = text.lines().next().unwrap();
+    assert!(header.contains("\"replicas\":3"), "{header}");
+    assert!(
+        header.contains("\"final_r_mean\",\"final_r_ci95\",\"final_r_min\",\"final_r_max\""),
+        "{header}"
+    );
+
+    let rows = campaign.run_collect(2).unwrap();
+    assert_eq!(rows.len(), 2);
+    for row in &rows {
+        assert!(row.error.is_none(), "{:?}", row.error);
+        // 2 observables × 4 aggregate columns.
+        assert_eq!(row.observables.len(), 8);
+        let get = |name: &str| {
+            row.observables
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        for obs in ["final_r", "final_spread"] {
+            let (mean, ci95, min, max) = (
+                get(&format!("{obs}_mean")),
+                get(&format!("{obs}_ci95")),
+                get(&format!("{obs}_min")),
+                get(&format!("{obs}_max")),
+            );
+            assert!(min <= mean && mean <= max, "{obs}: {min} {mean} {max}");
+            assert!(ci95 >= 0.0 && ci95.is_finite(), "{obs}_ci95 {ci95}");
+            // Replicas draw distinct init seeds — the spread of a
+            // 3-member ensemble is never exactly degenerate.
+            assert!(max > min, "{obs}: replicas collapsed to one value");
+        }
+    }
+}
+
+#[test]
+fn ensemble_rows_identical_across_thread_counts() {
+    let campaign = Campaign::from_str(ENSEMBLE_SPEC).unwrap();
+    let serial = campaign.run_jsonl_string(1).unwrap();
+    let parallel = campaign.run_jsonl_string(4).unwrap();
+    assert_eq!(serial, parallel);
+}
+
+/// Back-compat pin: a `replicas = 1` campaign takes the plain single-run
+/// path and its output — header fields and every row — is byte-identical
+/// to the same spec without the key (modulo the spec hash, which covers
+/// the raw text).
+#[test]
+fn replicas_one_output_is_byte_identical_to_unreplicated() {
+    let with_key =
+        Campaign::from_str(&ENSEMBLE_SPEC.replace("replicas = 3", "replicas = 1")).unwrap();
+    let without_key = Campaign::from_str(&ENSEMBLE_SPEC.replace("    replicas = 3\n", "")).unwrap();
+    assert_eq!(with_key.spec.replicas, 1);
+    assert_eq!(without_key.spec.replicas, 1);
+
+    let a = with_key.run_jsonl_string(2).unwrap();
+    let b = without_key.run_jsonl_string(2).unwrap();
+    // Rows must match byte for byte.
+    let rows_a: Vec<&str> = a.lines().skip(1).collect();
+    let rows_b: Vec<&str> = b.lines().skip(1).collect();
+    assert_eq!(rows_a, rows_b);
+    // Headers differ only in the spec hash: neither carries a
+    // `replicas` field.
+    assert!(!a.lines().next().unwrap().contains("replicas"));
+    assert!(!b.lines().next().unwrap().contains("replicas"));
+}
+
+/// Replica 0 of an ensemble IS the single run: `replica_seed(i, 0) ==
+/// point_seed(i)`, and the batched integration is bitwise identical to
+/// independent runs — so the plain column of an unreplicated campaign
+/// must appear bitwise among an R = 2 ensemble's min/max.
+#[test]
+fn replica_zero_matches_single_run_bitwise() {
+    let plain = Campaign::from_str(&ENSEMBLE_SPEC.replace("    replicas = 3\n", "")).unwrap();
+    let ens = Campaign::from_str(&ENSEMBLE_SPEC.replace("replicas = 3", "replicas = 2")).unwrap();
+    assert_eq!(plain.spec.replica_seed(1, 0), plain.spec.point_seed(1));
+
+    let plain_rows = plain.run_collect(1).unwrap();
+    let ens_rows = ens.run_collect(1).unwrap();
+    for (p, e) in plain_rows.iter().zip(&ens_rows) {
+        for (name, v) in &p.observables {
+            let get = |suffix: &str| {
+                e.observables
+                    .iter()
+                    .find(|(k, _)| *k == format!("{name}_{suffix}"))
+                    .map(|(_, x)| *x)
+                    .unwrap()
+            };
+            let (min, max) = (get("min"), get("max"));
+            // With two replicas every value is the min or the max; the
+            // single run is replica 0, bit for bit.
+            assert!(
+                v.to_bits() == min.to_bits() || v.to_bits() == max.to_bits(),
+                "{name}: single-run {v} not among ensemble extremes [{min}, {max}]"
+            );
+        }
+    }
+}
+
+#[test]
+fn ensemble_spec_validation_rejects_degenerate_campaigns() {
+    // replicas must be ≥ 1.
+    let err = Campaign::from_str("[campaign]\nreplicas = 0\n[model]\nn = 4").unwrap_err();
+    assert!(err.to_string().contains("replicas"), "{err}");
+
+    // Wave observables need the recorded perturbed/baseline pair.
+    let err = Campaign::from_str(
+        "[campaign]\nreplicas = 2\nobservables = [\"wave_speed\"]\n[model]\nn = 8\n[inject]\nrank = 2",
+    )
+    .unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("wave_speed") && msg.contains("replicas"),
+        "{msg}"
+    );
+
+    // The mpisim substrate has no ensemble path.
+    let err = Campaign::from_str("[campaign]\nreplicas = 2\n[mpisim]\nn = 4\niterations = 2")
+        .unwrap_err();
+    assert!(err.to_string().contains("mpisim"), "{err}");
+
+    // Nothing varies per replica: sync init, no noise → R identical runs.
+    let err =
+        Campaign::from_str("[campaign]\nreplicas = 2\n[model]\nn = 4\n[init]\nkind = \"sync\"")
+            .unwrap_err();
+    assert!(err.to_string().contains("identical replicas"), "{err}");
+
+    // Pinned init seed AND pinned noise seed: also degenerate.
+    let err = Campaign::from_str(
+        "[campaign]\nreplicas = 2\n[model]\nn = 4\n[init]\nkind = \"spread\"\nseed = 9\n[noise]\nsigma = 0.05\nseed = 3",
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("identical replicas"), "{err}");
+
+    // Unpinned noise alone is enough to diversify replicas.
+    let ok = Campaign::from_str(
+        "[campaign]\nreplicas = 2\n[model]\nn = 4\n[init]\nkind = \"sync\"\n[noise]\nsigma = 0.05",
+    );
+    assert!(ok.is_ok(), "{:?}", ok.err().map(|e| e.to_string()));
+}
+
+#[test]
+fn solver_keys_validate_at_parse() {
+    // rk4 needs an explicit step.
+    let err = Campaign::from_str("[model]\nn = 4\n[sim]\nsolver = \"rk4\"").unwrap_err();
+    assert!(err.to_string().contains("sim.h"), "{err}");
+    // sim.h without rk4 is a mistake, not silently ignored.
+    let err = Campaign::from_str("[model]\nn = 4\n[sim]\nh = 0.05").unwrap_err();
+    assert!(err.to_string().contains("sim.h"), "{err}");
+    let err =
+        Campaign::from_str("[model]\nn = 4\n[sim]\nsolver = \"dopri5\"\nh = 0.05").unwrap_err();
+    assert!(err.to_string().contains("sim.h"), "{err}");
+    // Unknown solver names fail loudly.
+    let err = Campaign::from_str("[model]\nn = 4\n[sim]\nsolver = \"euler\"").unwrap_err();
+    assert!(err.to_string().contains("euler"), "{err}");
+    // Valid forms parse.
+    assert!(Campaign::from_str("[model]\nn = 4\n[sim]\nsolver = \"auto\"").is_ok());
+    assert!(Campaign::from_str("[model]\nn = 4\n[sim]\nsolver = \"rk4\"\nh = 0.05").is_ok());
+}
