@@ -291,19 +291,25 @@ fn main() {
             Some(("steps", v)) => steps_override = v.parse().ok(),
             Some(("only", v)) => only = Some(v.to_string()),
             _ => {
-                eprintln!("usage: bench_steps [smoke=1] [steps=N] [only=obs|ensemble]");
+                eprintln!(
+                    "usage: bench_steps [smoke=1] [steps=N] [only=obs|ensemble|serve_hardening]"
+                );
                 std::process::exit(2);
             }
         }
     }
-    // `only=obs` / `only=ensemble` run just that gate and emit it as a
-    // standalone JSON document (→ BENCH_obs.json / BENCH_ensemble.json).
+    // `only=obs` / `only=ensemble` / `only=serve_hardening` run just that
+    // gate and emit it as a standalone JSON document (→ BENCH_obs.json /
+    // BENCH_ensemble.json / BENCH_serve_hardening.json).
     if let Some(section) = only {
         match section.as_str() {
             "obs" => obs_overhead_bench(smoke, true),
             "ensemble" => ensemble_bench(smoke, true),
+            "serve_hardening" => serve_hardening_bench(smoke, true),
             other => {
-                eprintln!("unknown only= section `{other}` (try only=obs or only=ensemble)");
+                eprintln!(
+                    "unknown only= section `{other}` (try only=obs, only=ensemble or only=serve_hardening)"
+                );
                 std::process::exit(2);
             }
         }
@@ -596,6 +602,13 @@ fn main() {
     // and 8 concurrent clients. Each job is a single cheap point, so the
     // columns measure daemon overhead, not integration time.
     serve_bench(smoke);
+
+    // --- Hardening overhead gate ------------------------------------------
+    // The same daemon with every hostile-traffic bound armed (none
+    // triggering): auth + quota checks, priority/deadline parsing,
+    // admission accounting, socket deadlines. Gate: ≥ 0.95× plain
+    // throughput in full mode.
+    serve_hardening_bench(smoke, false);
 
     // Campaign throughput: fresh workspace per point vs one reused
     // workspace (what the executor's workers now do). Both already use
@@ -1032,14 +1045,22 @@ const SERVE_SPEC: &str = r#"
     values = [4.0]
 "#;
 
-/// Minimal blocking HTTP request against the embedded daemon; returns
-/// the raw response (status line, headers, body).
-fn serve_http(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> String {
+/// Minimal blocking HTTP request against the embedded daemon, with an
+/// optional `X-Pom-Token` auth header; returns the raw response (status
+/// line, headers, body).
+fn serve_http_with(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    token: Option<&str>,
+    body: &str,
+) -> String {
     use std::io::{Read, Write};
     let mut stream = std::net::TcpStream::connect(addr).expect("connect to daemon");
+    let auth = token.map_or(String::new(), |t| format!("X-Pom-Token: {t}\r\n"));
     write!(
         stream,
-        "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: bench\r\n{auth}Content-Length: {}\r\n\r\n{body}",
         body.len()
     )
     .expect("send request");
@@ -1051,9 +1072,15 @@ fn serve_http(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) 
 /// Submit one job and block until its first result row arrives on a
 /// `follow=1` stream; returns the submit→first-row latency in seconds.
 fn serve_one_job(addr: std::net::SocketAddr) -> f64 {
+    serve_one_job_with(addr, "/jobs", None)
+}
+
+/// [`serve_one_job`] with a custom submit path (priority/deadline query
+/// params) and auth token — the hardened-daemon request shape.
+fn serve_one_job_with(addr: std::net::SocketAddr, submit_path: &str, token: Option<&str>) -> f64 {
     use std::io::{Read, Write};
     let t0 = Instant::now();
-    let created = serve_http(addr, "POST", "/jobs", SERVE_SPEC);
+    let created = serve_http_with(addr, "POST", submit_path, token, SERVE_SPEC);
     assert!(
         created.starts_with("HTTP/1.1 201"),
         "submit failed: {created}"
@@ -1099,7 +1126,7 @@ fn serve_bench(smoke: bool) {
         spool: spool.clone(),
         threads: 0,
         max_jobs: 64,
-        handle_signals: false,
+        ..ServeConfig::default()
     })
     .expect("start daemon");
     let addr = server.addr();
@@ -1157,5 +1184,141 @@ fn serve_bench(smoke: bool) {
     let _ = std::fs::remove_dir_all(&spool);
     // Server::start flipped the global obs switch on; the campaign
     // section that follows must measure under pre-PR conditions.
+    pom_obs::set_enabled(false);
+}
+
+/// Submit-to-first-row latency and throughput with the full hardening
+/// stack armed (token auth + quotas, priority/deadline parsing, the
+/// admission counter, read/write deadlines) vs the plain daemon, at the
+/// same client concurrencies as the `serve` section. None of the bounds
+/// trigger — this prices the checks, not the rejections — and the full-
+/// mode gate asserts the hardened path keeps ≥ 0.95× of plain
+/// throughput at the highest concurrency. Emits `"serve_hardening"`
+/// (→ BENCH_serve_hardening.json with `only=serve_hardening`).
+fn serve_hardening_bench(smoke: bool, standalone: bool) {
+    use pom_serve::{ServeConfig, Server, StopMode, TokenBook};
+
+    let clients_list: &[usize] = if smoke { &[1, 2] } else { &[1, 4, 8] };
+    let jobs_per_client = if smoke { 2 } else { 25 };
+    let reps = if smoke { 1 } else { 3 };
+    // Generous bounds: every request passes every check.
+    let quota_toml = "[tokens.bench]\nmax_active_jobs = 4096\nmax_total_points = 0\n";
+    let submit_path = "/jobs?priority=high&deadline_ms=600000";
+
+    // One concurrency row under one configuration on a fresh daemon +
+    // spool; returns (jobs_per_sec, sorted latencies).
+    let measure = |clients: usize, hardened: bool, rep: usize| -> (f64, Vec<f64>) {
+        let spool = std::env::temp_dir().join(format!(
+            "pom-bench-hard-{}-{hardened}-{clients}-{rep}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&spool);
+        let mut cfg = ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            spool: spool.clone(),
+            threads: 0,
+            max_jobs: 8192,
+            ..ServeConfig::default()
+        };
+        if hardened {
+            cfg.auth = Some(TokenBook::parse(quota_toml).expect("bench quota book"));
+            cfg.max_conns = 4096;
+        }
+        let server = Server::start(cfg).expect("start daemon");
+        let addr = server.addr();
+        let t0 = Instant::now();
+        let handles: Vec<std::thread::JoinHandle<Vec<f64>>> = (0..clients)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    (0..jobs_per_client)
+                        .map(|_| {
+                            if hardened {
+                                serve_one_job_with(addr, submit_path, Some("bench"))
+                            } else {
+                                serve_one_job(addr)
+                            }
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        let mut latencies: Vec<f64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect();
+        let wall = t0.elapsed().as_secs_f64();
+        let summary = server.stop(StopMode::Drain);
+        assert_eq!(
+            summary.done,
+            clients * jobs_per_client,
+            "hardening bench left jobs unfinished (hardened={hardened})"
+        );
+        let _ = std::fs::remove_dir_all(&spool);
+        latencies.sort_by(f64::total_cmp);
+        (latencies.len() as f64 / wall, latencies)
+    };
+
+    let indent = if standalone { "" } else { "  " };
+    if standalone {
+        println!("{{");
+        println!("  \"bench\": \"serve_hardening\",");
+        println!("  \"smoke\": {smoke},");
+    } else {
+        println!("  \"serve_hardening\": {{");
+    }
+    println!(
+        "{indent}  \"config\": \"hardened = token auth (max_active_jobs=4096), ?priority=high&deadline_ms=600000, max-conns=4096, 10s read/write deadlines; plain = PR 6 defaults; no bound triggers\","
+    );
+    println!(
+        "{indent}  \"contract\": \"hardened throughput >= 0.95x plain at the top concurrency (gated in full mode), {jobs_per_client} jobs/client, best of {reps} reps\","
+    );
+    println!("{indent}  \"rows\": [");
+    let mut top_ratio = 0.0f64;
+    for (idx, &clients) in clients_list.iter().enumerate() {
+        // Interleave plain/hardened reps so clock drift hits both sides.
+        let mut plain = (0.0f64, Vec::new());
+        let mut hard = (0.0f64, Vec::new());
+        for rep in 0..reps {
+            let p = measure(clients, false, rep);
+            let h = measure(clients, true, rep);
+            if p.0 > plain.0 {
+                plain = p;
+            }
+            if h.0 > hard.0 {
+                hard = h;
+            }
+        }
+        let ratio = hard.0 / plain.0;
+        top_ratio = ratio; // clients_list is ascending: last row wins
+        let comma = if idx + 1 == clients_list.len() {
+            ""
+        } else {
+            ","
+        };
+        println!(
+            "{indent}      {{\"clients\": {clients}, \"plain_jobs_per_sec\": {:.1}, \"hardened_jobs_per_sec\": {:.1}, \
+             \"plain_p50_ms\": {:.2}, \"hardened_p50_ms\": {:.2}, \"plain_p99_ms\": {:.2}, \"hardened_p99_ms\": {:.2}, \
+             \"throughput_ratio\": {ratio:.3}}}{comma}",
+            plain.0,
+            hard.0,
+            percentile_ms(&plain.1, 50.0),
+            percentile_ms(&hard.1, 50.0),
+            percentile_ms(&plain.1, 99.0),
+            percentile_ms(&hard.1, 99.0),
+        );
+    }
+    println!("{indent}  ],");
+    println!("{indent}  \"top_concurrency_ratio\": {top_ratio:.3}");
+    if standalone {
+        println!("}}");
+    } else {
+        println!("  }},");
+    }
+    if !smoke {
+        assert!(
+            top_ratio >= 0.95,
+            "hardening costs too much: {top_ratio:.3}x of plain throughput (gate 0.95x)"
+        );
+    }
     pom_obs::set_enabled(false);
 }

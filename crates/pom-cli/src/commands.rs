@@ -112,11 +112,20 @@ pub fn help() -> String {
      \x20                                             (stats=1 instruments the run and appends a\n\
      \x20                                             per-point latency summary: p50/p90/p99)\n\
      \x20 serve        [addr=127.0.0.1:7700 spool=pom-spool threads=0 max-jobs=16\n\
+     \x20               max-conns=256 auth=tokens.toml read-timeout-ms=10000\n\
+     \x20               write-timeout-ms=10000 retain=0 retain-age-s=0\n\
      \x20               log-level=debug|info|warn|error|off]\n\
      \x20                                             campaign daemon: submit specs over HTTP,\n\
      \x20                                             poll status, stream JSONL rows, cancel,\n\
      \x20                                             resume; crash-safe spool, SIGTERM drains;\n\
      \x20                                             GET /metrics exposes Prometheus text\n\
+     \x20                                             (max-conns= bounds concurrent connections\n\
+     \x20                                             — 503 past it; auth= turns on per-token\n\
+     \x20                                             submit quotas — 401/429; read/write\n\
+     \x20                                             timeouts drop stalled sockets; retain= /\n\
+     \x20                                             retain-age-s= GC old spool directories;\n\
+     \x20                                             submits take ?priority=high|normal|low\n\
+     \x20                                             and ?deadline_ms=N)\n\
      \x20 wave-sweep   [n=40 t_end=80]                idle-wave speed vs. coupling βκ (§5.1.1)\n\
      \x20 sigma-sweep  [n=24 t_end=300]               phase gap vs. interaction horizon σ (§5.2.2)\n\
      \x20 help                                        this text\n"
@@ -842,11 +851,25 @@ pub fn cmd_serve(cfg: &Config) -> Result<String, CliError> {
         })
     })?;
     pom_obs::set_log_level(level);
+    let auth = match cfg.get("auth") {
+        None => None,
+        Some(path) => {
+            Some(pom_serve::TokenBook::from_file(path).map_err(|e| CliError::Run(e.to_string()))?)
+        }
+    };
+    let retain_age_s = cfg.u64_or("retain-age-s", 0)?;
     let config = pom_serve::ServeConfig {
         addr: cfg.str_or("addr", "127.0.0.1:7700"),
         spool: std::path::PathBuf::from(cfg.str_or("spool", "pom-spool")),
         threads: cfg.usize_or("threads", 0)?,
         max_jobs: cfg.usize_or("max-jobs", 16)?.max(1),
+        max_conns: cfg.usize_or("max-conns", 256)?,
+        auth,
+        read_timeout: std::time::Duration::from_millis(cfg.u64_or("read-timeout-ms", 10_000)?),
+        write_timeout: std::time::Duration::from_millis(cfg.u64_or("write-timeout-ms", 10_000)?),
+        retain_count: cfg.usize_or("retain", 0)?,
+        retain_age: (retain_age_s > 0).then(|| std::time::Duration::from_secs(retain_age_s)),
+        faults: pom_serve::Faults::disabled(),
         handle_signals: true,
     };
     let spool = config.spool.display().to_string();

@@ -400,6 +400,18 @@ impl Registry {
         }
     }
 
+    /// Current value of a counter series, `None` when the family or the
+    /// exact label set was never registered (or is not a counter).
+    /// Lookup-only — it never creates the series, so asserting on an
+    /// untouched counter reads as "no such series", not `Some(0)`.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let families = self.families.lock().unwrap_or_else(|p| p.into_inner());
+        match families.get(name)?.series.get(&label_key(labels))? {
+            Handle::Counter(c) => Some(c.get()),
+            _ => None,
+        }
+    }
+
     /// Render every family in Prometheus text exposition format
     /// (families and series in lexicographic order, so output is stable).
     pub fn render(&self) -> String {
@@ -459,6 +471,32 @@ pub fn registry() -> &'static Registry {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn counter_value_looks_up_without_creating() {
+        let r = Registry::new();
+        let c = r.counter_with("requests_total", "Requests.", &[("route", "/jobs")]);
+        c.add(3);
+        assert_eq!(
+            r.counter_value("requests_total", &[("route", "/jobs")]),
+            Some(3)
+        );
+        // Label order is canonicalized, so lookup order doesn't matter.
+        let c2 = r.counter_with("multi", "m", &[("a", "1"), ("b", "2")]);
+        c2.inc();
+        assert_eq!(r.counter_value("multi", &[("b", "2"), ("a", "1")]), Some(1));
+        // Unknown family / label set reads as absent, not zero — and the
+        // probe must not have created the series.
+        assert_eq!(
+            r.counter_value("requests_total", &[("route", "/none")]),
+            None
+        );
+        assert_eq!(r.counter_value("nope_total", &[]), None);
+        assert!(!r.render().contains("/none"));
+        // Kind mismatch reads as absent too.
+        r.gauge("a_gauge", "g").add(5);
+        assert_eq!(r.counter_value("a_gauge", &[]), None);
+    }
 
     #[test]
     fn bucket_boundaries_are_log2() {

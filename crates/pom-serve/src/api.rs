@@ -4,7 +4,8 @@
 //! |--------------------------|---------------------------------------------------|
 //! | `GET  /healthz`          | liveness probe                                    |
 //! | `GET  /metrics`          | Prometheus text exposition of the global registry |
-//! | `POST /jobs`             | submit a campaign spec (TOML/JSON body) → `201`   |
+//! | `POST /jobs`             | submit a campaign spec (TOML/JSON body) → `201`;  |
+//! |                          | `?priority=high|normal|low&deadline_ms=N` extras  |
 //! | `GET  /jobs`             | status of every job                               |
 //! | `GET  /jobs/{id}`        | status of one job                                 |
 //! | `GET  /jobs/{id}/rows`   | chunked JSONL result stream (`?follow=1` tails)   |
@@ -13,8 +14,13 @@
 //! | `POST /jobs/{id}/resume` | re-queue a cancelled job's missing points         |
 //! | `POST /shutdown`         | graceful daemon stop (drain in-flight, flush)     |
 //!
-//! Backpressure is explicit: a submit past the active-job bound answers
-//! `429 Too Many Requests`. Query strings are validated through the same
+//! Backpressure and admission control are explicit, with one status per
+//! bound: `401` for a missing/unknown token when `auth=` is on, `408`
+//! when a client holds a socket without completing a request inside the
+//! read deadline, `429` for the active-job bound and per-token quotas
+//! (the body names the offending bound), `503` + `Retry-After` when the
+//! connection limit itself is hit (sent from the accept thread before
+//! this module ever runs). Query strings are validated through the same
 //! [`TypedArgs`] layer the CLI uses, so `follow=yes` and `follow=2`
 //! succeed and fail identically in both front ends.
 //!
@@ -31,11 +37,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use pom_obs::Level;
 use pom_sweep::value::write_json_str;
 use pom_sweep::TypedArgs;
 
 use crate::http::{self, Request, RequestError};
-use crate::job::{JobManager, JobOpError, SubmitError};
+use crate::job::{JobManager, JobOpError, Priority, StopMode, SubmitError, SubmitOptions};
 use crate::metrics::{metrics, record_request};
 
 /// Upper bound on one wait for new rows while tailing a stream; the
@@ -43,6 +50,19 @@ use crate::metrics::{metrics, record_request};
 /// actually lands. The bound only caps how late the stream notices
 /// daemon shutdown.
 const FOLLOW_WAIT: Duration = Duration::from_millis(100);
+
+/// Everything a connection handler needs, cloned per accepted socket.
+#[derive(Clone)]
+pub struct ConnCtx {
+    /// The shared job manager.
+    pub manager: Arc<JobManager>,
+    /// Set by `POST /shutdown` / signals; streams exit on it.
+    pub stopping: Arc<AtomicBool>,
+    /// Socket read deadline (slowloris bound); zero disables.
+    pub read_timeout: Duration,
+    /// Socket write deadline (slow-consumer bound); zero disables.
+    pub write_timeout: Duration,
+}
 
 /// Render `{"error": msg}`.
 pub fn error_json(msg: &str) -> String {
@@ -53,27 +73,53 @@ pub fn error_json(msg: &str) -> String {
     out
 }
 
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
 /// Serve one connection: read a request, dispatch it, answer, close.
-/// Transport errors are swallowed — the client is gone either way.
-pub fn handle_connection(mut stream: TcpStream, manager: &Arc<JobManager>, stopping: &AtomicBool) {
+/// Transport errors are swallowed — the client is gone either way —
+/// except read-deadline expiry, which answers `408` (best effort) so a
+/// slowloris client at least learns why it was dropped.
+pub fn handle_connection(mut stream: TcpStream, ctx: &ConnCtx) {
     let started = Instant::now();
     // The accepted socket can inherit the listener's non-blocking mode.
     if stream.set_nonblocking(false).is_err() {
         return;
     }
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let timeout = |d: Duration| (d > Duration::ZERO).then_some(d);
+    let _ = stream.set_read_timeout(timeout(ctx.read_timeout));
+    let _ = stream.set_write_timeout(timeout(ctx.write_timeout));
     let _ = stream.set_nodelay(true);
     let req = match http::read_request(&mut stream) {
         Ok(req) => req,
         Err(RequestError::Closed) => return,
-        Err(RequestError::Io(_)) => return,
+        Err(RequestError::Io(e)) => {
+            if is_timeout(&e) {
+                if pom_obs::enabled() {
+                    metrics().read_timeouts.inc();
+                }
+                pom_obs::event(Level::Warn, "read_timeout", &[]);
+                let _ = http::respond_json(
+                    &mut stream,
+                    408,
+                    &error_json("request not completed within the read deadline"),
+                    started,
+                );
+                record_request("other", "read_timeout", elapsed_us(started));
+            }
+            return;
+        }
         Err(RequestError::Bad(status, msg)) => {
             let _ = http::respond_json(&mut stream, status, &error_json(&msg), started);
             record_request("other", "bad_request", elapsed_us(started));
             return;
         }
     };
-    let _ = route(&mut stream, &req, manager, stopping, started);
+    let _ = route(&mut stream, &req, ctx, started);
 }
 
 fn elapsed_us(started: Instant) -> u64 {
@@ -94,13 +140,8 @@ fn method_label(method: &str) -> &'static str {
     }
 }
 
-fn route(
-    stream: &mut TcpStream,
-    req: &Request,
-    manager: &Arc<JobManager>,
-    stopping: &AtomicBool,
-    started: Instant,
-) -> io::Result<()> {
+fn route(stream: &mut TcpStream, req: &Request, ctx: &ConnCtx, started: Instant) -> io::Result<()> {
+    let manager = &ctx.manager;
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     let (pattern, res) = match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => (
@@ -143,7 +184,7 @@ fn route(
 
         ("GET", ["jobs", id, "rows"]) => (
             "/jobs/{id}/rows",
-            stream_rows(stream, req, manager, id, stopping, started),
+            stream_rows(stream, req, ctx, id, started),
         ),
 
         ("GET", ["jobs", id, "stats"]) => (
@@ -164,7 +205,12 @@ fn route(
         ),
 
         ("POST", ["shutdown"]) => ("/shutdown", {
-            stopping.store(true, Ordering::SeqCst);
+            ctx.stopping.store(true, Ordering::SeqCst);
+            // Requesting the drain here (not just flagging it) wakes the
+            // progress condvar, so every parked follow stream observes the
+            // stop immediately and closes with its chunked terminator —
+            // clients see a complete response, not a severed socket.
+            manager.request_stop(StopMode::Drain);
             http::respond_json(stream, 200, "{\"stopping\":true}", started)
         }),
 
@@ -214,12 +260,62 @@ fn submit(
             started,
         );
     };
-    match manager.submit(body) {
+    // Submit-time extras ride on the query string, never the spec body:
+    // the body must stay byte-identical to the CLI's spec (its hash is
+    // the resume identity).
+    let args = match TypedArgs::from_pairs(req.query.iter().map(|(k, v)| (k, v))) {
+        Ok(args) => args,
+        Err(e) => return http::respond_json(stream, 400, &error_json(&e.to_string()), started),
+    };
+    if let Some(unknown) = args
+        .keys()
+        .find(|k| !matches!(*k, "priority" | "deadline_ms"))
+    {
+        return http::respond_json(
+            stream,
+            400,
+            &error_json(&format!("unknown query parameter `{unknown}`")),
+            started,
+        );
+    }
+    let priority = match args.get("priority") {
+        None => Priority::default(),
+        Some(v) => match Priority::from_name(v) {
+            Some(p) => p,
+            None => {
+                return http::respond_json(
+                    stream,
+                    400,
+                    &error_json(&format!(
+                        "priority must be one of high, normal, low (got `{v}`)"
+                    )),
+                    started,
+                );
+            }
+        },
+    };
+    let deadline_ms = if args.get("deadline_ms").is_some() {
+        match args.u64_or("deadline_ms", 0) {
+            Ok(ms) => Some(ms),
+            Err(e) => return http::respond_json(stream, 400, &error_json(&e.to_string()), started),
+        }
+    } else {
+        None
+    };
+    let opts = SubmitOptions {
+        token: req.token().map(str::to_string),
+        priority,
+        deadline_ms,
+    };
+    match manager.submit_with(body, opts) {
         Ok(status) => http::respond_json(stream, 201, &status.to_json(), started),
         Err(e @ SubmitError::Spec(_)) => {
             http::respond_json(stream, 400, &error_json(&e.to_string()), started)
         }
-        Err(e @ SubmitError::QueueFull { .. }) => {
+        Err(e @ SubmitError::Unauthorized(_)) => {
+            http::respond_json(stream, 401, &error_json(&e.to_string()), started)
+        }
+        Err(e @ (SubmitError::QueueFull { .. } | SubmitError::Quota { .. })) => {
             http::respond_json(stream, 429, &error_json(&e.to_string()), started)
         }
         Err(e @ SubmitError::Io(_)) => {
@@ -268,15 +364,17 @@ impl Drop for FollowGuard {
 /// Stream a job's `results.jsonl` as chunked JSONL. With `follow=1` the
 /// stream tails the file until the job quiesces (done / cancelled with no
 /// in-flight points) or the daemon stops; rows flushed by the workers
-/// appear with at most one poll interval of latency.
+/// appear with at most one poll interval of latency. A consumer that
+/// stalls past the write deadline costs the daemon exactly one dropped
+/// stream — the job itself never notices.
 fn stream_rows(
     stream: &mut TcpStream,
     req: &Request,
-    manager: &Arc<JobManager>,
+    ctx: &ConnCtx,
     id: &str,
-    stopping: &AtomicBool,
     started: Instant,
 ) -> io::Result<()> {
+    let manager = &ctx.manager;
     // Same typed-argument layer as the CLI: identical accept/reject.
     let args = match TypedArgs::from_pairs(req.query.iter().map(|(k, v)| (k, v))) {
         Ok(args) => args,
@@ -310,10 +408,20 @@ fn stream_rows(
         // Observe quiescence BEFORE the read: any row durable before this
         // observation is visible to the read below, so no row can slip
         // between "saw quiescent" and "saw EOF".
-        let done = manager.quiescent(id).unwrap_or(true) || stopping.load(Ordering::Relaxed);
+        let done = manager.quiescent(id).unwrap_or(true) || ctx.stopping.load(Ordering::Relaxed);
         let n = file.read(&mut buf)?;
         if n > 0 {
-            http::write_chunk(stream, &buf[..n])?;
+            if let Err(e) = http::write_chunk(stream, &buf[..n]) {
+                if is_timeout(&e) {
+                    // Slow consumer: drop only this stream. The worker
+                    // side keeps writing rows to the spool regardless.
+                    if pom_obs::enabled() {
+                        metrics().stream_write_drops.inc();
+                    }
+                    pom_obs::event(Level::Warn, "stream_write_drop", &[("job", id)]);
+                }
+                return Err(e);
+            }
             continue;
         }
         if done || !follow {

@@ -20,6 +20,10 @@ pub const MAX_BODY: usize = 16 * 1024 * 1024;
 /// Largest accepted request line / header line.
 const MAX_LINE: usize = 64 * 1024;
 
+/// Largest accepted header count (a hostile client must not grow the
+/// header vector unboundedly).
+const MAX_HEADERS: usize = 100;
+
 /// A parsed request.
 #[derive(Debug)]
 pub struct Request {
@@ -30,8 +34,32 @@ pub struct Request {
     /// Query pairs in arrival order, split on `&` and `=`. No
     /// percent-decoding — the API's keys and values are all URL-safe.
     pub query: Vec<(String, String)>,
+    /// Headers in arrival order, names lower-cased, values trimmed.
+    pub headers: Vec<(String, String)>,
     /// The body (empty unless `Content-Length` was sent).
     pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with the given (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The client token, if any: `Authorization: Bearer <token>` wins,
+    /// then the `X-Pom-Token` convenience header.
+    pub fn token(&self) -> Option<&str> {
+        if let Some(auth) = self.header("authorization") {
+            let token = auth.strip_prefix("Bearer ").unwrap_or(auth).trim();
+            if !token.is_empty() {
+                return Some(token);
+            }
+        }
+        self.header("x-pom-token").filter(|t| !t.is_empty())
+    }
 }
 
 /// Read error carrying the HTTP status the connection should answer with.
@@ -99,8 +127,10 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
         })
         .collect();
 
-    // Headers: only Content-Length matters to this API.
+    // Headers: framed by Content-Length; the rest are kept (lower-cased)
+    // for the auth layer, under a hard count bound.
     let mut content_length: usize = 0;
+    let mut headers: Vec<(String, String)> = Vec::new();
     loop {
         let line = read_crlf_line(&mut reader)?;
         if line.is_empty() {
@@ -109,9 +139,16 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
         let Some((name, value)) = line.split_once(':') else {
             continue;
         };
-        if name.trim().eq_ignore_ascii_case("content-length") {
+        if headers.len() >= MAX_HEADERS {
+            return Err(RequestError::Bad(
+                431,
+                format!("more than {MAX_HEADERS} headers"),
+            ));
+        }
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        if name == "content-length" {
             content_length = value
-                .trim()
                 .parse()
                 .map_err(|_| RequestError::Bad(400, format!("bad Content-Length `{value}`")))?;
             if content_length > MAX_BODY {
@@ -121,6 +158,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
                 ));
             }
         }
+        headers.push((name, value.to_string()));
     }
 
     let mut body = vec![0u8; content_length];
@@ -129,6 +167,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
         method: method.to_string(),
         path,
         query,
+        headers,
         body,
     })
 }
@@ -139,8 +178,10 @@ pub fn reason(status: u16) -> &'static str {
         200 => "OK",
         201 => "Created",
         400 => "Bad Request",
+        401 => "Unauthorized",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
@@ -162,12 +203,43 @@ pub fn respond(
     body: &str,
     started: Instant,
 ) -> io::Result<()> {
+    respond_extra(stream, status, content_type, body, started, &[])
+}
+
+/// [`respond`] with additional headers (e.g. `Retry-After` on a 503).
+pub fn respond_extra(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    started: Instant,
+    extra: &[(&str, &str)],
+) -> io::Result<()> {
     write!(
         stream,
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nX-Pom-Elapsed-Us: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nX-Pom-Elapsed-Us: {}\r\n",
         reason(status),
         body.len(),
         started.elapsed().as_micros()
+    )?;
+    for (name, value) in extra {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    stream.write_all(b"Connection: close\r\n\r\n")?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// The admission-control rejection: written on the *accept* thread,
+/// before any request bytes are read or a handler thread is spawned —
+/// an over-limit client must not cost the daemon more than this write.
+pub fn respond_busy(stream: &mut TcpStream, retry_after_secs: u32, msg: &str) -> io::Result<()> {
+    let body = crate::api::error_json(msg);
+    write!(
+        stream,
+        "HTTP/1.1 503 {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nRetry-After: {retry_after_secs}\r\nConnection: close\r\n\r\n",
+        reason(503),
+        body.len(),
     )?;
     stream.write_all(body.as_bytes())?;
     stream.flush()

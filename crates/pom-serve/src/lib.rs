@@ -18,7 +18,20 @@
 //! * [`spool`] — on-disk layout; each job's `results.jsonl` doubles as
 //!   its crash checkpoint (identical to `pom sweep resume=1` files).
 //! * [`api`] — route dispatch.
+//! * [`auth`] — per-token submission quotas (`auth=tokens.toml`).
+//! * [`faults`] — deterministic fault injection for the chaos suite
+//!   (disabled and zero-cost in production).
 //! * [`signal`] — SIGTERM/SIGINT → graceful drain.
+//!
+//! ## Hardening
+//!
+//! The daemon assumes hostile traffic: a connection bound enforced
+//! *before* thread spawn (503 + `Retry-After`), socket read/write
+//! deadlines (slowloris / slow-consumer bounds), optional per-token
+//! quotas, submit deadlines (`deadline_ms=`), weighted priority
+//! scheduling, and a spool retain policy GC'ing terminal job
+//! directories. See `docs/ARCHITECTURE.md` ("Failure modes & hardening
+//! contract") for the full limits table.
 //!
 //! ## Quick use
 //!
@@ -38,18 +51,24 @@
 //! ```
 
 pub mod api;
+pub mod auth;
+pub mod faults;
 pub mod http;
 pub mod job;
 pub(crate) mod metrics;
 pub mod signal;
 pub mod spool;
 
-pub use job::{JobManager, JobOpError, JobState, JobStatus, StopMode, SubmitError};
+pub use auth::{TokenBook, TokenQuota};
+pub use faults::{FaultClass, FaultPlan, Faults, FAULT_CLASSES};
+pub use job::{
+    JobManager, JobOpError, JobState, JobStatus, Priority, StopMode, SubmitError, SubmitOptions,
+};
 
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
@@ -69,6 +88,29 @@ pub struct ServeConfig {
     pub threads: usize,
     /// Active-job bound; submits past it answer HTTP 429.
     pub max_jobs: usize,
+    /// Concurrent-connection bound, enforced on the accept thread before
+    /// a handler thread is spawned; connections past it answer HTTP 503
+    /// with `Retry-After`. `0` disables the bound.
+    pub max_conns: usize,
+    /// Per-token submission quotas; `None` = open access.
+    pub auth: Option<auth::TokenBook>,
+    /// Socket read deadline: a client holding a connection without
+    /// completing a request within it is answered 408 and dropped
+    /// (slowloris bound). Zero disables.
+    pub read_timeout: Duration,
+    /// Socket write deadline: a row-stream consumer stalling past it
+    /// loses only its stream, never the job. Zero disables.
+    pub write_timeout: Duration,
+    /// Spool retain policy: keep at most this many terminal (done or
+    /// failed) job directories. `0` disables count-based GC.
+    pub retain_count: usize,
+    /// Spool retain policy: remove terminal job directories (including
+    /// expired cancelled ones) older than this. `None` disables
+    /// age-based GC.
+    pub retain_age: Option<Duration>,
+    /// Fault-injection plan for the chaos suite. Disabled (and free) by
+    /// default; never enable in production.
+    pub faults: faults::Faults,
     /// Install SIGTERM/SIGINT handlers that trigger a graceful drain.
     /// Leave off when embedding (tests, benches).
     pub handle_signals: bool,
@@ -81,6 +123,13 @@ impl Default for ServeConfig {
             spool: PathBuf::from("pom-spool"),
             threads: 0,
             max_jobs: 16,
+            max_conns: 256,
+            auth: None,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            retain_count: 0,
+            retain_age: None,
+            faults: faults::Faults::disabled(),
             handle_signals: false,
         }
     }
@@ -103,6 +152,19 @@ pub struct ServeSummary {
     pub rows_written: usize,
 }
 
+/// Releases one admission-control slot (and the active-connections
+/// gauge) on drop — on every handler exit path, including panics.
+struct ConnSlot(Arc<AtomicUsize>);
+
+impl Drop for ConnSlot {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+        if pom_obs::enabled() {
+            metrics::metrics().conns_active.sub(1);
+        }
+    }
+}
+
 /// A running daemon. Dropping it without calling [`Server::stop`] or
 /// [`Server::join`] detaches the threads (they stop at process exit).
 pub struct Server {
@@ -122,7 +184,7 @@ impl Server {
         // The daemon always runs instrumented — `/metrics` is part of its
         // API. Enabled before the spool scan so recovery counters record.
         pom_obs::set_enabled(true);
-        let manager = JobManager::open(&cfg.spool, cfg.max_jobs)?;
+        let manager = JobManager::open(&cfg)?;
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
 
@@ -149,23 +211,60 @@ impl Server {
         // `Server::stop`) instead of making the loop poll a flag.
         let stop_flag = Arc::new(AtomicBool::new(false));
         let accept = {
-            let manager = manager.clone();
+            let ctx = api::ConnCtx {
+                manager: manager.clone(),
+                stopping: stop_flag.clone(),
+                read_timeout: cfg.read_timeout,
+                write_timeout: cfg.write_timeout,
+            };
             let stop_flag = stop_flag.clone();
+            let max_conns = cfg.max_conns;
+            let active = Arc::new(AtomicUsize::new(0));
             thread::Builder::new()
                 .name("pom-serve-accept".into())
                 .spawn(move || loop {
                     match listener.accept() {
-                        Ok((stream, _peer)) => {
+                        Ok((mut stream, _peer)) => {
                             if stop_flag.load(Ordering::SeqCst) {
                                 return;
                             }
-                            let manager = manager.clone();
-                            let stop_flag = stop_flag.clone();
+                            // Admission control happens HERE, before a
+                            // handler thread exists: past the bound, an
+                            // attacker's connection costs one counter read
+                            // and one fixed 503 write on this thread.
+                            if max_conns > 0 && active.load(Ordering::SeqCst) >= max_conns {
+                                if pom_obs::enabled() {
+                                    metrics::metrics().conns_rejected.inc();
+                                }
+                                let _ = http::respond_busy(
+                                    &mut stream,
+                                    1,
+                                    &format!(
+                                        "connection limit reached (max-conns={max_conns}); retry shortly"
+                                    ),
+                                );
+                                continue;
+                            }
+                            active.fetch_add(1, Ordering::SeqCst);
+                            if pom_obs::enabled() {
+                                metrics::metrics().conns_active.add(1);
+                            }
+                            let ctx = ctx.clone();
+                            let slot = ConnSlot(active.clone());
                             // Detached: connection lifetime is bounded by
                             // the request (streams exit on the stop flag).
-                            let _ = thread::Builder::new().name("pom-serve-conn".into()).spawn(
-                                move || api::handle_connection(stream, &manager, &stop_flag),
-                            );
+                            let spawned = thread::Builder::new()
+                                .name("pom-serve-conn".into())
+                                .spawn(move || {
+                                    // The guard releases the slot on every
+                                    // exit path, including handler panics.
+                                    let _slot = slot;
+                                    api::handle_connection(stream, &ctx);
+                                });
+                            // On spawn failure (EAGAIN under load) the
+                            // closure is dropped unrun, which still drops
+                            // the guard and releases the slot.
+                            let _ = spawned;
                         }
                         Err(_) => {
                             if stop_flag.load(Ordering::SeqCst) {

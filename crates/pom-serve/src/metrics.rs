@@ -21,6 +21,14 @@ pub(crate) struct ServeMetrics {
     pub follow_streams: Arc<Gauge>,
     pub spool_recovered: Arc<Counter>,
     pub spool_skipped: Arc<Counter>,
+    // Hardening layer: admission control, deadlines, spool GC.
+    pub conns_active: Arc<Gauge>,
+    pub conns_rejected: Arc<Counter>,
+    pub auth_failures: Arc<Counter>,
+    pub read_timeouts: Arc<Counter>,
+    pub stream_write_drops: Arc<Counter>,
+    pub deadline_cancelled: Arc<Counter>,
+    pub spool_gc_removed: Arc<Counter>,
 }
 
 pub(crate) fn metrics() -> &'static ServeMetrics {
@@ -59,8 +67,51 @@ pub(crate) fn metrics() -> &'static ServeMetrics {
                 "pom_serve_spool_jobs_skipped_total",
                 "Unreadable spool entries skipped at startup.",
             ),
+            conns_active: r.gauge(
+                "pom_serve_connections_active",
+                "Connections currently holding a handler thread.",
+            ),
+            conns_rejected: r.counter(
+                "pom_serve_connections_rejected_total",
+                "Connections refused before thread spawn (HTTP 503, max-conns bound).",
+            ),
+            auth_failures: r.counter(
+                "pom_serve_auth_failures_total",
+                "Submits rejected for a missing or unknown token (HTTP 401).",
+            ),
+            read_timeouts: r.counter(
+                "pom_serve_read_timeouts_total",
+                "Connections dropped for not sending a request within the read deadline (HTTP 408).",
+            ),
+            stream_write_drops: r.counter(
+                "pom_serve_stream_write_drops_total",
+                "Row streams dropped because the consumer stalled past the write deadline.",
+            ),
+            deadline_cancelled: r.counter(
+                "pom_serve_jobs_deadline_cancelled_total",
+                "Jobs cancelled for exceeding their submit deadline_ms.",
+            ),
+            spool_gc_removed: r.counter(
+                "pom_serve_spool_gc_removed_total",
+                "Terminal job directories removed by the retain policy.",
+            ),
         }
     })
+}
+
+/// Record a quota rejection (HTTP 429) against its offending bound
+/// (`max_active_jobs` / `max_total_points`); bounded label cardinality.
+pub(crate) fn record_quota_rejection(bound: &str) {
+    if !pom_obs::enabled() {
+        return;
+    }
+    pom_obs::registry()
+        .counter_with(
+            "pom_serve_quota_rejected_total",
+            "Submits rejected by a per-token quota (HTTP 429), by bound.",
+            &[("bound", bound)],
+        )
+        .inc();
 }
 
 /// Record one handled request against the per-route counter/histogram

@@ -1,0 +1,219 @@
+//! Chaos property suite: a daemon whose spool IO path is fed a
+//! deterministic schedule of torn writes, short reads, EAGAIN storms,
+//! fsync failures, and kill-points — restarted after every crash-class
+//! injection — must still finish every campaign with a result file
+//! bitwise identical to an uninterrupted in-process run.
+//!
+//! The harness plays the role of the power company: whenever the armed
+//! [`Faults`] handle raises its kill flag, the daemon is stopped with
+//! [`StopMode::Abort`] (in-flight rows discarded, exactly SIGKILL's
+//! durable state) and a fresh daemon is started over the same spool. The
+//! handle is shared across sessions, so the global IO-op counter — and
+//! therefore the schedule — keeps advancing instead of replaying the
+//! same fault forever, and the plan's kill budget guarantees the loop
+//! terminates.
+
+mod common;
+
+use std::fs;
+use std::time::{Duration, Instant};
+
+use common::temp_spool;
+use pom_serve::{
+    FaultClass, FaultPlan, Faults, JobState, ServeConfig, Server, StopMode, FAULT_CLASSES,
+};
+use pom_sweep::Campaign;
+
+/// Small but not trivial: 12 points × 1 run, enough rows that every
+/// schedule lands at least one fault mid-stream.
+const SPEC: &str = r#"
+[campaign]
+name = "chaos"
+seed = 17
+observables = ["final_r", "final_spread"]
+[model]
+n = 6
+potential = "tanh"
+[sim]
+t_end = 300.0
+samples = 12
+[[axes]]
+key = "model.coupling"
+values = [1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0, 5.5, 6.0, 6.5]
+"#;
+
+const MAX_RESTARTS: usize = 60;
+
+fn start(spool: &std::path::Path, threads: usize, faults: &Faults) -> Server {
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        spool: spool.into(),
+        threads,
+        max_jobs: 4,
+        faults: faults.clone(),
+        ..ServeConfig::default()
+    })
+    .expect("server start")
+}
+
+/// Drive one campaign to completion under `plan`, restarting the daemon
+/// on every kill, and assert the final file is bitwise identical to the
+/// reference. Returns the number of kill-driven restarts.
+fn run_chaos(tag: &str, plan: FaultPlan, threads: usize) -> usize {
+    let spool = temp_spool(tag);
+    let faults = Faults::plan(plan.clone());
+    let reference = Campaign::from_str(SPEC)
+        .unwrap()
+        .run_jsonl_string(0)
+        .unwrap();
+    let id = "j1";
+
+    let mut restarts = 0;
+    let mut submitted = false;
+    'sessions: loop {
+        assert!(
+            restarts <= MAX_RESTARTS,
+            "[{tag}] not converging after {restarts} restarts (plan {plan:?})"
+        );
+        let server = start(&spool, threads, &faults);
+        if !submitted {
+            match server.manager().submit(SPEC) {
+                Ok(status) => {
+                    assert_eq!(status.id, id);
+                    submitted = true;
+                }
+                Err(e) => {
+                    // The schedule tore the header (or spec/meta IO): to
+                    // the client this is a 500, to the spool it is a
+                    // crash — the next session must recover or accept a
+                    // clean resubmit.
+                    assert!(
+                        faults.kill_requested(),
+                        "[{tag}] submit failed without an injected kill: {e:?}"
+                    );
+                    server.stop(StopMode::Abort);
+                    faults.clear_kill();
+                    restarts += 1;
+                    // Recovery adopts the directory iff the spec landed.
+                    submitted = spool.join(id).join("spec").exists();
+                    continue 'sessions;
+                }
+            }
+        }
+
+        let deadline = Instant::now() + Duration::from_secs(240);
+        loop {
+            if faults.kill_requested() {
+                server.stop(StopMode::Abort);
+                faults.clear_kill();
+                restarts += 1;
+                continue 'sessions;
+            }
+            let state = server.manager().status(id).map(|s| s.state);
+            match state {
+                Some(JobState::Done) => {
+                    server.stop(StopMode::Drain);
+                    break 'sessions;
+                }
+                Some(JobState::Failed) if !faults.kill_requested() => {
+                    // A crash-class fault always raises the flag *before*
+                    // the write error surfaces, so a failure without the
+                    // flag is a genuine hardening bug.
+                    panic!(
+                        "[{tag}] job failed without an injected kill: {:?}",
+                        server.manager().status(id).and_then(|s| s.reason)
+                    );
+                }
+                _ => {}
+            }
+            assert!(
+                Instant::now() < deadline,
+                "[{tag}] session stalled in state {state:?}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    let final_file = fs::read_to_string(spool.join(id).join("results.jsonl")).unwrap();
+    assert_eq!(
+        final_file, reference,
+        "[{tag}] recovery is not bitwise clean (threads={threads}, plan {plan:?})"
+    );
+    let _ = fs::remove_dir_all(&spool);
+    restarts
+}
+
+/// Per-class plans: every fault class must be survivable on its own, at
+/// 1, 4, and 8 worker threads.
+fn class_sweep(class: FaultClass) {
+    for (i, &threads) in [1usize, 4, 8].iter().enumerate() {
+        let seed = 100 + i as u64;
+        let restarts = run_chaos(
+            &format!("chaos-{}-t{threads}", class.as_str()),
+            FaultPlan::only(class, seed),
+            threads,
+        );
+        if class.is_crash() {
+            assert!(
+                restarts > 0,
+                "{} plan (seed {seed}) never fired — schedule too sparse for the campaign",
+                class.as_str()
+            );
+        }
+    }
+}
+
+#[test]
+fn torn_writes_recover_bitwise() {
+    class_sweep(FaultClass::TornWrite);
+}
+
+#[test]
+fn kill_points_recover_bitwise() {
+    class_sweep(FaultClass::KillPoint);
+}
+
+#[test]
+fn fsync_failures_recover_bitwise() {
+    class_sweep(FaultClass::FsyncFail);
+}
+
+#[test]
+fn short_reads_are_absorbed_bitwise() {
+    class_sweep(FaultClass::ShortRead);
+}
+
+#[test]
+fn eagain_storms_are_absorbed_bitwise() {
+    class_sweep(FaultClass::EagainStorm);
+}
+
+/// Mixed-class schedules (the kill point is effectively random): several
+/// seeds, several thread counts, all five classes interleaved.
+#[test]
+fn randomized_fault_schedules_recover_bitwise() {
+    for (seed, threads) in [(1u64, 1usize), (2, 4), (3, 8), (4, 4)] {
+        run_chaos(
+            &format!("chaos-mixed-s{seed}-t{threads}"),
+            FaultPlan::from_seed(seed),
+            threads,
+        );
+    }
+}
+
+/// The injection counters are part of the contract: a chaos campaign
+/// must be visible on the metrics registry, per class.
+#[test]
+fn injections_are_counted_per_class() {
+    run_chaos("chaos-counted", FaultPlan::from_seed(9), 2);
+    let mut seen = 0;
+    for class in FAULT_CLASSES {
+        seen += pom_obs::registry()
+            .counter_value(
+                "pom_serve_faults_injected_total",
+                &[("class", class.as_str())],
+            )
+            .unwrap_or(0);
+    }
+    assert!(seen > 0, "no injections recorded on the registry");
+}

@@ -29,6 +29,17 @@ impl Response {
 /// Issue one request and read the full response (the server closes the
 /// connection after each response).
 pub fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> Response {
+    request_with(addr, method, path, body, &[])
+}
+
+/// [`request`] with extra headers (e.g. `Authorization`).
+pub fn request_with(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    headers: &[(&str, &str)],
+) -> Response {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(30)))
@@ -36,10 +47,14 @@ pub fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -
     let body = body.unwrap_or("");
     write!(
         stream,
-        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n",
         body.len()
     )
     .expect("write request");
+    for (name, value) in headers {
+        write!(stream, "{name}: {value}\r\n").expect("write header");
+    }
+    stream.write_all(b"\r\n").expect("write header terminator");
     stream.write_all(body.as_bytes()).expect("write body");
 
     let mut raw = Vec::new();

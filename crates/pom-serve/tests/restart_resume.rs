@@ -41,7 +41,7 @@ fn start(spool: &std::path::Path, threads: usize) -> Server {
         spool: spool.into(),
         threads,
         max_jobs: 16,
-        handle_signals: false,
+        ..ServeConfig::default()
     })
     .expect("server start")
 }

@@ -38,7 +38,7 @@ fn start(spool: &std::path::Path, threads: usize, max_jobs: usize) -> Server {
         spool: spool.into(),
         threads,
         max_jobs,
-        handle_signals: false,
+        ..ServeConfig::default()
     })
     .expect("server start")
 }

@@ -82,8 +82,8 @@ pub use args::{ArgError, TypedArgs};
 pub use exec::{record_external_point, run_campaign, RunOptions, POINT_DURATION_METRIC};
 pub use run::{run_point, run_point_ws, PointRow};
 pub use sink::{
-    header_json, scan_completed, CampaignSummary, CsvSink, JsonlSink, MemorySink, ResultSink,
-    TeeSink,
+    header_json, scan_completed, scan_completed_at, write_row_line, CampaignSummary, CsvSink,
+    JsonlSink, MemorySink, ResultSink, ScanOutcome, TeeSink,
 };
 pub use spec::{Axis, CampaignSpec, Observable, Scenario, SweepError};
 pub use value::{parse_auto, parse_json, parse_toml, Value};
@@ -154,14 +154,17 @@ impl Campaign {
 
         if resume && path.exists() {
             let existing = fs::read_to_string(path)?;
-            let done = scan_completed(&existing, &self.spec).map_err(SweepError::Spec)?;
-            if !done.is_empty() {
-                opts.completed = done;
+            let outcome = scan_completed_at(&existing, &self.spec).map_err(SweepError::Spec)?;
+            if !outcome.done.is_empty() {
+                opts.completed = outcome.done;
                 let mut file = fs::OpenOptions::new().append(true).open(path)?;
-                // An interrupt can tear mid-line; make sure appended rows
-                // start on a fresh line (the torn fragment is already
-                // ignored by the scanner).
-                if !existing.is_empty() && !existing.ends_with('\n') {
+                // An interrupt can tear the final line; truncate the torn
+                // fragment so the stream stays a whole-line prefix (the
+                // scanner already proved everything before it is intact).
+                if outcome.retain_len < existing.len() {
+                    file.set_len(outcome.retain_len as u64)?;
+                }
+                if outcome.needs_newline {
                     file.write_all(b"\n")?;
                 }
                 return Ok((JsonlSink::appending(file), opts));

@@ -142,6 +142,19 @@ impl<W: Write> JsonlSink<W> {
     }
 }
 
+/// Emit one row as a single `write_all` of the full line followed by one
+/// `flush`. This is *the* durability contract of the checkpoint format:
+/// because each row reaches the writer as exactly one write call, a crash
+/// (or an injected torn write) can only ever leave a prefix of the final
+/// line — never interleave two rows — which is what lets
+/// [`scan_completed_at`] treat any unterminated tail as recoverable.
+pub fn write_row_line(w: &mut impl Write, row: &PointRow) -> io::Result<()> {
+    let mut line = row.to_json();
+    line.push('\n');
+    w.write_all(line.as_bytes())?;
+    w.flush()
+}
+
 impl<W: Write> ResultSink for JsonlSink<W> {
     fn begin(&mut self, spec: &CampaignSpec) -> io::Result<()> {
         if !self.skip_header {
@@ -151,8 +164,7 @@ impl<W: Write> ResultSink for JsonlSink<W> {
     }
 
     fn row(&mut self, row: &PointRow) -> io::Result<()> {
-        writeln!(self.writer, "{}", row.to_json())?;
-        self.writer.flush()
+        write_row_line(&mut self.writer, row)
     }
 
     fn end(&mut self, _summary: &CampaignSummary) -> io::Result<()> {
@@ -265,52 +277,110 @@ impl ResultSink for TeeSink<'_> {
     }
 }
 
-/// Scan an existing JSONL stream for completed points.
+/// Detailed outcome of scanning an existing JSONL stream for resume.
+#[derive(Debug, Clone, Default)]
+pub struct ScanOutcome {
+    /// Point indices with a well-formed, error-free row.
+    pub done: HashSet<usize>,
+    /// Byte length of the well-formed prefix. Shorter than the scanned
+    /// text only when the final line is a torn row (or a torn header):
+    /// resuming writers must truncate the file to this length before
+    /// appending, so the stream stays a whole-line prefix.
+    pub retain_len: usize,
+    /// The retained prefix is valid JSON-lines content but lacks its
+    /// final newline (only the `\n` of the last row was lost to the
+    /// tear); appenders must write one before the next row.
+    pub needs_newline: bool,
+}
+
+/// Scan an existing JSONL stream for completed points, distinguishing a
+/// torn *final* row from mid-file corruption.
 ///
-/// Returns the set of point indices with a well-formed, error-free row.
+/// Because every row is emitted as one `write_all` + flush
+/// ([`write_row_line`]), an interrupted writer can only ever leave a
+/// prefix of the **last** line. A malformed line that is *followed by
+/// more bytes* therefore cannot be crash truncation — something else
+/// damaged the file — and the scan refuses with an error naming the byte
+/// offset rather than silently dropping data. A malformed unterminated
+/// final line is the torn-write case: it is excluded from `retain_len`
+/// (callers truncate it) and its point simply re-runs.
+///
 /// Fails if the header's `spec_hash` does not match `spec` (the file
 /// belongs to a different campaign — resuming would silently mix
-/// incompatible results). Truncated/garbled lines (an interrupted write)
-/// are skipped, so those points simply re-run.
-pub fn scan_completed(text: &str, spec: &CampaignSpec) -> Result<HashSet<usize>, String> {
-    let mut lines = text.lines();
-    let header = loop {
-        match lines.next() {
-            None => return Ok(HashSet::new()), // empty file: nothing done
-            Some(l) if l.trim().is_empty() => continue,
-            Some(l) => break l,
-        }
-    };
-    let header = parse_json(header).map_err(|e| format!("bad result header: {e}"))?;
-    let want = format!("{:016x}", spec.spec_hash);
-    let Some(file_hash) = header.get("spec_hash").and_then(Value::as_str) else {
-        return Err(format!(
-            "spec hash mismatch: result file carries no `spec_hash` header \
-             (current spec is {want}); delete it or run without resume"
-        ));
-    };
-    if file_hash != want {
-        return Err(format!(
-            "spec hash mismatch: result file was written by spec {file_hash}, \
-             current spec is {want}; delete it or run without resume"
-        ));
-    }
+/// incompatible results).
+pub fn scan_completed_at(text: &str, spec: &CampaignSpec) -> Result<ScanOutcome, String> {
     let total = spec.total_points();
-    let mut done = HashSet::new();
-    for line in lines {
-        let line = line.trim();
+    let want = format!("{:016x}", spec.spec_hash);
+    let mut out = ScanOutcome {
+        done: HashSet::new(),
+        retain_len: text.len(),
+        needs_newline: false,
+    };
+    let mut saw_header = false;
+    let mut offset = 0usize;
+    for seg in text.split_inclusive('\n') {
+        let start = offset;
+        offset += seg.len();
+        let terminated = seg.ends_with('\n');
+        let line = seg.trim();
         if line.is_empty() {
-            continue;
+            continue; // blank padding (editors, `echo >>`) is a no-op
         }
-        let Ok(row) = parse_json(line) else { continue };
-        if row.get("error").is_some() {
-            continue; // failed points re-run on resume
-        }
-        if let Some(idx) = row.get("point").and_then(Value::as_i64) {
-            if idx >= 0 && (idx as usize) < total {
-                done.insert(idx as usize);
+        let row = match parse_json(line) {
+            Ok(v) => v,
+            Err(e) => {
+                if terminated {
+                    return Err(format!(
+                        "corrupt result stream: malformed {} at byte offset {start} ({e}) is \
+                         followed by more data, so it cannot be torn-write truncation; \
+                         repair or delete the file",
+                        if saw_header { "row" } else { "header" },
+                    ));
+                }
+                // Torn final line: everything before it is intact. A torn
+                // *header* leaves nothing usable — retain nothing.
+                out.retain_len = if saw_header { start } else { 0 };
+                out.needs_newline = false;
+                return Ok(out);
+            }
+        };
+        if !saw_header {
+            let Some(file_hash) = row.get("spec_hash").and_then(Value::as_str) else {
+                return Err(format!(
+                    "spec hash mismatch: result file carries no `spec_hash` header \
+                     (current spec is {want}); delete it or run without resume"
+                ));
+            };
+            if file_hash != want {
+                return Err(format!(
+                    "spec hash mismatch: result file was written by spec {file_hash}, \
+                     current spec is {want}; delete it or run without resume"
+                ));
+            }
+            saw_header = true;
+        } else if row.get("error").is_none() {
+            // Failed points re-run on resume; good rows count once.
+            if let Some(idx) = row.get("point").and_then(Value::as_i64) {
+                if idx >= 0 && (idx as usize) < total {
+                    out.done.insert(idx as usize);
+                }
             }
         }
+        if !terminated {
+            // A complete row whose newline alone was torn: keep it, the
+            // appender restores the `\n`.
+            out.needs_newline = true;
+        }
     }
-    Ok(done)
+    if !saw_header {
+        out.retain_len = 0; // only blanks: recreate from scratch
+    }
+    Ok(out)
+}
+
+/// Scan an existing JSONL stream for completed points (see
+/// [`scan_completed_at`] for the torn-tail/corruption distinction; this
+/// wrapper returns just the completed set).
+pub fn scan_completed(text: &str, spec: &CampaignSpec) -> Result<HashSet<usize>, String> {
+    Ok(scan_completed_at(text, spec)?.done)
 }
