@@ -1,0 +1,205 @@
+//! Golden-output tests: the registry refactor must be behavior
+//! preserving, so every representative pre-refactor invocation is
+//! pinned byte-for-byte against output captured from the old
+//! hand-written dispatcher (same build profile — dev/release
+//! invariance was verified separately when the files were recorded).
+
+use pom_cli::run_cli;
+
+fn golden(name: &str) -> String {
+    let path = format!("{}/tests/golden/{name}.txt", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn check(name: &str, args: &[&str]) {
+    let out = run_cli(args.iter().copied()).unwrap_or_else(|e| panic!("{name}: {e}"));
+    assert_eq!(out, golden(name), "{name}: output drifted from golden");
+}
+
+#[test]
+fn potentials_golden() {
+    check("potentials_default", &["potentials"]);
+    check(
+        "potentials_sigma2",
+        &["potentials", "sigma=2", "xmax=5", "n=11"],
+    );
+}
+
+#[test]
+fn scaling_golden() {
+    check("scaling_default", &["scaling"]);
+    check("scaling_cores6", &["scaling", "cores=6"]);
+}
+
+#[test]
+fn fig2_golden() {
+    for panel in ["a", "b", "c", "d"] {
+        check(
+            &format!("fig2_{panel}"),
+            &["fig2", &format!("panel={panel}")],
+        );
+    }
+}
+
+#[test]
+fn simulate_views_golden() {
+    check(
+        "simulate_order",
+        &[
+            "simulate",
+            "n=12",
+            "potential=tanh",
+            "coupling=6",
+            "t_end=80",
+            "init=spread",
+            "view=order",
+        ],
+    );
+    check(
+        "simulate_circle",
+        &[
+            "simulate",
+            "n=12",
+            "potential=desync",
+            "sigma=1.5",
+            "topology=chain",
+            "coupling=6",
+            "t_end=300",
+            "init=spread",
+            "amplitude=0.1",
+            "view=circle",
+        ],
+    );
+    check(
+        "simulate_heatmap",
+        &[
+            "simulate",
+            "n=8",
+            "potential=tanh",
+            "coupling=4",
+            "t_end=20",
+            "delay_rank=3",
+            "delay_at=2",
+            "delay_len=2",
+            "init=sync",
+            "view=heatmap",
+        ],
+    );
+    check(
+        "simulate_spread_view",
+        &[
+            "simulate",
+            "n=10",
+            "coupling=5",
+            "t_end=40",
+            "init=spread",
+            "view=spread",
+            "seed=3",
+        ],
+    );
+}
+
+#[test]
+fn simulate_observe_golden() {
+    check(
+        "simulate_observed",
+        &[
+            "simulate",
+            "n=12",
+            "potential=tanh",
+            "coupling=6",
+            "t_end=40",
+            "init=spread",
+            "observe=1",
+            "record-every=2",
+        ],
+    );
+    // Explicit trajectory-only flags under observe=1 emit ignored notes.
+    check(
+        "simulate_observed_ignored",
+        &[
+            "simulate",
+            "n=8",
+            "coupling=4",
+            "t_end=10",
+            "observe=1",
+            "samples=50",
+        ],
+    );
+    // …and record-every without observe=1 notes it is ignored.
+    check(
+        "simulate_record_every_note",
+        &[
+            "simulate",
+            "n=8",
+            "coupling=4",
+            "t_end=10",
+            "record-every=5",
+        ],
+    );
+}
+
+#[test]
+fn simulate_ensemble_golden() {
+    check(
+        "simulate_replicas",
+        &[
+            "simulate",
+            "n=10",
+            "potential=tanh",
+            "coupling=4",
+            "t_end=20",
+            "init=spread",
+            "replicas=3",
+            "h=0.05",
+        ],
+    );
+}
+
+#[test]
+fn simulate_kernel_golden() {
+    check(
+        "simulate_kernel",
+        &[
+            "simulate",
+            "n=12",
+            "potential=desync",
+            "sigma=1.5",
+            "topology=chain",
+            "coupling=6",
+            "t_end=50",
+            "init=spread",
+            "amplitude=0.1",
+            "kernel=sincos",
+            "rhs-threads=2",
+        ],
+    );
+    // The sweep-spec alias spelling resolves to the same canonical key.
+    check(
+        "simulate_rhs_alias",
+        &[
+            "simulate",
+            "n=8",
+            "potential=tanh",
+            "coupling=4",
+            "t_end=10",
+            "rhs_threads=3",
+        ],
+    );
+}
+
+#[test]
+fn canned_sweeps_golden() {
+    check("wave_sweep", &["wave-sweep", "n=24", "t_end=60"]);
+    check("sigma_sweep", &["sigma-sweep", "n=12", "t_end=200"]);
+}
+
+#[test]
+fn sweep_jsonl_golden() {
+    let spec = format!(
+        "{}/tests/golden/sweep_spec.toml",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let out = run_cli(["sweep", spec.as_str()]).unwrap();
+    assert_eq!(out, golden("sweep_jsonl"), "sweep JSONL stream drifted");
+}

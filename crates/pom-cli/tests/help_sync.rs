@@ -1,0 +1,42 @@
+//! Help/docs drift guards.
+//!
+//! The command registry is the single source of truth; everything a
+//! user reads about the CLI is generated from it. These tests fail
+//! the build when a generated artifact goes stale.
+
+use pom_cli::run_cli;
+use pom_sweep::registry::toolkit;
+
+/// `docs/CLI.md` is checked in for browsing on the forge; it must be
+/// byte-identical to what the registry renders today.
+#[test]
+fn docs_cli_md_is_in_sync_with_the_registry() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/CLI.md");
+    let on_disk = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    assert_eq!(
+        on_disk,
+        toolkit().markdown(),
+        "docs/CLI.md is stale — regenerate with:\n\n    \
+         cargo run -q -p pom-cli -- help format=md > docs/CLI.md\n"
+    );
+}
+
+/// `pom help format=md` is exactly the generator for that file.
+#[test]
+fn help_md_matches_registry_markdown() {
+    assert_eq!(
+        run_cli(["help", "format=md"]).unwrap(),
+        toolkit().markdown()
+    );
+}
+
+/// `pom help format=json` prints the same document `GET /schema`
+/// serves (the daemon side is pinned in pom-serve's schema_parity
+/// suite; both render `Registry::schema_json`).
+#[test]
+fn help_json_matches_schema_document() {
+    assert_eq!(
+        run_cli(["help", "format=json"]).unwrap(),
+        format!("{}\n", toolkit().schema_json())
+    );
+}

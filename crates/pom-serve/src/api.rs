@@ -4,6 +4,8 @@
 //! |--------------------------|---------------------------------------------------|
 //! | `GET  /healthz`          | liveness probe                                    |
 //! | `GET  /metrics`          | Prometheus text exposition of the global registry |
+//! | `GET  /schema`           | the command registry as JSON (same document as    |
+//! |                          | `pom help format=json`)                           |
 //! | `POST /jobs`             | submit a campaign spec (TOML/JSON body) → `201`;  |
 //! |                          | `?priority=high|normal|low&deadline_ms=N` extras  |
 //! | `GET  /jobs`             | status of every job                               |
@@ -20,9 +22,13 @@
 //! read deadline, `429` for the active-job bound and per-token quotas
 //! (the body names the offending bound), `503` + `Retry-After` when the
 //! connection limit itself is hit (sent from the accept thread before
-//! this module ever runs). Query strings are validated through the same
-//! [`TypedArgs`] layer the CLI uses, so `follow=yes` and `follow=2`
-//! succeed and fail identically in both front ends.
+//! this module ever runs). Query strings are validated against the same
+//! command-registry tables the CLI parses with
+//! ([`pom_sweep::registry::defs`]): unknown parameters, duplicates and
+//! type errors produce the same messages (offending key plus its doc
+//! line) on both front ends, so `follow=yes` and `follow=2` succeed and
+//! fail identically everywhere — the `schema_parity` differential suite
+//! pins this.
 //!
 //! Every response carries an `X-Pom-Elapsed-Us` header (server-side
 //! handling time; time-to-first-byte for streams), and every handled
@@ -38,8 +44,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pom_obs::Level;
+use pom_sweep::registry::{defs, toolkit, Parsed, RouteSpec};
 use pom_sweep::value::write_json_str;
-use pom_sweep::TypedArgs;
 
 use crate::http::{self, Request, RequestError};
 use crate::job::{JobManager, JobOpError, Priority, StopMode, SubmitError, SubmitOptions};
@@ -160,6 +166,13 @@ fn route(stream: &mut TcpStream, req: &Request, ctx: &ConnCtx, started: Instant)
             ),
         ),
 
+        ("GET", ["schema"]) => (
+            "/schema",
+            // The registry document, byte-identical to `pom help
+            // format=json` (both render `Registry::schema_json`).
+            http::respond_json(stream, 200, &toolkit().schema_json(), started),
+        ),
+
         ("POST", ["jobs"]) => ("/jobs", submit(stream, req, manager, started)),
 
         ("GET", ["jobs"]) => ("/jobs", {
@@ -189,9 +202,12 @@ fn route(stream: &mut TcpStream, req: &Request, ctx: &ConnCtx, started: Instant)
 
         ("GET", ["jobs", id, "stats"]) => (
             "/jobs/{id}/stats",
-            match manager.job_stats(id) {
-                Some(json) => http::respond_json(stream, 200, &json, started),
-                None => not_found(stream, id, started),
+            match parse_query(req, &defs::ROUTE_STATS) {
+                Err(msg) => http::respond_json(stream, 400, &error_json(&msg), started),
+                Ok(_) => match manager.job_stats(id) {
+                    Some(json) => http::respond_json(stream, 200, &json, started),
+                    None => not_found(stream, id, started),
+                },
             },
         ),
 
@@ -214,7 +230,7 @@ fn route(stream: &mut TcpStream, req: &Request, ctx: &ConnCtx, started: Instant)
             http::respond_json(stream, 200, "{\"stopping\":true}", started)
         }),
 
-        (_, ["healthz" | "jobs" | "shutdown" | "metrics", ..]) => (
+        (_, ["healthz" | "jobs" | "shutdown" | "metrics" | "schema", ..]) => (
             "method_not_allowed",
             http::respond_json(
                 stream,
@@ -246,6 +262,15 @@ fn not_found(stream: &mut TcpStream, id: &str, started: Instant) -> io::Result<(
     )
 }
 
+/// Validate a request's query string against a route's registry spec.
+/// The error string is `RouteSpec::explain`'s rendering — identical to
+/// what the CLI prints for the same mistake on the same key.
+fn parse_query(req: &Request, route: &RouteSpec) -> Result<Parsed, String> {
+    route
+        .parse_pairs(req.query.iter().map(|(k, v)| (k, v)))
+        .map_err(|e| route.explain(&e))
+}
+
 fn submit(
     stream: &mut TcpStream,
     req: &Request,
@@ -263,45 +288,12 @@ fn submit(
     // Submit-time extras ride on the query string, never the spec body:
     // the body must stay byte-identical to the CLI's spec (its hash is
     // the resume identity).
-    let args = match TypedArgs::from_pairs(req.query.iter().map(|(k, v)| (k, v))) {
+    let args = match parse_query(req, &defs::ROUTE_SUBMIT) {
         Ok(args) => args,
-        Err(e) => return http::respond_json(stream, 400, &error_json(&e.to_string()), started),
+        Err(msg) => return http::respond_json(stream, 400, &error_json(&msg), started),
     };
-    if let Some(unknown) = args
-        .keys()
-        .find(|k| !matches!(*k, "priority" | "deadline_ms"))
-    {
-        return http::respond_json(
-            stream,
-            400,
-            &error_json(&format!("unknown query parameter `{unknown}`")),
-            started,
-        );
-    }
-    let priority = match args.get("priority") {
-        None => Priority::default(),
-        Some(v) => match Priority::from_name(v) {
-            Some(p) => p,
-            None => {
-                return http::respond_json(
-                    stream,
-                    400,
-                    &error_json(&format!(
-                        "priority must be one of high, normal, low (got `{v}`)"
-                    )),
-                    started,
-                );
-            }
-        },
-    };
-    let deadline_ms = if args.get("deadline_ms").is_some() {
-        match args.u64_or("deadline_ms", 0) {
-            Ok(ms) => Some(ms),
-            Err(e) => return http::respond_json(stream, 400, &error_json(&e.to_string()), started),
-        }
-    } else {
-        None
-    };
+    let priority = Priority::from_name(args.str("priority")).unwrap_or_default();
+    let deadline_ms = args.opt_u64("deadline_ms");
     let opts = SubmitOptions {
         token: req.token().map(str::to_string),
         priority,
@@ -375,23 +367,12 @@ fn stream_rows(
     started: Instant,
 ) -> io::Result<()> {
     let manager = &ctx.manager;
-    // Same typed-argument layer as the CLI: identical accept/reject.
-    let args = match TypedArgs::from_pairs(req.query.iter().map(|(k, v)| (k, v))) {
+    // Same registry table as the CLI: identical accept/reject.
+    let args = match parse_query(req, &defs::ROUTE_ROWS) {
         Ok(args) => args,
-        Err(e) => return http::respond_json(stream, 400, &error_json(&e.to_string()), started),
+        Err(msg) => return http::respond_json(stream, 400, &error_json(&msg), started),
     };
-    if let Some(unknown) = args.keys().find(|k| *k != "follow") {
-        return http::respond_json(
-            stream,
-            400,
-            &error_json(&format!("unknown query parameter `{unknown}`")),
-            started,
-        );
-    }
-    let follow = match args.bool_or("follow", false) {
-        Ok(v) => v,
-        Err(e) => return http::respond_json(stream, 400, &error_json(&e.to_string()), started),
-    };
+    let follow = args.bool("follow");
 
     let Some(path) = manager.results_path(id) else {
         return not_found(stream, id, started);

@@ -17,7 +17,10 @@
 //!   concurrent campaigns, in-order durable row emission.
 //! * [`spool`] — on-disk layout; each job's `results.jsonl` doubles as
 //!   its crash checkpoint (identical to `pom sweep resume=1` files).
-//! * [`api`] — route dispatch.
+//! * [`api`] — route dispatch; query strings are validated against the
+//!   command registry's [`pom_sweep::registry::RouteSpec`] tables (same
+//!   wording as CLI errors) and `GET /schema` serves the registry as
+//!   JSON — byte-identical to `pom help format=json`.
 //! * [`auth`] — per-token submission quotas (`auth=tokens.toml`).
 //! * [`faults`] — deterministic fault injection for the chaos suite
 //!   (disabled and zero-cost in production).

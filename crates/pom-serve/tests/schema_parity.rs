@@ -1,0 +1,204 @@
+//! Registry parity between the daemon and the CLI.
+//!
+//! `GET /schema` must serve exactly `Registry::schema_json()` — the
+//! same string `pom help format=json` prints (the CLI side of that
+//! equality is pinned in `pom-cli`'s tests; both call the one
+//! function, and this suite pins the HTTP side at several thread
+//! counts). The differential half drives malformed query strings
+//! through real sockets and asserts the HTTP error body carries the
+//! exact explanation the registry renders for the same mistake — the
+//! text a CLI user would see for the same key.
+
+mod common;
+
+use std::fs;
+
+use common::{json_str_field, request, submit, temp_spool};
+use pom_serve::{ServeConfig, Server, StopMode};
+use pom_sweep::registry::{defs, toolkit, RouteSpec};
+
+fn start(spool: &std::path::Path, threads: usize) -> Server {
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        spool: spool.into(),
+        threads,
+        ..ServeConfig::default()
+    })
+    .expect("server start")
+}
+
+fn small_spec(name: &str) -> String {
+    format!(
+        r#"
+[campaign]
+name = "{name}"
+observables = ["final_r"]
+[model]
+n = 4
+[sim]
+t_end = 2.0
+samples = 5
+[[axes]]
+key = "model.coupling"
+values = [2.0]
+"#
+    )
+}
+
+#[test]
+fn schema_route_serves_the_registry_at_every_thread_count() {
+    let expected = toolkit().schema_json();
+    assert!(expected.starts_with("{\"commands\":["), "{expected}");
+    for threads in [1usize, 4, 8] {
+        let spool = temp_spool(&format!("schema-{threads}"));
+        let server = start(&spool, threads);
+        let got = request(server.addr(), "GET", "/schema", None);
+        assert_eq!(got.status, 200);
+        assert_eq!(
+            got.body, expected,
+            "/schema body diverged from Registry::schema_json at threads={threads}"
+        );
+        server.stop(StopMode::Abort);
+        let _ = fs::remove_dir_all(&spool);
+    }
+}
+
+#[test]
+fn schema_document_lists_every_command_route_and_section() {
+    let doc = toolkit().schema_json();
+    for c in toolkit().commands {
+        assert!(
+            doc.contains(&format!("\"name\":\"{}\"", c.name)),
+            "{}",
+            c.name
+        );
+    }
+    for r in toolkit().routes {
+        assert!(
+            doc.contains(&format!("\"path\":\"{}\"", r.path)),
+            "{}",
+            r.path
+        );
+    }
+    for s in toolkit().sections {
+        assert!(
+            doc.contains(&format!("\"name\":\"{}\"", s.name)),
+            "{}",
+            s.name
+        );
+    }
+}
+
+/// What the registry says about this exact query string — rendered the
+/// same way `api::parse_query` renders it into the 400 body.
+fn registry_verdict(route: &RouteSpec, pairs: &[(&str, &str)]) -> Option<String> {
+    route
+        .parse_pairs(pairs.iter().copied())
+        .err()
+        .map(|e| route.explain(&e))
+}
+
+#[test]
+fn bad_query_strings_fail_identically_over_http_and_in_the_registry() {
+    let spool = temp_spool("parity-fuzz");
+    let server = start(&spool, 2);
+    let addr = server.addr();
+    let body = small_spec("parity");
+    let id = json_str_field(&submit(addr, &body).body, "job").expect("job id");
+
+    // (route spec, method, concrete path, query pairs) — every case a
+    // registry rejection: typo'd keys, duplicates, type mismatches,
+    // out-of-range enum variants.
+    type Case<'a> = (&'a RouteSpec, &'a str, &'a str, Vec<(&'a str, &'a str)>);
+    let rows_path = format!("/jobs/{id}/rows");
+    let stats_path = format!("/jobs/{id}/stats");
+    let cases: Vec<Case> = vec![
+        (&defs::ROUTE_ROWS, "GET", &rows_path, vec![("fllow", "1")]),
+        (&defs::ROUTE_ROWS, "GET", &rows_path, vec![("follow", "2")]),
+        (
+            &defs::ROUTE_ROWS,
+            "GET",
+            &rows_path,
+            vec![("follow", "maybe")],
+        ),
+        (
+            &defs::ROUTE_ROWS,
+            "GET",
+            &rows_path,
+            vec![("follow", "1"), ("follow", "0")],
+        ),
+        (
+            &defs::ROUTE_STATS,
+            "GET",
+            &stats_path,
+            vec![("follow", "1")],
+        ),
+        (
+            &defs::ROUTE_STATS,
+            "GET",
+            &stats_path,
+            vec![("verbose", "1")],
+        ),
+        (
+            &defs::ROUTE_SUBMIT,
+            "POST",
+            "/jobs",
+            vec![("priority", "urgent")],
+        ),
+        (
+            &defs::ROUTE_SUBMIT,
+            "POST",
+            "/jobs",
+            vec![("prority", "high")],
+        ),
+        (
+            &defs::ROUTE_SUBMIT,
+            "POST",
+            "/jobs",
+            vec![("deadline_ms", "abc")],
+        ),
+        (
+            &defs::ROUTE_SUBMIT,
+            "POST",
+            "/jobs",
+            vec![("deadline_ms", "-5")],
+        ),
+        (
+            &defs::ROUTE_SUBMIT,
+            "POST",
+            "/jobs",
+            vec![("priority", "low"), ("priority", "high")],
+        ),
+    ];
+
+    for (route, method, path, pairs) in cases {
+        let expected = registry_verdict(route, &pairs)
+            .unwrap_or_else(|| panic!("{path} {pairs:?}: registry accepted a fuzz case"));
+        let query: Vec<String> = pairs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        let url = format!("{path}?{}", query.join("&"));
+        let req_body = (method == "POST").then_some(body.as_str());
+        let resp = request(addr, method, &url, req_body);
+        assert_eq!(resp.status, 400, "{url}: {}", resp.body);
+        assert!(
+            resp.body.contains(&expected.replace('"', "\\\"")) || resp.body.contains(&expected),
+            "{url}: HTTP body {:?} does not carry the registry explanation {expected:?}",
+            resp.body
+        );
+    }
+
+    // The suggestion machinery reaches HTTP too: a typo within edit
+    // distance 2 names the intended key.
+    let resp = request(addr, "GET", &format!("{rows_path}?fllow=1"), None);
+    assert!(
+        resp.body.contains("did you mean `follow`?"),
+        "{}",
+        resp.body
+    );
+
+    // And the happy path still works after all that fuzzing.
+    let ok = request(addr, "GET", &format!("{rows_path}?follow=0"), None);
+    assert_eq!(ok.status, 200, "{}", ok.body);
+
+    server.stop(StopMode::Drain);
+    let _ = fs::remove_dir_all(&spool);
+}

@@ -37,6 +37,17 @@ pub enum ArgError {
         /// What was expected.
         expected: &'static str,
     },
+    /// A key is not accepted by the command (registry-driven parsing).
+    Unknown {
+        /// The key as given.
+        key: String,
+        /// Pre-rendered list of accepted keys (`a, b, c`), for the message.
+        accepted: String,
+        /// A close accepted key, when one is within edit distance 2.
+        suggestion: Option<String>,
+    },
+    /// A positional argument beyond what the command declares.
+    UnexpectedPositional(String),
 }
 
 impl fmt::Display for ArgError {
@@ -51,6 +62,24 @@ impl fmt::Display for ArgError {
                 expected,
             } => {
                 write!(f, "`{key}={value}`: expected {expected}")
+            }
+            ArgError::Unknown {
+                key,
+                accepted,
+                suggestion,
+            } => {
+                write!(f, "unknown key `{key}`")?;
+                if let Some(s) = suggestion {
+                    write!(f, "; did you mean `{s}`?")?;
+                }
+                if accepted.is_empty() {
+                    write!(f, " (no keys accepted)")
+                } else {
+                    write!(f, " (accepted: {accepted})")
+                }
+            }
+            ArgError::UnexpectedPositional(arg) => {
+                write!(f, "unexpected positional argument `{arg}`")
             }
         }
     }

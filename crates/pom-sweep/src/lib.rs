@@ -73,6 +73,7 @@
 
 pub mod args;
 pub mod exec;
+pub mod registry;
 pub mod run;
 pub mod sink;
 pub mod spec;
@@ -80,6 +81,7 @@ pub mod value;
 
 pub use args::{ArgError, TypedArgs};
 pub use exec::{record_external_point, run_campaign, RunOptions, POINT_DURATION_METRIC};
+pub use registry::{ArgKind, ArgSpec, CommandSpec, Parsed, Registry, RouteSpec, SectionSpec};
 pub use run::{run_point, run_point_ws, PointRow};
 pub use sink::{
     header_json, scan_completed, scan_completed_at, write_row_line, CampaignSummary, CsvSink,

@@ -227,11 +227,7 @@ impl CampaignSpec {
             .transpose()?
             .unwrap_or(0) as u64;
         if let Some(c) = campaign.and_then(Value::as_table) {
-            check_keys(
-                c,
-                &["name", "seed", "workload", "observables", "replicas"],
-                "campaign",
-            )?;
+            check_section(c, "campaign", "both")?;
         }
         let replicas = campaign
             .and_then(|c| c.get("replicas"))
@@ -574,6 +570,22 @@ fn check_keys(t: &BTreeMap<String, Value>, allowed: &[&str], ctx: &str) -> Resul
     Ok(())
 }
 
+/// Validate one spec section against its registry table: key names and
+/// value kinds come from the same [`crate::registry::ArgSpec`] tables
+/// the CLI and the HTTP API parse with, so all three surfaces accept
+/// and reject the same keys.
+fn check_section(
+    t: &BTreeMap<String, Value>,
+    name: &str,
+    workload: &str,
+) -> Result<(), SweepError> {
+    crate::registry::toolkit()
+        .section(name, workload)
+        .unwrap_or_else(|| panic!("section `{name}` ({workload}) is not registered"))
+        .check(t)
+        .map_err(spec_err)
+}
+
 // ---------------------------------------------------------------------------
 // Resolved scenarios
 // ---------------------------------------------------------------------------
@@ -912,7 +924,7 @@ fn get_distances(tree: &Value, path: &str, default: &[i32]) -> Result<Vec<i32>, 
 
 fn parse_wave(tree: &Value, default_threshold: f64) -> Result<WaveFit, SweepError> {
     if let Some(w) = tree.get("wave").and_then(Value::as_table) {
-        check_keys(w, &["threshold", "source", "max_distance"], "wave")?;
+        check_section(w, "wave", "both")?;
     }
     Ok(WaveFit {
         threshold: get_f64(tree, "wave.threshold", default_threshold)?,
@@ -932,22 +944,7 @@ fn model_from_value(tree: &Value) -> Result<ModelScenario, SweepError> {
         )?;
     }
     if let Some(m) = tree.get("model").and_then(Value::as_table) {
-        check_keys(
-            m,
-            &[
-                "n",
-                "potential",
-                "sigma",
-                "tcomp",
-                "tcomm",
-                "coupling",
-                "kappa",
-                "norm",
-                "kernel",
-                "rhs_threads",
-            ],
-            "model",
-        )?;
+        check_section(m, "model", "model")?;
     }
 
     let n = get_usize(tree, "model.n", 16)?;
@@ -976,11 +973,7 @@ fn model_from_value(tree: &Value) -> Result<ModelScenario, SweepError> {
     let rhs_threads = get_usize(tree, "model.rhs_threads", 1)?;
 
     if let Some(t) = tree.get("topology").and_then(Value::as_table) {
-        check_keys(
-            t,
-            &["kind", "distances", "nx", "ny", "periodic"],
-            "topology",
-        )?;
+        check_section(t, "topology", "model")?;
     }
     let distances = get_distances(tree, "topology.distances", &[-1, 1])?;
     let topology = match get_str(tree, "topology.kind", "ring") {
@@ -1013,7 +1006,7 @@ fn model_from_value(tree: &Value) -> Result<ModelScenario, SweepError> {
     };
 
     if let Some(t) = tree.get("init").and_then(Value::as_table) {
-        check_keys(t, &["kind", "amplitude", "slope", "seed"], "init")?;
+        check_section(t, "init", "model")?;
     }
     let init = match get_str(tree, "init.kind", "spread") {
         "sync" => InitSpec::Synchronized,
@@ -1032,10 +1025,10 @@ fn model_from_value(tree: &Value) -> Result<ModelScenario, SweepError> {
     };
 
     if let Some(t) = tree.get("noise").and_then(Value::as_table) {
-        check_keys(t, &["sigma", "seed"], "noise")?;
+        check_section(t, "noise", "model")?;
     }
     if let Some(t) = tree.get("inject").and_then(Value::as_table) {
-        check_keys(t, &["rank", "at", "len", "extra"], "inject")?;
+        check_section(t, "inject", "model")?;
     }
     let tcomp = get_f64(tree, "model.tcomp", 0.9)?;
     let tcomm = get_f64(tree, "model.tcomm", 0.1)?;
@@ -1058,7 +1051,7 @@ fn model_from_value(tree: &Value) -> Result<ModelScenario, SweepError> {
     };
 
     if let Some(t) = tree.get("sim").and_then(Value::as_table) {
-        check_keys(t, &["t_end", "samples", "solver", "h"], "sim")?;
+        check_section(t, "sim", "model")?;
     }
     let h = get_opt_f64(tree, "sim.h")?;
     let solver = match tree.get("sim.solver").map(|v| {
@@ -1119,20 +1112,7 @@ fn mpisim_from_value(tree: &Value) -> Result<MpiScenario, SweepError> {
         )?;
     }
     if let Some(m) = tree.get("mpisim").and_then(Value::as_table) {
-        check_keys(
-            m,
-            &[
-                "n",
-                "iterations",
-                "kernel",
-                "work_seconds",
-                "distances",
-                "protocol",
-                "message_bytes",
-                "allreduce_every",
-            ],
-            "mpisim",
-        )?;
+        check_section(m, "mpisim", "mpisim")?;
     }
 
     let n = get_usize(tree, "mpisim.n", 16)?;
@@ -1160,10 +1140,10 @@ fn mpisim_from_value(tree: &Value) -> Result<MpiScenario, SweepError> {
     };
 
     if let Some(t) = tree.get("noise").and_then(Value::as_table) {
-        check_keys(t, &["sigma", "seed"], "noise")?;
+        check_section(t, "noise", "mpisim")?;
     }
     if let Some(t) = tree.get("inject").and_then(Value::as_table) {
-        check_keys(t, &["rank", "iteration", "extra_seconds"], "inject")?;
+        check_section(t, "inject", "mpisim")?;
     }
     let inject = match tree.get("inject") {
         None => None,
